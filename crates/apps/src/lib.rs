@@ -1,0 +1,29 @@
+//! Benchmark applications from the DCGN paper (Stuart & Owens, IPDPS 2009),
+//! each in two variants:
+//!
+//! * a **DCGN** implementation in which GPU slots are first-class
+//!   communication targets (dynamic work queues, device-sourced
+//!   `sendrecv_replace`, device-sourced broadcasts), and
+//! * a **GAS+MPI** baseline (GPU-as-slave: statically partitioned work,
+//!   host-mediated communication between kernel launches) — the model the
+//!   paper compares against in §5.1.
+//!
+//! The applications are:
+//!
+//! | Module | Paper role | Communication pattern |
+//! |---|---|---|
+//! | [`mandelbrot`] | unpredictable communication (Figure 5) | dynamic master/worker queue |
+//! | [`cannon`] | simultaneous communication | ring rotations via `sendrecv_replace` |
+//! | [`nbody`] | one-to-all | per-step broadcasts |
+
+#![warn(missing_docs)]
+
+pub mod cannon;
+pub mod mandelbrot;
+pub mod nbody;
+
+pub use cannon::{run_dcgn_gpu as cannon_dcgn, run_gas as cannon_gas, CannonRun};
+pub use mandelbrot::{
+    run_dcgn_gpu as mandelbrot_dcgn, run_gas as mandelbrot_gas, MandelbrotParams, MandelbrotRun,
+};
+pub use nbody::{run_dcgn_gpu as nbody_dcgn, run_gas as nbody_gas, NbodyRun};

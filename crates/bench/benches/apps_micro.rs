@@ -1,0 +1,48 @@
+//! Criterion bench behind the §5.1 application results: DCGN vs GAS+MPI for
+//! Mandelbrot, Cannon and N-body at CI-friendly sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcgn::CostModel;
+use dcgn_apps::{cannon, mandelbrot, nbody};
+
+fn bench_apps(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let mut group = c.benchmark_group("section5_apps");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let params = mandelbrot::MandelbrotParams {
+        width: 64,
+        height: 64,
+        max_iter: 128,
+        strip_rows: 8,
+        ..mandelbrot::MandelbrotParams::default()
+    };
+    group.bench_function("mandelbrot_dcgn_4workers", |b| {
+        b.iter(|| mandelbrot::run_dcgn_gpu(params, 2, 2, 1, cost).unwrap())
+    });
+    group.bench_function("mandelbrot_gas_4workers", |b| {
+        b.iter(|| mandelbrot::run_gas(params, 4, 2, cost))
+    });
+
+    group.bench_function("cannon_dcgn_4workers_n48", |b| {
+        b.iter(|| cannon::run_dcgn_gpu(48, 4, 2, cost).unwrap())
+    });
+    group.bench_function("cannon_gas_4workers_n48", |b| {
+        b.iter(|| cannon::run_gas(48, 4, 2, cost))
+    });
+
+    group.bench_function("nbody_dcgn_4workers_n256", |b| {
+        b.iter(|| nbody::run_dcgn_gpu(256, 4, 2, 1, cost).unwrap())
+    });
+    group.bench_function("nbody_gas_4workers_n256", |b| {
+        b.iter(|| nbody::run_gas(256, 4, 2, 1, cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Table 1: DCGN barriers (CPU-only, GPU-only, mixed)
+//! vs the raw-MPI barrier, for one- and two-node configurations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcgn::CostModel;
+use dcgn_bench::{dcgn_barrier_time, mpi_barrier_time};
+
+fn bench_barriers(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let mut group = c.benchmark_group("table1_barrier");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &nodes in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("mpi_2cpu_per_node", nodes), &nodes, |b, &n| {
+            b.iter(|| mpi_barrier_time(n, 2, cost, 3))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dcgn_2cpu_per_node", nodes),
+            &nodes,
+            |b, &n| b.iter(|| dcgn_barrier_time(n, 2, 0, cost, 3)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dcgn_2gpu_per_node", nodes),
+            &nodes,
+            |b, &n| b.iter(|| dcgn_barrier_time(n, 0, 2, cost, 3)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dcgn_2cpu_2gpu_per_node", nodes),
+            &nodes,
+            |b, &n| b.iter(|| dcgn_barrier_time(n, 2, 2, cost, 3)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

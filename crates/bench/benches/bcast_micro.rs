@@ -1,0 +1,32 @@
+//! Criterion bench behind Figure 7: eight-rank broadcasts under DCGN (CPU
+//! and GPU ranks) and under the raw-MPI baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcgn::CostModel;
+use dcgn_bench::{dcgn_broadcast_time, mpi_broadcast_time, EndpointKind};
+
+fn bench_broadcasts(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let mut group = c.benchmark_group("figure7_broadcast");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &size in &[1usize << 10, 64 << 10] {
+        group.bench_with_input(BenchmarkId::new("mpi_8cpu", size), &size, |b, &s| {
+            b.iter(|| mpi_broadcast_time(s, cost, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("dcgn_8cpu", size), &size, |b, &s| {
+            b.iter(|| dcgn_broadcast_time(s, EndpointKind::Cpu, cost, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("dcgn_8gpu", size), &size, |b, &s| {
+            b.iter(|| dcgn_broadcast_time(s, EndpointKind::Gpu, cost, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcasts);
+criterion_main!(benches);

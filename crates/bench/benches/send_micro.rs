@@ -1,0 +1,34 @@
+//! Criterion bench behind Figure 6: DCGN vs raw-MPI point-to-point sends for
+//! every endpoint-kind pair.  Uses the scaled-down cost model and a small
+//! size grid so `cargo bench` completes quickly; the `fig6_send` binary runs
+//! the full paper-parameter sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcgn::CostModel;
+use dcgn_bench::{dcgn_send_time, mpi_send_time, EndpointKind};
+
+fn bench_sends(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let mut group = c.benchmark_group("figure6_send");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &size in &[0usize, 4 << 10, 256 << 10] {
+        group.bench_with_input(BenchmarkId::new("mpi_cpu_cpu", size), &size, |b, &s| {
+            b.iter(|| mpi_send_time(s, cost, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("dcgn_cpu_cpu", size), &size, |b, &s| {
+            b.iter(|| dcgn_send_time(s, EndpointKind::Cpu, EndpointKind::Cpu, cost, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("dcgn_gpu_gpu", size), &size, |b, &s| {
+            b.iter(|| dcgn_send_time(s, EndpointKind::Gpu, EndpointKind::Gpu, cost, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sends);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 1: barrier timings for CPUs and GPUs under DCGN, with the ratio to
+//! a raw-MPI barrier over the same number of CPU ranks.
+//!
+//! `cargo run -p dcgn-bench --bin table1_barrier --release`
+
+use dcgn::CostModel;
+use dcgn_bench::{dcgn_barrier_time, format_duration, mpi_barrier_time};
+
+fn main() {
+    let cost = CostModel::g92_cluster();
+    let iters = 8;
+
+    // (nodes, cpus/node, gpus/node) — the configurations of Table 1.
+    let configs = [
+        (1usize, 2usize, 0usize),
+        (1, 0, 2),
+        (1, 1, 1),
+        (1, 2, 2),
+        (2, 2, 0),
+        (2, 0, 2),
+        (2, 2, 2),
+        (4, 2, 0),
+        (4, 0, 2),
+        (4, 2, 2),
+    ];
+
+    println!("# Table 1: Barrier timings for CPUs and GPUs");
+    println!(
+        "{:>6} {:>18} {:>14} {:>14} {:>10}",
+        "nodes", "configuration", "MPI (CPU)", "DCGN", "ratio"
+    );
+    for &(nodes, cpus, gpus) in &configs {
+        let mpi_ranks_per_node = if cpus > 0 { cpus } else { gpus };
+        let mpi = mpi_barrier_time(nodes, mpi_ranks_per_node, cost, iters);
+        let dcgn = dcgn_barrier_time(nodes, cpus, gpus, cost, iters);
+        let ratio = dcgn.as_secs_f64() / mpi.as_secs_f64();
+        println!(
+            "{:>6} {:>18} {:>14} {:>14} {:>9.2}x",
+            nodes,
+            format!("{} CPUs/{} GPUs", cpus * nodes, gpus * nodes),
+            format_duration(mpi),
+            format_duration(dcgn),
+            ratio
+        );
+    }
+    println!();
+    println!("# Expected shape (paper): CPU-only DCGN barriers are ~7-13x the MPI barrier");
+    println!("# (work-queue hops dominate a data-free collective); GPU barriers are");
+    println!("# ~100-150x (polling interval + PCI-e round trips per GPU rank).");
+}

@@ -1,0 +1,354 @@
+//! Benchmark harness for the DCGN reproduction.
+//!
+//! The functions in this crate drive the micro-benchmarks behind Figure 6
+//! (sends), Figure 7 (broadcasts) and Table 1 (barriers) of the paper, plus
+//! the application-level measurements of §5.1.  They are shared between the
+//! Criterion benches (`benches/`) and the report binaries (`src/bin/`) that
+//! print the paper-formatted tables.
+//!
+//! All timings are measured *inside* the participating kernels (after a
+//! warm-up barrier), so job launch and teardown costs are excluded — the same
+//! methodology as the paper's micro-benchmarks.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dcgn::{CostModel, DcgnConfig, DevicePtr, NodeConfig, Runtime};
+use dcgn_rmpi::{MpiWorld, RankPlacement};
+use parking_lot::Mutex;
+
+/// Which kind of DCGN rank an endpoint of a micro-benchmark is backed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// A CPU-kernel thread.
+    Cpu,
+    /// A single-slot GPU.
+    Gpu,
+}
+
+impl EndpointKind {
+    /// Short label used in report tables ("CPU" / "GPU").
+    pub fn label(&self) -> &'static str {
+        match self {
+            EndpointKind::Cpu => "CPU",
+            EndpointKind::Gpu => "GPU",
+        }
+    }
+
+    fn node_config(&self) -> NodeConfig {
+        match self {
+            EndpointKind::Cpu => NodeConfig::new(1, 0, 0),
+            EndpointKind::Gpu => NodeConfig::new(0, 1, 1),
+        }
+    }
+}
+
+/// Human-readable data size ("0 B", "64 kB", "1 MB").
+pub fn format_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} kB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point (Figure 6)
+// ---------------------------------------------------------------------------
+
+/// Average one-way message time for a DCGN ping-pong of `size` bytes between
+/// an endpoint of kind `src` (rank 0, node 0) and one of kind `dst` (rank 1,
+/// node 1).
+pub fn dcgn_send_time(
+    size: usize,
+    src: EndpointKind,
+    dst: EndpointKind,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let config =
+        DcgnConfig::heterogeneous(vec![src.node_config(), dst.node_config()]).with_cost(cost);
+    let runtime = Runtime::new(config).expect("pingpong config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m_cpu = Arc::clone(&measured);
+    let m_gpu = Arc::clone(&measured);
+
+    runtime
+        .launch(
+            move |ctx| {
+                let me = ctx.rank();
+                let peer = 1 - me;
+                let payload = vec![0xA5u8; size];
+                ctx.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    if me == 0 {
+                        ctx.send(peer, &payload).unwrap();
+                        let _ = ctx.recv(peer).unwrap();
+                    } else {
+                        let _ = ctx.recv(peer).unwrap();
+                        ctx.send(peer, &payload).unwrap();
+                    }
+                }
+                if me == 0 {
+                    *m_cpu.lock() = start.elapsed();
+                }
+                ctx.barrier().unwrap();
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                const SLOT: usize = 0;
+                let me = ctx.rank(SLOT);
+                let peer = 1 - me;
+                let buf = DevicePtr::NULL.add(64 * 1024);
+                ctx.block().write(buf, &vec![0x5Au8; size.max(1)]);
+                ctx.barrier(SLOT);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    if me == 0 {
+                        ctx.send(SLOT, peer, buf, size);
+                        ctx.recv(SLOT, peer, buf, size);
+                    } else {
+                        ctx.recv(SLOT, peer, buf, size);
+                        ctx.send(SLOT, peer, buf, size);
+                    }
+                }
+                if me == 0 {
+                    *m_gpu.lock() = start.elapsed();
+                }
+                ctx.barrier(SLOT);
+            },
+        )
+        .expect("pingpong launch");
+    let total = *measured.lock();
+    total / (2 * iters as u32)
+}
+
+/// Average one-way message time for a raw MPI (MVAPICH2 stand-in) ping-pong
+/// of `size` bytes between two ranks on two nodes.
+pub fn mpi_send_time(size: usize, cost: CostModel, iters: usize) -> Duration {
+    let results = MpiWorld::run(&RankPlacement::block(2, 1), cost, move |mut comm| {
+        let me = comm.rank();
+        let peer = 1 - me;
+        let payload = vec![0xA5u8; size];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            if me == 0 {
+                comm.send(peer, 0, &payload).unwrap();
+                let _ = comm.recv(Some(peer), Some(0)).unwrap();
+            } else {
+                let _ = comm.recv(Some(peer), Some(0)).unwrap();
+                comm.send(peer, 0, &payload).unwrap();
+            }
+        }
+        let elapsed = start.elapsed();
+        comm.barrier().unwrap();
+        elapsed
+    });
+    results[0] / (2 * iters as u32)
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast (Figure 7)
+// ---------------------------------------------------------------------------
+
+/// Average broadcast time with 8 DCGN ranks of `kind` spread over 4 nodes
+/// (2 ranks per node), measured at the root.
+pub fn dcgn_broadcast_time(
+    size: usize,
+    kind: EndpointKind,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let node = match kind {
+        EndpointKind::Cpu => NodeConfig::new(2, 0, 0),
+        EndpointKind::Gpu => NodeConfig::new(0, 2, 1),
+    };
+    let config = DcgnConfig::heterogeneous(vec![node; 4]).with_cost(cost);
+    let runtime = Runtime::new(config).expect("broadcast config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m_cpu = Arc::clone(&measured);
+    let m_gpu = Arc::clone(&measured);
+
+    runtime
+        .launch(
+            move |ctx| {
+                let me = ctx.rank();
+                ctx.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let mut data = if me == 0 { vec![1u8; size] } else { Vec::new() };
+                    ctx.broadcast(0, &mut data).unwrap();
+                }
+                if me == 0 {
+                    *m_cpu.lock() = start.elapsed();
+                }
+                ctx.barrier().unwrap();
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                const SLOT: usize = 0;
+                let me = ctx.rank(SLOT);
+                let buf = DevicePtr::NULL.add(64 * 1024);
+                if me == 0 {
+                    ctx.block().write(buf, &vec![1u8; size.max(1)]);
+                }
+                ctx.barrier(SLOT);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    ctx.broadcast(SLOT, 0, buf, size);
+                }
+                if me == 0 {
+                    *m_gpu.lock() = start.elapsed();
+                }
+                ctx.barrier(SLOT);
+            },
+        )
+        .expect("broadcast launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
+/// Average raw MPI broadcast time with 8 ranks over 4 nodes.
+pub fn mpi_broadcast_time(size: usize, cost: CostModel, iters: usize) -> Duration {
+    let results = MpiWorld::run(&RankPlacement::block(4, 2), cost, move |mut comm| {
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            let mut data = if comm.rank() == 0 { vec![1u8; size] } else { Vec::new() };
+            comm.bcast(0, &mut data).unwrap();
+        }
+        let elapsed = start.elapsed();
+        comm.barrier().unwrap();
+        elapsed
+    });
+    results[0] / iters as u32
+}
+
+// ---------------------------------------------------------------------------
+// Barrier (Table 1)
+// ---------------------------------------------------------------------------
+
+/// Average DCGN barrier time for `nodes` nodes each contributing
+/// `cpus_per_node` CPU ranks and `gpus_per_node` single-slot GPU ranks.
+pub fn dcgn_barrier_time(
+    nodes: usize,
+    cpus_per_node: usize,
+    gpus_per_node: usize,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let config = DcgnConfig::heterogeneous(vec![
+        NodeConfig::new(cpus_per_node, gpus_per_node, 1);
+        nodes
+    ])
+    .with_cost(cost);
+    let runtime = Runtime::new(config).expect("barrier config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m_cpu = Arc::clone(&measured);
+    let m_gpu = Arc::clone(&measured);
+    let timer_is_cpu = cpus_per_node > 0;
+
+    runtime
+        .launch(
+            move |ctx| {
+                ctx.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    ctx.barrier().unwrap();
+                }
+                if ctx.rank() == 0 {
+                    *m_cpu.lock() = start.elapsed();
+                }
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                const SLOT: usize = 0;
+                ctx.barrier(SLOT);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    ctx.barrier(SLOT);
+                }
+                if !timer_is_cpu && ctx.rank(SLOT) == 0 {
+                    *m_gpu.lock() = start.elapsed();
+                }
+            },
+        )
+        .expect("barrier launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
+/// Average raw MPI barrier time for `nodes × ranks_per_node` ranks.
+pub fn mpi_barrier_time(
+    nodes: usize,
+    ranks_per_node: usize,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let results = MpiWorld::run(
+        &RankPlacement::block(nodes, ranks_per_node),
+        cost,
+        move |mut comm| {
+            comm.barrier().unwrap();
+            let start = Instant::now();
+            for _ in 0..iters {
+                comm.barrier().unwrap();
+            }
+            start.elapsed()
+        },
+    );
+    results[0] / iters as u32
+}
+
+/// Format a duration in the unit the paper uses for the given magnitude.
+pub fn format_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_duration_formatting() {
+        assert_eq!(format_size(0), "0 B");
+        assert_eq!(format_size(1 << 10), "1 kB");
+        assert_eq!(format_size(1 << 20), "1 MB");
+        assert_eq!(format_duration(Duration::from_micros(50)), "50.0 µs");
+        assert_eq!(format_duration(Duration::from_millis(2)), "2.00 ms");
+    }
+
+    #[test]
+    fn micro_harnesses_produce_nonzero_timings() {
+        let cost = CostModel::zero();
+        assert!(mpi_send_time(64, cost, 2) > Duration::ZERO);
+        assert!(dcgn_send_time(64, EndpointKind::Cpu, EndpointKind::Cpu, cost, 2) > Duration::ZERO);
+        assert!(mpi_barrier_time(2, 1, cost, 2) > Duration::ZERO);
+        assert!(dcgn_barrier_time(1, 2, 0, cost, 2) > Duration::ZERO);
+    }
+
+    #[test]
+    fn gpu_endpoints_are_slower_than_cpu_endpoints_under_cost_model() {
+        // The core qualitative claim of Figure 6: with the hardware cost
+        // model active, GPU-sourced sends cost more than CPU-sourced ones.
+        let cost = CostModel::g92_scaled(10.0);
+        let cpu = dcgn_send_time(1024, EndpointKind::Cpu, EndpointKind::Cpu, cost, 3);
+        let gpu = dcgn_send_time(1024, EndpointKind::Gpu, EndpointKind::Gpu, cost, 3);
+        assert!(gpu > cpu, "gpu {gpu:?} should exceed cpu {cpu:?}");
+    }
+}

@@ -1,0 +1,455 @@
+//! The per-process communication thread.
+//!
+//! Exactly one of these runs per DCGN process (per node).  It is the only
+//! thread that touches the MPI substrate — mirroring the paper's design for
+//! coping with non-thread-safe MPI implementations — and it services the
+//! work queue that CPU-kernel threads and GPU-kernel threads funnel their
+//! communication requests into.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use dcgn_rmpi::{Communicator, Request as MpiRequest};
+use dcgn_simtime::CostModel;
+
+use crate::error::{DcgnError, Result};
+use crate::message::{
+    decode_p2p, encode_p2p, CommCommand, CommStatus, Reply, Request, RequestKind,
+};
+use crate::rank::RankMap;
+
+/// A DCGN point-to-point message that arrived from another node (or was
+/// sourced locally) and has not yet been matched by a local receive.
+struct IncomingMsg {
+    src: usize,
+    dst: usize,
+    tag: u32,
+    data: Vec<u8>,
+    /// Reply channel of the local sender, for intra-node sends whose
+    /// completion is tied to the matching receive (paper §6.2: "Local sends
+    /// finish upon matching with a local receive").
+    local_sender: Option<Sender<Reply>>,
+}
+
+/// A local receive request that has not yet been matched.
+struct PendingRecv {
+    dst_rank: usize,
+    src: Option<usize>,
+    tag: u32,
+    reply_tx: Sender<Reply>,
+}
+
+/// The collective currently being assembled on this node.
+struct CollectiveAssembly {
+    name: &'static str,
+    root: usize,
+    /// `(rank, contributed data, reply channel)` for every joined local rank.
+    joined: Vec<(usize, Option<Vec<u8>>, Sender<Reply>)>,
+    kind: CollectiveKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CollectiveKind {
+    Barrier,
+    Broadcast,
+    Gather,
+}
+
+/// State and main loop of one node's communication thread.
+pub(crate) struct CommThread {
+    node: usize,
+    rank_map: Arc<RankMap>,
+    comm: Communicator,
+    work_rx: Receiver<CommCommand>,
+    cost: CostModel,
+
+    catchall: Option<MpiRequest>,
+    incoming: VecDeque<IncomingMsg>,
+    pending_recvs: Vec<PendingRecv>,
+    outstanding_isends: Vec<MpiRequest>,
+    active_collective: Option<CollectiveAssembly>,
+    local_done: bool,
+}
+
+impl CommThread {
+    pub(crate) fn new(
+        node: usize,
+        rank_map: Arc<RankMap>,
+        comm: Communicator,
+        work_rx: Receiver<CommCommand>,
+        cost: CostModel,
+    ) -> Self {
+        CommThread {
+            node,
+            rank_map,
+            comm,
+            work_rx,
+            cost,
+            catchall: None,
+            incoming: VecDeque::new(),
+            pending_recvs: Vec::new(),
+            outstanding_isends: Vec::new(),
+            active_collective: None,
+            local_done: false,
+        }
+    }
+
+    fn local_participants(&self) -> usize {
+        self.rank_map.ranks_on_node_count(self.node)
+    }
+
+    /// Main service loop.  Returns when all local kernels are done and no
+    /// work remains.
+    pub(crate) fn run(&mut self) -> Result<()> {
+        loop {
+            let mut did_work = false;
+
+            // 1. Drain the local work queue.
+            while let Ok(cmd) = self.work_rx.try_recv() {
+                self.handle_command(cmd)?;
+                did_work = true;
+            }
+
+            // 2. Progress the MPI substrate: harvest inter-node messages.
+            did_work |= self.progress_mpi()?;
+
+            // 3. Match local receives against arrived messages.
+            did_work |= self.match_point_to_point();
+
+            // 4. Run a node-level collective once every local rank joined.
+            did_work |= self.try_execute_collective()?;
+
+            // 5. Retire completed nonblocking sends.
+            self.reap_isends()?;
+
+            // 6. Shut down when the process is quiescent.
+            if self.local_done
+                && self.pending_recvs.is_empty()
+                && self.active_collective.is_none()
+                && self.outstanding_isends.is_empty()
+            {
+                // Synchronise teardown across nodes so no peer is left
+                // mid-transfer when this communicator goes away.
+                self.comm.barrier()?;
+                return Ok(());
+            }
+
+            // 7. Idle: block briefly on the work queue so the thread does not
+            //    spin (the comm thread's own sleep-based polling).
+            if !did_work {
+                match self.work_rx.recv_timeout(Duration::from_micros(200)) {
+                    Ok(cmd) => self.handle_command(cmd)?,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        // The runtime dropped its handles; treat it as a
+                        // shutdown signal so panicked launches still unwind.
+                        self.local_done = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_command(&mut self, cmd: CommCommand) -> Result<()> {
+        match cmd {
+            CommCommand::LocalKernelsDone => {
+                self.local_done = true;
+                // Every local kernel thread has returned, so nobody is left
+                // to join a half-assembled collective or to consume an
+                // unmatched receive; fail them now so shutdown cannot hang.
+                if let Some(assembly) = self.active_collective.take() {
+                    for (_, _, reply_tx) in assembly.joined {
+                        let _ = reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
+                    }
+                }
+                for recv in self.pending_recvs.drain(..) {
+                    let _ = recv.reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
+                }
+                Ok(())
+            }
+            CommCommand::Request(req) => self.handle_request(req),
+        }
+    }
+
+    fn handle_request(&mut self, req: Request) -> Result<()> {
+        // Receiving a request costs one hop through the thread-safe queue.
+        self.cost.charge_queue_hop();
+        if req.kind.is_collective() {
+            return self.join_collective(req);
+        }
+        match req.kind {
+            RequestKind::Send { dst, tag, data } => self.handle_send(req.src_rank, dst, tag, data, req.reply_tx),
+            RequestKind::Recv { src, tag } => {
+                self.pending_recvs.push(PendingRecv {
+                    dst_rank: req.src_rank,
+                    src,
+                    tag,
+                    reply_tx: req.reply_tx,
+                });
+                Ok(())
+            }
+            _ => unreachable!("collectives handled above"),
+        }
+    }
+
+    fn handle_send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: u32,
+        data: Vec<u8>,
+        reply_tx: Sender<Reply>,
+    ) -> Result<()> {
+        let Some(dst_node) = self.rank_map.node_of(dst) else {
+            let _ = reply_tx.send(Reply::Error(DcgnError::InvalidRank(dst)));
+            return Ok(());
+        };
+        if dst_node == self.node {
+            // Intra-node: no MPI involvement.  The message is held until a
+            // local receive matches it; the sender's completion is deferred
+            // until then (globally-synchronised intra-node semantics, §6.2).
+            self.incoming.push_back(IncomingMsg {
+                src,
+                dst,
+                tag,
+                data,
+                local_sender: Some(reply_tx),
+            });
+        } else {
+            // Inter-node: encode the DCGN envelope and hand it to MPI.  The
+            // MPI tag is the destination DCGN rank, which keeps messages for
+            // different local ranks separable on the receiving node.
+            let wire = encode_p2p(src, dst, tag, &data);
+            let mpi_req = self.comm.isend(dst_node, dst as u32, wire)?;
+            self.outstanding_isends.push(mpi_req);
+            // Remote sends complete once the data is handed to the MPI layer
+            // (buffered-send semantics).
+            let _ = reply_tx.send(Reply::SendDone);
+        }
+        Ok(())
+    }
+
+    /// Keep exactly one catch-all MPI receive posted; every completion is an
+    /// inter-node DCGN message destined for some local rank.
+    fn progress_mpi(&mut self) -> Result<bool> {
+        let mut did_work = false;
+        loop {
+            if self.catchall.is_none() {
+                self.catchall = Some(self.comm.irecv(None, None)?);
+            }
+            let req = self.catchall.expect("just ensured");
+            if !self.comm.test(req)? {
+                break;
+            }
+            let (wire, _status) = self
+                .comm
+                .take_recv(req)
+                .ok_or_else(|| DcgnError::Internal("catch-all recv vanished".into()))?;
+            self.catchall = None;
+            let (src, dst, tag, data) = decode_p2p(&wire)?;
+            self.incoming.push_back(IncomingMsg {
+                src,
+                dst,
+                tag,
+                data,
+                local_sender: None,
+            });
+            did_work = true;
+        }
+        Ok(did_work)
+    }
+
+    /// Match pending local receives against arrived messages, FIFO per
+    /// arrival order.
+    fn match_point_to_point(&mut self) -> bool {
+        let mut did_work = false;
+        let mut i = 0;
+        while i < self.pending_recvs.len() {
+            let recv = &self.pending_recvs[i];
+            let found = self.incoming.iter().position(|m| {
+                m.dst == recv.dst_rank
+                    && recv.src.map_or(true, |s| s == m.src)
+                    && recv.tag == m.tag
+            });
+            if let Some(idx) = found {
+                let msg = self.incoming.remove(idx).expect("index valid");
+                let recv = self.pending_recvs.remove(i);
+                // The local copy from the sender's buffer to the receiver's
+                // buffer (or staging buffer, for GPU-bound data).
+                self.cost.intra_node.charge(msg.data.len());
+                let status = CommStatus {
+                    source: msg.src,
+                    tag: msg.tag,
+                    len: msg.data.len(),
+                };
+                let _ = recv.reply_tx.send(Reply::RecvDone {
+                    data: msg.data,
+                    status,
+                });
+                if let Some(sender) = msg.local_sender {
+                    let _ = sender.send(Reply::SendDone);
+                }
+                did_work = true;
+            } else {
+                i += 1;
+            }
+        }
+        did_work
+    }
+
+    fn reap_isends(&mut self) -> Result<()> {
+        let mut i = 0;
+        while i < self.outstanding_isends.len() {
+            let req = self.outstanding_isends[i];
+            if self.comm.test(req)? {
+                self.comm.wait_send(req)?;
+                self.outstanding_isends.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    fn join_collective(&mut self, req: Request) -> Result<()> {
+        let name = req.kind.name();
+        let (kind, root, data) = match req.kind {
+            RequestKind::Barrier => (CollectiveKind::Barrier, 0, None),
+            RequestKind::Broadcast { root, data } => (CollectiveKind::Broadcast, root, data),
+            RequestKind::Gather { root, data } => (CollectiveKind::Gather, root, Some(data)),
+            _ => unreachable!("point-to-point handled elsewhere"),
+        };
+        if root >= self.rank_map.total_ranks() {
+            let _ = req.reply_tx.send(Reply::Error(DcgnError::InvalidRank(root)));
+            return Ok(());
+        }
+        match &mut self.active_collective {
+            None => {
+                self.active_collective = Some(CollectiveAssembly {
+                    name,
+                    root,
+                    joined: vec![(req.src_rank, data, req.reply_tx)],
+                    kind,
+                });
+            }
+            Some(assembly) => {
+                if assembly.kind != kind || assembly.root != root {
+                    let _ = req.reply_tx.send(Reply::Error(DcgnError::CollectiveMismatch {
+                        in_progress: assembly.name,
+                        requested: name,
+                    }));
+                    return Ok(());
+                }
+                assembly.joined.push((req.src_rank, data, req.reply_tx));
+            }
+        }
+        Ok(())
+    }
+
+    fn try_execute_collective(&mut self) -> Result<bool> {
+        let ready = self
+            .active_collective
+            .as_ref()
+            .map_or(false, |a| a.joined.len() == self.local_participants());
+        if !ready {
+            return Ok(false);
+        }
+        let assembly = self.active_collective.take().expect("checked above");
+        match assembly.kind {
+            CollectiveKind::Barrier => self.execute_barrier(assembly)?,
+            CollectiveKind::Broadcast => self.execute_broadcast(assembly)?,
+            CollectiveKind::Gather => self.execute_gather(assembly)?,
+        }
+        Ok(true)
+    }
+
+    fn execute_barrier(&mut self, assembly: CollectiveAssembly) -> Result<()> {
+        // All local ranks have joined; one node-level barrier finishes it.
+        self.comm.barrier()?;
+        for (_, _, reply_tx) in assembly.joined {
+            let _ = reply_tx.send(Reply::BarrierDone);
+        }
+        Ok(())
+    }
+
+    fn execute_broadcast(&mut self, assembly: CollectiveAssembly) -> Result<()> {
+        let root_node = self
+            .rank_map
+            .node_of(assembly.root)
+            .ok_or(DcgnError::InvalidRank(assembly.root))?;
+        // If the root is resident, its buffer seeds the MPI broadcast;
+        // otherwise an empty buffer receives the payload (§3.2.3).
+        let mut data = assembly
+            .joined
+            .iter()
+            .find(|(rank, _, _)| *rank == assembly.root)
+            .and_then(|(_, d, _)| d.clone())
+            .unwrap_or_default();
+        self.comm.bcast(root_node, &mut data)?;
+        // Local dispersal: one copy per non-root participant.
+        for (rank, _, reply_tx) in assembly.joined {
+            if rank != assembly.root {
+                self.cost.intra_node.charge(data.len());
+            }
+            let _ = reply_tx.send(Reply::BroadcastDone { data: clone_payload(&data) });
+        }
+        Ok(())
+    }
+
+    fn execute_gather(&mut self, assembly: CollectiveAssembly) -> Result<()> {
+        let root_node = self
+            .rank_map
+            .node_of(assembly.root)
+            .ok_or(DcgnError::InvalidRank(assembly.root))?;
+        // Encode this node's contributions as [rank u32][len u32][bytes]…
+        let mut blob = Vec::new();
+        for (rank, data, _) in &assembly.joined {
+            let data = data.as_deref().unwrap_or(&[]);
+            blob.extend_from_slice(&(*rank as u32).to_le_bytes());
+            blob.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            blob.extend_from_slice(data);
+        }
+        let node_blobs = self.comm.gatherv(root_node, &blob)?;
+        let result = match node_blobs {
+            Some(blobs) => {
+                let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
+                for blob in blobs {
+                    let mut off = 0;
+                    while off + 8 <= blob.len() {
+                        let rank = u32::from_le_bytes(blob[off..off + 4].try_into().unwrap())
+                            as usize;
+                        let len =
+                            u32::from_le_bytes(blob[off + 4..off + 8].try_into().unwrap())
+                                as usize;
+                        off += 8;
+                        if rank < per_rank.len() && off + len <= blob.len() {
+                            per_rank[rank] = blob[off..off + len].to_vec();
+                        }
+                        off += len;
+                    }
+                }
+                Some(per_rank)
+            }
+            None => None,
+        };
+        for (rank, _, reply_tx) in assembly.joined {
+            let payload = if rank == assembly.root {
+                result.clone()
+            } else {
+                None
+            };
+            let _ = reply_tx.send(Reply::GatherDone { data: payload });
+        }
+        Ok(())
+    }
+}
+
+fn clone_payload(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}

@@ -1,0 +1,210 @@
+//! Job configuration: how many CPU-kernel threads, GPUs, and slots per GPU
+//! each node contributes, plus the hardware cost model.
+
+use std::time::Duration;
+
+use dcgn_dpm::DeviceConfig;
+use dcgn_simtime::CostModel;
+
+use crate::error::{DcgnError, Result};
+
+/// Per-node resource request, mirroring the paper's example of "two CPU-kernel
+/// threads per node and two GPU-kernel threads per node".
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Number of CPU-kernel threads (each is one DCGN rank).
+    pub cpu_kernel_threads: usize,
+    /// Number of GPUs controlled by this node.
+    pub gpus: usize,
+    /// Number of slots each GPU is virtualised into (each slot is one DCGN
+    /// rank).
+    pub slots_per_gpu: usize,
+    /// Configuration of the simulated device backing each GPU.
+    pub device: DeviceConfig,
+}
+
+impl NodeConfig {
+    /// A node with `cpus` CPU-kernel threads and `gpus` GPUs of `slots` slots
+    /// each.
+    pub fn new(cpus: usize, gpus: usize, slots: usize) -> Self {
+        NodeConfig {
+            cpu_kernel_threads: cpus,
+            gpus,
+            slots_per_gpu: slots,
+            device: DeviceConfig::default(),
+        }
+    }
+
+    /// Number of DCGN ranks this node contributes: `Cn + Gn × Sn`.
+    pub fn ranks(&self) -> usize {
+        self.cpu_kernel_threads + self.gpus * self.slots_per_gpu
+    }
+
+    /// Builder-style override of the simulated device configuration.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+}
+
+/// Complete description of a DCGN job.
+#[derive(Debug, Clone)]
+pub struct DcgnConfig {
+    /// Per-node resource requests.
+    pub nodes: Vec<NodeConfig>,
+    /// Hardware cost model (PCI-e, network, polling interval, …).
+    pub cost: CostModel,
+    /// Number of blocks launched for each GPU kernel.  Defaults to the number
+    /// of slots so that block *b* naturally drives slot *b*; applications
+    /// with different geometry can override it.
+    pub gpu_grid_blocks: Option<usize>,
+    /// Number of logical threads per GPU block.
+    pub gpu_block_threads: usize,
+}
+
+impl DcgnConfig {
+    /// A homogeneous cluster: `num_nodes` nodes, each with `cpus` CPU-kernel
+    /// threads and `gpus` GPUs virtualised into `slots` slots.
+    pub fn homogeneous(num_nodes: usize, cpus: usize, gpus: usize, slots: usize) -> Self {
+        DcgnConfig {
+            nodes: vec![NodeConfig::new(cpus, gpus, slots); num_nodes],
+            cost: CostModel::zero(),
+            gpu_grid_blocks: None,
+            gpu_block_threads: 32,
+        }
+    }
+
+    /// An explicitly heterogeneous cluster.
+    pub fn heterogeneous(nodes: Vec<NodeConfig>) -> Self {
+        DcgnConfig {
+            nodes,
+            cost: CostModel::zero(),
+            gpu_grid_blocks: None,
+            gpu_block_threads: 32,
+        }
+    }
+
+    /// Builder-style override of the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style override of the GPU polling interval.
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.cost.poll_interval = interval;
+        self
+    }
+
+    /// Builder-style override of GPU kernel launch geometry.
+    pub fn with_gpu_geometry(mut self, grid_blocks: usize, block_threads: usize) -> Self {
+        self.gpu_grid_blocks = Some(grid_blocks);
+        self.gpu_block_threads = block_threads;
+        self
+    }
+
+    /// Builder-style override of the simulated device used on every node.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        for node in &mut self.nodes {
+            node.device = device.clone();
+        }
+        self
+    }
+
+    /// Number of nodes in the job.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of DCGN ranks across the job.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes.iter().map(NodeConfig::ranks).sum()
+    }
+
+    /// Validate the configuration before launch.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(DcgnError::InvalidConfig("job has no nodes".into()));
+        }
+        if self.total_ranks() == 0 {
+            return Err(DcgnError::InvalidConfig(
+                "job has no ranks (no CPU-kernel threads and no GPU slots)".into(),
+            ));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.gpus > 0 && node.slots_per_gpu == 0 {
+                return Err(DcgnError::InvalidConfig(format!(
+                    "node {i} requests {} GPUs with zero slots; every GPU needs at least one slot",
+                    node.gpus
+                )));
+            }
+            if node.gpus > 0 {
+                // The paper bounds slots by the number of concurrently
+                // executing threads; we bound by the device's resident-block
+                // capacity so that one block per slot can always be resident.
+                let max_slots = node.device.num_multiprocessors;
+                if node.slots_per_gpu > max_slots {
+                    return Err(DcgnError::InvalidConfig(format!(
+                        "node {i} requests {} slots per GPU but the device can only keep {max_slots} blocks resident",
+                        node.slots_per_gpu
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_rank_formula_matches_paper() {
+        // Cn + Gn * Sn
+        assert_eq!(NodeConfig::new(2, 2, 1).ranks(), 4);
+        assert_eq!(NodeConfig::new(0, 2, 4).ranks(), 8);
+        assert_eq!(NodeConfig::new(3, 0, 0).ranks(), 3);
+    }
+
+    #[test]
+    fn homogeneous_cluster_totals() {
+        let cfg = DcgnConfig::homogeneous(4, 2, 2, 1);
+        assert_eq!(cfg.num_nodes(), 4);
+        assert_eq!(cfg.total_ranks(), 16);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_job_is_rejected() {
+        let cfg = DcgnConfig::heterogeneous(vec![]);
+        assert!(cfg.validate().is_err());
+        let cfg = DcgnConfig::homogeneous(2, 0, 0, 0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn gpu_without_slots_is_rejected() {
+        let cfg = DcgnConfig::heterogeneous(vec![NodeConfig::new(1, 1, 0)]);
+        assert!(matches!(cfg.validate(), Err(DcgnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn too_many_slots_for_device_is_rejected() {
+        let device = DeviceConfig::default().with_multiprocessors(2);
+        let cfg =
+            DcgnConfig::heterogeneous(vec![NodeConfig::new(0, 1, 8).with_device(device)]);
+        assert!(matches!(cfg.validate(), Err(DcgnError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = DcgnConfig::homogeneous(1, 1, 1, 1)
+            .with_cost(CostModel::g92_cluster())
+            .with_poll_interval(Duration::from_micros(50))
+            .with_gpu_geometry(4, 64);
+        assert_eq!(cfg.cost.poll_interval, Duration::from_micros(50));
+        assert_eq!(cfg.gpu_grid_blocks, Some(4));
+        assert_eq!(cfg.gpu_block_threads, 64);
+    }
+}

@@ -1,0 +1,264 @@
+//! The host-side kernel API: the context handed to every CPU-kernel thread.
+//!
+//! This is the `dcgn::*` API of the paper's Figure 3: untagged `send`/`recv`
+//! plus collectives, all implemented by relaying requests to the node's
+//! communication thread over a thread-safe queue and blocking on the reply.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dcgn_simtime::CostModel;
+
+use crate::error::{DcgnError, Result};
+use crate::message::{CommCommand, CommStatus, Reply, Request, RequestKind};
+use crate::rank::RankMap;
+
+/// Execution context of one CPU-kernel thread (one DCGN rank).
+pub struct CpuCtx {
+    rank: usize,
+    rank_map: Arc<RankMap>,
+    work_tx: Sender<CommCommand>,
+    cost: CostModel,
+    request_timeout: Duration,
+}
+
+impl CpuCtx {
+    pub(crate) fn new(
+        rank: usize,
+        rank_map: Arc<RankMap>,
+        work_tx: Sender<CommCommand>,
+        cost: CostModel,
+        request_timeout: Duration,
+    ) -> Self {
+        CpuCtx {
+            rank,
+            rank_map,
+            work_tx,
+            cost,
+            request_timeout,
+        }
+    }
+
+    /// This thread's DCGN rank (the analogue of `dcgn::getRank()`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of DCGN ranks in the job.
+    pub fn size(&self) -> usize {
+        self.rank_map.total_ranks()
+    }
+
+    /// The node this rank runs on.
+    pub fn node(&self) -> usize {
+        self.rank_map.node_of(self.rank).expect("own rank is valid")
+    }
+
+    /// The job-wide rank map (useful for topology-aware applications).
+    pub fn rank_map(&self) -> &RankMap {
+        &self.rank_map
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank >= self.rank_map.total_ranks() {
+            Err(DcgnError::InvalidRank(rank))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Relay a request to the communication thread and return the reply
+    /// channel without waiting.
+    fn post(&self, kind: RequestKind) -> Result<Receiver<Reply>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        // Crossing the thread-safe work queue is one of the overheads the
+        // paper measures; charge it explicitly.
+        self.cost.charge_queue_hop();
+        self.work_tx
+            .send(CommCommand::Request(Request {
+                src_rank: self.rank,
+                kind,
+                reply_tx,
+            }))
+            .map_err(|_| DcgnError::ShuttingDown)?;
+        Ok(reply_rx)
+    }
+
+    fn wait(&self, reply_rx: &Receiver<Reply>, what: &'static str) -> Result<Reply> {
+        // The reply crosses the work queue in the other direction.
+        match reply_rx.recv_timeout(self.request_timeout) {
+            Ok(reply) => {
+                self.cost.charge_queue_hop();
+                Ok(reply)
+            }
+            Err(_) => Err(DcgnError::Internal(format!(
+                "rank {} timed out waiting for {what} completion",
+                self.rank
+            ))),
+        }
+    }
+
+    fn post_and_wait(&self, kind: RequestKind, what: &'static str) -> Result<Reply> {
+        let rx = self.post(kind)?;
+        self.wait(&rx, what)
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `data` to DCGN rank `dst` (untagged, like the paper's
+    /// `dcgn::send`).
+    pub fn send(&self, dst: usize, data: &[u8]) -> Result<()> {
+        self.send_tagged(dst, 0, data)
+    }
+
+    /// Send with an explicit tag (extension over the paper's API).
+    pub fn send_tagged(&self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
+        self.check_rank(dst)?;
+        match self.post_and_wait(
+            RequestKind::Send {
+                dst,
+                tag,
+                data: data.to_vec(),
+            },
+            "send",
+        )? {
+            Reply::SendDone => Ok(()),
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to send: {other:?}"
+            ))),
+        }
+    }
+
+    /// Receive a message from `src` (untagged).  Returns the payload and a
+    /// [`CommStatus`].
+    pub fn recv(&self, src: usize) -> Result<(Vec<u8>, CommStatus)> {
+        self.check_rank(src)?;
+        self.recv_tagged(Some(src), 0)
+    }
+
+    /// Receive from any rank (untagged).
+    pub fn recv_any(&self) -> Result<(Vec<u8>, CommStatus)> {
+        self.recv_tagged(None, 0)
+    }
+
+    /// Receive with an explicit source filter and tag (extension API).
+    pub fn recv_tagged(&self, src: Option<usize>, tag: u32) -> Result<(Vec<u8>, CommStatus)> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        match self.post_and_wait(RequestKind::Recv { src, tag }, "recv")? {
+            Reply::RecvDone { data, status } => Ok((data, status)),
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to recv: {other:?}"
+            ))),
+        }
+    }
+
+    /// Exchange buffers with two (possibly identical) partners: send `buf` to
+    /// `dst` and replace it with the message received from `src`.  The two
+    /// halves are posted together so symmetric exchanges cannot deadlock —
+    /// this is the call Cannon's algorithm uses in the paper.
+    pub fn sendrecv_replace(&self, buf: &mut Vec<u8>, dst: usize, src: usize) -> Result<CommStatus> {
+        self.check_rank(dst)?;
+        self.check_rank(src)?;
+        let send_rx = self.post(RequestKind::Send {
+            dst,
+            tag: 0,
+            data: buf.clone(),
+        })?;
+        let recv_rx = self.post(RequestKind::Recv {
+            src: Some(src),
+            tag: 0,
+        })?;
+        let recv_reply = self.wait(&recv_rx, "sendrecv_replace recv")?;
+        let send_reply = self.wait(&send_rx, "sendrecv_replace send")?;
+        match send_reply {
+            Reply::SendDone => {}
+            Reply::Error(e) => return Err(e),
+            other => {
+                return Err(DcgnError::Internal(format!(
+                    "unexpected reply to sendrecv_replace send: {other:?}"
+                )))
+            }
+        }
+        match recv_reply {
+            Reply::RecvDone { data, status } => {
+                *buf = data;
+                Ok(status)
+            }
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to sendrecv_replace recv: {other:?}"
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Barrier across every DCGN rank (CPU threads and GPU slots alike).
+    pub fn barrier(&self) -> Result<()> {
+        match self.post_and_wait(RequestKind::Barrier, "barrier")? {
+            Reply::BarrierDone => Ok(()),
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to barrier: {other:?}"
+            ))),
+        }
+    }
+
+    /// Broadcast from `root`.  On entry only the root's `data` matters; on
+    /// return every rank's `data` holds the root's bytes.
+    pub fn broadcast(&self, root: usize, data: &mut Vec<u8>) -> Result<()> {
+        self.check_rank(root)?;
+        let payload = if self.rank == root {
+            Some(std::mem::take(data))
+        } else {
+            None
+        };
+        match self.post_and_wait(RequestKind::Broadcast { root, data: payload }, "broadcast")? {
+            Reply::BroadcastDone { data: result } => {
+                *data = result;
+                Ok(())
+            }
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to broadcast: {other:?}"
+            ))),
+        }
+    }
+
+    /// Gather every rank's `data` at `root`.  Returns `Some(chunks)` indexed
+    /// by rank at the root and `None` elsewhere.
+    pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        self.check_rank(root)?;
+        match self.post_and_wait(
+            RequestKind::Gather {
+                root,
+                data: data.to_vec(),
+            },
+            "gather",
+        )? {
+            Reply::GatherDone { data } => Ok(data),
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to gather: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for CpuCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuCtx")
+            .field("rank", &self.rank)
+            .field("size", &self.rank_map.total_ranks())
+            .finish()
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the DCGN library.
+
+use std::fmt;
+
+/// Errors surfaced by DCGN operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcgnError {
+    /// A rank argument does not exist in the job.
+    InvalidRank(usize),
+    /// A slot index is outside the slots configured for the GPU.
+    InvalidSlot {
+        /// Slot requested by the kernel.
+        slot: usize,
+        /// Slots configured for the GPU.
+        configured: usize,
+    },
+    /// The configuration is structurally invalid (e.g. zero ranks).
+    InvalidConfig(String),
+    /// A communication buffer did not match expectations (e.g. a receive
+    /// buffer smaller than the incoming message).
+    Truncated {
+        /// Capacity of the receiving buffer.
+        buffer: usize,
+        /// Size of the matching message.
+        message: usize,
+    },
+    /// Ranks disagreed about which collective to execute.
+    CollectiveMismatch {
+        /// Collective already in progress on the node.
+        in_progress: &'static str,
+        /// Collective requested by the late rank.
+        requested: &'static str,
+    },
+    /// The runtime is shutting down and can no longer service requests.
+    ShuttingDown,
+    /// The underlying MPI substrate failed.
+    Mpi(String),
+    /// The underlying device simulator failed.
+    Device(String),
+    /// An internal invariant was violated (bug in DCGN itself).
+    Internal(String),
+}
+
+impl fmt::Display for DcgnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcgnError::InvalidRank(r) => write!(f, "invalid DCGN rank {r}"),
+            DcgnError::InvalidSlot { slot, configured } => {
+                write!(f, "invalid slot {slot} (GPU has {configured} slots)")
+            }
+            DcgnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DcgnError::Truncated { buffer, message } => write!(
+                f,
+                "receive buffer too small: {buffer} bytes for a {message}-byte message"
+            ),
+            DcgnError::CollectiveMismatch {
+                in_progress,
+                requested,
+            } => write!(
+                f,
+                "collective mismatch: node is executing {in_progress} but a rank requested {requested}"
+            ),
+            DcgnError::ShuttingDown => write!(f, "DCGN runtime is shutting down"),
+            DcgnError::Mpi(msg) => write!(f, "MPI substrate error: {msg}"),
+            DcgnError::Device(msg) => write!(f, "device error: {msg}"),
+            DcgnError::Internal(msg) => write!(f, "internal DCGN error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DcgnError {}
+
+impl From<dcgn_rmpi::RmpiError> for DcgnError {
+    fn from(e: dcgn_rmpi::RmpiError) -> Self {
+        DcgnError::Mpi(e.to_string())
+    }
+}
+
+impl From<dcgn_dpm::MemoryError> for DcgnError {
+    fn from(e: dcgn_dpm::MemoryError) -> Self {
+        DcgnError::Device(e.to_string())
+    }
+}
+
+/// Result alias for DCGN operations.
+pub type Result<T> = std::result::Result<T, DcgnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errors: Vec<DcgnError> = vec![
+            DcgnError::InvalidRank(3),
+            DcgnError::InvalidSlot {
+                slot: 9,
+                configured: 2,
+            },
+            DcgnError::InvalidConfig("no nodes".into()),
+            DcgnError::Truncated {
+                buffer: 1,
+                message: 2,
+            },
+            DcgnError::CollectiveMismatch {
+                in_progress: "barrier",
+                requested: "broadcast",
+            },
+            DcgnError::ShuttingDown,
+            DcgnError::Mpi("x".into()),
+            DcgnError::Device("y".into()),
+            DcgnError::Internal("z".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let mpi: DcgnError = dcgn_rmpi::RmpiError::InvalidRank(2).into();
+        assert!(matches!(mpi, DcgnError::Mpi(_)));
+        let dev: DcgnError = dcgn_dpm::MemoryError::InvalidFree(0).into();
+        assert!(matches!(dev, DcgnError::Device(_)));
+    }
+}

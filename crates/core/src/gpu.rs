@@ -1,0 +1,700 @@
+//! GPU-side communication: the per-slot mailbox protocol, the device-side
+//! kernel API (`dcgn::gpu::*` in the paper), and the host-side GPU-kernel
+//! thread that polls device memory and relays requests to the communication
+//! thread.
+//!
+//! The mechanism is the one described in §3.2.3: device-side `send`/`recv`
+//! calls "set regions of GPU memory that are monitored by a GPU-kernel
+//! thread.  When the memory is noticed, the request is obtained via
+//! `cudaMemcpyAsync`, handled, and the appropriate memory is set on the GPU
+//! to flag the GPU kernel, telling it to continue execution."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use dcgn_dpm::{BlockCtx, Device, DevicePtr, KernelHandle};
+use dcgn_simtime::CostModel;
+
+use crate::error::{DcgnError, Result};
+use crate::message::{CommCommand, CommStatus, Reply, Request, RequestKind};
+
+// ---------------------------------------------------------------------------
+// Mailbox layout
+// ---------------------------------------------------------------------------
+
+/// Bytes reserved in device memory for each slot's mailbox entry.
+pub const MAILBOX_ENTRY_BYTES: usize = 64;
+
+/// Mailbox status values (`status` word of an entry).
+pub mod status {
+    /// No request outstanding; the slot is free.
+    pub const EMPTY: u32 = 0;
+    /// The device has published a request and is waiting for the host.
+    pub const REQUESTED: u32 = 1;
+    /// The host has picked the request up and is working on it.
+    pub const IN_PROGRESS: u32 = 2;
+    /// The host has completed the request; results are in the entry.
+    pub const COMPLETE: u32 = 3;
+    /// A device block has claimed the slot and is still filling in fields.
+    pub const CLAIMED: u32 = 4;
+}
+
+/// Mailbox opcodes.
+pub mod opcode {
+    /// Point-to-point send.
+    pub const SEND: u32 = 1;
+    /// Point-to-point receive.
+    pub const RECV: u32 = 2;
+    /// Barrier.
+    pub const BARRIER: u32 = 3;
+    /// Broadcast.
+    pub const BROADCAST: u32 = 4;
+    /// Combined send + receive replacing the buffer in place
+    /// (the `MPI_Sendrecv_replace` analogue Cannon's algorithm uses).
+    pub const SENDRECV_REPLACE: u32 = 5;
+}
+
+/// Peer value meaning "any source".
+pub const PEER_ANY: u32 = u32::MAX;
+
+// Field offsets within a mailbox entry.
+const OFF_STATUS: usize = 0;
+const OFF_OPCODE: usize = 4;
+const OFF_PEER: usize = 8;
+const OFF_TAG: usize = 12;
+const OFF_DATA_PTR: usize = 16;
+const OFF_LEN: usize = 24;
+const OFF_RESULT_LEN: usize = 32;
+const OFF_RESULT_SRC: usize = 40;
+const OFF_ERROR: usize = 44;
+const OFF_PEER2: usize = 48;
+
+/// Error codes written into the `error` field of a mailbox entry.
+pub mod mailbox_error {
+    /// Request completed successfully.
+    pub const OK: u32 = 0;
+    /// The incoming message was larger than the device buffer.
+    pub const TRUNCATED: u32 = 1;
+    /// The peer rank was invalid.
+    pub const INVALID_RANK: u32 = 2;
+    /// The runtime was shutting down.
+    pub const SHUTDOWN: u32 = 3;
+    /// Any other failure.
+    pub const OTHER: u32 = 4;
+}
+
+// ---------------------------------------------------------------------------
+// Device-side API
+// ---------------------------------------------------------------------------
+
+/// Static, read-only description of one GPU shared by the host GPU-kernel
+/// thread and the kernels it launches.
+#[derive(Debug, Clone)]
+pub(crate) struct GpuLayout {
+    /// Node hosting the GPU.
+    pub node: usize,
+    /// Index of the GPU within the node.
+    pub gpu_index: usize,
+    /// Number of slots the GPU is virtualised into.
+    pub slots: usize,
+    /// DCGN rank of slot 0 (slots are consecutive).
+    pub slot_rank_base: usize,
+    /// Total DCGN ranks in the job.
+    pub total_ranks: usize,
+    /// Base device address of the mailbox array.
+    pub mailbox_base: DevicePtr,
+}
+
+/// The device-side communication context handed to DCGN GPU kernels
+/// (the `dcgn::gpu::*` API of the paper).
+///
+/// All payloads live in device global memory — "for communication, we have to
+/// use global memory; this is a byproduct of the memory system on the GPU" —
+/// so sends and receives take [`DevicePtr`] arguments.
+pub struct GpuCtx<'a> {
+    block: &'a BlockCtx,
+    layout: &'a GpuLayout,
+}
+
+impl<'a> GpuCtx<'a> {
+    pub(crate) fn new(block: &'a BlockCtx, layout: &'a GpuLayout) -> Self {
+        GpuCtx { block, layout }
+    }
+
+    /// The underlying block execution context (geometry, device memory
+    /// access, shared memory).
+    pub fn block(&self) -> &BlockCtx {
+        self.block
+    }
+
+    /// Number of slots configured for this GPU.
+    pub fn slots(&self) -> usize {
+        self.layout.slots
+    }
+
+    /// Total number of DCGN ranks in the job.
+    pub fn size(&self) -> usize {
+        self.layout.total_ranks
+    }
+
+    /// Node hosting this GPU.
+    pub fn node(&self) -> usize {
+        self.layout.node
+    }
+
+    /// Index of this GPU within its node.
+    pub fn gpu_index(&self) -> usize {
+        self.layout.gpu_index
+    }
+
+    /// The DCGN rank of `slot` on this GPU (the paper's
+    /// `dcgn::gpu::getRank(slotIdx)`).
+    pub fn rank(&self, slot: usize) -> usize {
+        assert!(
+            slot < self.layout.slots,
+            "slot {slot} out of range ({} slots configured)",
+            self.layout.slots
+        );
+        self.layout.slot_rank_base + slot
+    }
+
+    /// The slot whose rank equals this block's id, when the launch uses the
+    /// default one-block-per-slot geometry.
+    pub fn slot_for_block(&self) -> usize {
+        self.block.block_id() % self.layout.slots
+    }
+
+    fn entry(&self, slot: usize) -> DevicePtr {
+        assert!(
+            slot < self.layout.slots,
+            "slot {slot} out of range ({} slots configured)",
+            self.layout.slots
+        );
+        self.layout.mailbox_base.add(slot * MAILBOX_ENTRY_BYTES)
+    }
+
+    /// Claim a slot's mailbox (serialises concurrent blocks sharing a slot),
+    /// fill in a request, publish it, wait for completion and release the
+    /// mailbox.  Returns `(result_len, result_src, error)`.
+    fn transact(
+        &self,
+        slot: usize,
+        op: u32,
+        peer: u32,
+        peer2: u32,
+        tag: u32,
+        data_ptr: DevicePtr,
+        len: usize,
+    ) -> (usize, usize, u32) {
+        let entry = self.entry(slot);
+        let b = self.block;
+        // Claim the mailbox.
+        while b.atomic_cas_u32(entry.add(OFF_STATUS), status::EMPTY, status::CLAIMED)
+            != status::EMPTY
+        {
+            b.nap();
+        }
+        b.write_u32(entry.add(OFF_OPCODE), op);
+        b.write_u32(entry.add(OFF_PEER), peer);
+        b.write_u32(entry.add(OFF_PEER2), peer2);
+        b.write_u32(entry.add(OFF_TAG), tag);
+        b.write_u64(entry.add(OFF_DATA_PTR), data_ptr.offset() as u64);
+        b.write_u64(entry.add(OFF_LEN), len as u64);
+        b.write_u64(entry.add(OFF_RESULT_LEN), 0);
+        b.write_u32(entry.add(OFF_RESULT_SRC), 0);
+        b.write_u32(entry.add(OFF_ERROR), mailbox_error::OK);
+        // Publish the request; the host's polling loop will notice it.
+        b.write_u32(entry.add(OFF_STATUS), status::REQUESTED);
+        // Wait for the host to complete it.
+        b.wait_for_u32(entry.add(OFF_STATUS), status::COMPLETE);
+        let result_len = b.read_u64(entry.add(OFF_RESULT_LEN)) as usize;
+        let result_src = b.read_u32(entry.add(OFF_RESULT_SRC)) as usize;
+        let error = b.read_u32(entry.add(OFF_ERROR));
+        // Release the mailbox for the next request on this slot.
+        b.write_u32(entry.add(OFF_STATUS), status::EMPTY);
+        (result_len, result_src, error)
+    }
+
+    fn check(&self, error: u32, what: &str) {
+        if error != mailbox_error::OK {
+            panic!(
+                "dcgn::gpu::{what} failed on device {} block {}: mailbox error {error}",
+                self.block.device_id(),
+                self.block.block_id()
+            );
+        }
+    }
+
+    /// Send `len` bytes starting at device pointer `data` to DCGN rank `dst`
+    /// using `slot` (the paper's `dcgn::gpu::send`).
+    pub fn send(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) {
+        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, data, len);
+        self.check(err, "send");
+    }
+
+    /// Receive into `len` bytes of device memory at `data` from DCGN rank
+    /// `src` using `slot` (the paper's `dcgn::gpu::recv`).  Returns the
+    /// completion status.
+    pub fn recv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> CommStatus {
+        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, data, len);
+        self.check(err, "recv");
+        CommStatus {
+            source: from,
+            tag: 0,
+            len: got,
+        }
+    }
+
+    /// Receive from any rank.
+    pub fn recv_any(&self, slot: usize, data: DevicePtr, len: usize) -> CommStatus {
+        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, data, len);
+        self.check(err, "recv");
+        CommStatus {
+            source: from,
+            tag: 0,
+            len: got,
+        }
+    }
+
+    /// Barrier across every DCGN rank, entered by this slot.
+    pub fn barrier(&self, slot: usize) {
+        let (_, _, err) = self.transact(slot, opcode::BARRIER, 0, 0, 0, DevicePtr::NULL, 0);
+        self.check(err, "barrier");
+    }
+
+    /// Broadcast from DCGN rank `root`.  The slot whose rank is `root`
+    /// supplies `len` bytes at `data`; every other participant receives the
+    /// root's bytes into `data` (at most `len` bytes).  Returns the number of
+    /// bytes broadcast.
+    pub fn broadcast(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
+        let (got, _, err) = self.transact(slot, opcode::BROADCAST, root as u32, 0, 0, data, len);
+        self.check(err, "broadcast");
+        got
+    }
+
+    /// Send the `len` bytes at `data` to `dst` and replace them with the
+    /// message received from `src` (device-side `MPI_Sendrecv_replace`).
+    /// Both halves are relayed together, so symmetric exchanges (ring
+    /// rotations, Cannon's algorithm) cannot deadlock.
+    pub fn sendrecv_replace(
+        &self,
+        slot: usize,
+        dst: usize,
+        src: usize,
+        data: DevicePtr,
+        len: usize,
+    ) -> CommStatus {
+        let (got, from, err) = self.transact(
+            slot,
+            opcode::SENDRECV_REPLACE,
+            dst as u32,
+            src as u32,
+            0,
+            data,
+            len,
+        );
+        self.check(err, "sendrecv_replace");
+        CommStatus {
+            source: from,
+            tag: 0,
+            len: got,
+        }
+    }
+}
+
+/// Host-side context handed to the GPU setup and teardown hooks of
+/// [`crate::Runtime::launch_with_gpu_setup`].
+///
+/// CUDA kernels cannot manage device memory — "this must be handled by the
+/// CPU" — so applications allocate buffers and stage input data through this
+/// context (which runs on the GPU-kernel thread) before the kernel launches,
+/// and read results back after it retires.
+pub struct GpuSetupCtx<'a> {
+    pub(crate) device: &'a Device,
+    pub(crate) layout: &'a GpuLayout,
+}
+
+impl GpuSetupCtx<'_> {
+    /// The simulated device: allocate with [`Device::malloc`], stage data
+    /// with [`Device::memcpy_htod`], read results with
+    /// [`Device::memcpy_dtoh_vec`].
+    pub fn device(&self) -> &Device {
+        self.device
+    }
+
+    /// Node hosting this GPU.
+    pub fn node(&self) -> usize {
+        self.layout.node
+    }
+
+    /// Index of the GPU within its node.
+    pub fn gpu_index(&self) -> usize {
+        self.layout.gpu_index
+    }
+
+    /// Number of slots this GPU is virtualised into.
+    pub fn slots(&self) -> usize {
+        self.layout.slots
+    }
+
+    /// DCGN rank of `slot` on this GPU.
+    pub fn slot_rank(&self, slot: usize) -> usize {
+        assert!(slot < self.layout.slots, "slot {slot} out of range");
+        self.layout.slot_rank_base + slot
+    }
+
+    /// Total number of DCGN ranks in the job.
+    pub fn size(&self) -> usize {
+        self.layout.total_ranks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host-side GPU-kernel thread
+// ---------------------------------------------------------------------------
+
+/// Statistics describing one GPU-kernel thread's polling behaviour during a
+/// launch — used by the polling-interval ablation and by EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct GpuPollStats {
+    /// Node the GPU belongs to.
+    pub node: usize,
+    /// GPU index within the node.
+    pub gpu_index: usize,
+    /// Number of polling sweeps over the mailbox array.
+    pub polls: u64,
+    /// Number of communication requests relayed.
+    pub requests: u64,
+    /// Wall-clock time spent actively polling/copying (not sleeping).
+    pub busy: Duration,
+    /// Total wall-clock lifetime of the polling loop.
+    pub wall: Duration,
+}
+
+impl GpuPollStats {
+    /// Fraction of the polling loop's lifetime spent busy (0.0–1.0).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+struct PendingSlotOp {
+    /// Outstanding reply channels (two for `SENDRECV_REPLACE`, one
+    /// otherwise) and the replies already collected.
+    reply_rxs: Vec<Receiver<Reply>>,
+    replies: Vec<Reply>,
+    opcode: u32,
+    data_ptr: DevicePtr,
+    max_len: usize,
+}
+
+impl PendingSlotOp {
+    /// Poll the outstanding reply channels; returns true once every reply has
+    /// arrived.
+    fn poll(&mut self) -> bool {
+        let mut i = 0;
+        while i < self.reply_rxs.len() {
+            match self.reply_rxs[i].try_recv() {
+                Ok(reply) => {
+                    self.replies.push(reply);
+                    self.reply_rxs.swap_remove(i);
+                }
+                Err(_) => i += 1,
+            }
+        }
+        self.reply_rxs.is_empty()
+    }
+}
+
+/// The host-side driver of one GPU: launches the kernel, polls the mailbox
+/// region on a sleep-based interval, relays requests to the communication
+/// thread and writes completions back into device memory.
+pub(crate) struct GpuKernelThread {
+    pub device: Arc<Device>,
+    pub layout: GpuLayout,
+    pub work_tx: Sender<CommCommand>,
+    pub cost: CostModel,
+}
+
+impl GpuKernelThread {
+    /// Allocate and zero the mailbox array for `slots` slots on `device`.
+    pub fn allocate_mailboxes(device: &Device, slots: usize) -> Result<DevicePtr> {
+        let bytes = slots * MAILBOX_ENTRY_BYTES;
+        let ptr = device.malloc(bytes)?;
+        device.memcpy_htod(ptr, &vec![0u8; bytes])?;
+        Ok(ptr)
+    }
+
+    fn relay_request(&self, slot: usize, kind: RequestKind) -> Result<Receiver<Reply>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cost.charge_queue_hop();
+        self.work_tx
+            .send(CommCommand::Request(Request {
+                src_rank: self.layout.slot_rank_base + slot,
+                kind,
+                reply_tx,
+            }))
+            .map_err(|_| DcgnError::ShuttingDown)?;
+        Ok(reply_rx)
+    }
+
+    fn entry_ptr(&self, slot: usize) -> DevicePtr {
+        self.layout.mailbox_base.add(slot * MAILBOX_ENTRY_BYTES)
+    }
+
+    /// Decode a mailbox entry that is in `REQUESTED` state and relay it to
+    /// the communication thread.  Returns the pending-op bookkeeping.
+    fn pick_up_request(&self, slot: usize, entry_bytes: &[u8]) -> Result<PendingSlotOp> {
+        let read_u32 = |off: usize| {
+            u32::from_le_bytes(entry_bytes[off..off + 4].try_into().expect("4 bytes"))
+        };
+        let read_u64 = |off: usize| {
+            u64::from_le_bytes(entry_bytes[off..off + 8].try_into().expect("8 bytes"))
+        };
+        let op = read_u32(OFF_OPCODE);
+        let peer = read_u32(OFF_PEER);
+        let peer2 = read_u32(OFF_PEER2);
+        let tag = read_u32(OFF_TAG);
+        let data_ptr = DevicePtr::NULL.add(read_u64(OFF_DATA_PTR) as usize);
+        let len = read_u64(OFF_LEN) as usize;
+
+        let mut reply_rxs = Vec::with_capacity(2);
+        match op {
+            opcode::SEND => {
+                // The payload must be pulled from device memory over PCI-e
+                // before it can be handed to the communication thread.
+                let data = self.device.memcpy_dtoh_vec(data_ptr, len)?;
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Send {
+                        dst: peer as usize,
+                        tag,
+                        data,
+                    },
+                )?);
+            }
+            opcode::RECV => {
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Recv {
+                        src: if peer == PEER_ANY {
+                            None
+                        } else {
+                            Some(peer as usize)
+                        },
+                        tag,
+                    },
+                )?);
+            }
+            opcode::BARRIER => {
+                reply_rxs.push(self.relay_request(slot, RequestKind::Barrier)?);
+            }
+            opcode::BROADCAST => {
+                let root = peer as usize;
+                let my_rank = self.layout.slot_rank_base + slot;
+                let data = if my_rank == root {
+                    Some(self.device.memcpy_dtoh_vec(data_ptr, len)?)
+                } else {
+                    None
+                };
+                reply_rxs.push(self.relay_request(slot, RequestKind::Broadcast { root, data })?);
+            }
+            opcode::SENDRECV_REPLACE => {
+                // Two requests relayed together: the outbound copy of the
+                // buffer and the inbound replacement.
+                let data = self.device.memcpy_dtoh_vec(data_ptr, len)?;
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Send {
+                        dst: peer as usize,
+                        tag,
+                        data,
+                    },
+                )?);
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Recv {
+                        src: if peer2 == PEER_ANY {
+                            None
+                        } else {
+                            Some(peer2 as usize)
+                        },
+                        tag,
+                    },
+                )?);
+            }
+            other => {
+                return Err(DcgnError::Internal(format!(
+                    "unknown mailbox opcode {other} on slot {slot}"
+                )))
+            }
+        }
+        Ok(PendingSlotOp {
+            reply_rxs,
+            replies: Vec::new(),
+            opcode: op,
+            data_ptr,
+            max_len: len,
+        })
+    }
+
+    /// Write the collected replies of a completed slot operation back into
+    /// device memory and flip the mailbox to `COMPLETE`.
+    fn complete_request(&self, slot: usize, pending: &mut PendingSlotOp) -> Result<()> {
+        let entry = self.entry_ptr(slot);
+        let mut error = mailbox_error::OK;
+        let mut result_len = 0u64;
+        let mut result_src = 0u32;
+        for reply in pending.replies.drain(..) {
+            match reply {
+                Reply::SendDone | Reply::BarrierDone => {}
+                Reply::RecvDone { data, status } => {
+                    if data.len() > pending.max_len {
+                        error = mailbox_error::TRUNCATED;
+                    } else {
+                        self.device.memcpy_htod(pending.data_ptr, &data)?;
+                        result_len = data.len() as u64;
+                        result_src = status.source as u32;
+                    }
+                }
+                Reply::BroadcastDone { data } => {
+                    result_len = data.len() as u64;
+                    if pending.opcode == opcode::BROADCAST {
+                        if data.len() > pending.max_len {
+                            error = mailbox_error::TRUNCATED;
+                        } else {
+                            // The root already holds the payload; everyone
+                            // else needs it copied down over PCI-e.
+                            self.device.memcpy_htod(pending.data_ptr, &data)?;
+                        }
+                    }
+                }
+                Reply::GatherDone { .. } => {
+                    error = mailbox_error::OTHER;
+                }
+                Reply::Error(e) => {
+                    error = match e {
+                        DcgnError::Truncated { .. } => mailbox_error::TRUNCATED,
+                        DcgnError::InvalidRank(_) => mailbox_error::INVALID_RANK,
+                        DcgnError::ShuttingDown => mailbox_error::SHUTDOWN,
+                        _ => mailbox_error::OTHER,
+                    };
+                }
+            }
+        }
+        // Write results, then flip status to COMPLETE (separate word writes,
+        // like the real implementation's flag protocol).
+        let mut results = [0u8; 16];
+        results[0..8].copy_from_slice(&result_len.to_le_bytes());
+        results[8..12].copy_from_slice(&result_src.to_le_bytes());
+        results[12..16].copy_from_slice(&error.to_le_bytes());
+        self.device
+            .memcpy_htod(entry.add(OFF_RESULT_LEN), &results)?;
+        self.device.write_u32(entry.add(OFF_STATUS), status::COMPLETE)?;
+        Ok(())
+    }
+
+    /// Run the sleep-based polling loop until the kernel has retired and all
+    /// outstanding slot requests have been completed.
+    pub fn run(&self, handle: &KernelHandle) -> Result<GpuPollStats> {
+        let started = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut polls = 0u64;
+        let mut requests = 0u64;
+        let mut pending: HashMap<usize, PendingSlotOp> = HashMap::new();
+
+        loop {
+            // Sleep-based polling: the CPU deliberately yields between
+            // sweeps, trading latency for host CPU load (§3.2.3).
+            dcgn_simtime::precise_sleep(self.cost.poll_interval);
+            let sweep_start = Instant::now();
+            polls += 1;
+            let mut saw_request = false;
+
+            for slot in 0..self.layout.slots {
+                if let Some(op) = pending.get_mut(&slot) {
+                    // A request from this slot is with the comm thread; check
+                    // whether every part of it has completed.
+                    if op.poll() {
+                        self.cost.charge_queue_hop();
+                        let mut op = pending.remove(&slot).expect("just found");
+                        self.complete_request(slot, &mut op)?;
+                    }
+                    continue;
+                }
+                let entry = self.entry_ptr(slot);
+                // Poll the status word (one small PCI-e read per slot).
+                let st = self.device.read_u32(entry.add(OFF_STATUS))?;
+                if st == status::REQUESTED {
+                    saw_request = true;
+                    requests += 1;
+                    // Pull the whole entry, mark it in-progress, relay it.
+                    let bytes = self
+                        .device
+                        .memcpy_dtoh_vec(entry, MAILBOX_ENTRY_BYTES)?;
+                    self.device
+                        .write_u32(entry.add(OFF_STATUS), status::IN_PROGRESS)?;
+                    let op = self.pick_up_request(slot, &bytes)?;
+                    pending.insert(slot, op);
+                }
+            }
+            busy += sweep_start.elapsed();
+
+            if handle.is_done() && pending.is_empty() && !saw_request {
+                break;
+            }
+        }
+        Ok(GpuPollStats {
+            node: self.layout.node,
+            gpu_index: self.layout.gpu_index,
+            polls,
+            requests,
+            busy,
+            wall: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_entry_is_large_enough_for_all_fields() {
+        assert!(OFF_ERROR + 4 <= MAILBOX_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn poll_stats_busy_fraction() {
+        let stats = GpuPollStats {
+            node: 0,
+            gpu_index: 0,
+            polls: 10,
+            requests: 2,
+            busy: Duration::from_millis(25),
+            wall: Duration::from_millis(100),
+        };
+        assert!((stats.busy_fraction() - 0.25).abs() < 1e-9);
+        let empty = GpuPollStats {
+            wall: Duration::ZERO,
+            ..stats
+        };
+        assert_eq!(empty.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn mailbox_allocation_is_zeroed() {
+        let device = Device::new_default(0);
+        let ptr = GpuKernelThread::allocate_mailboxes(&device, 4).unwrap();
+        let bytes = device
+            .memcpy_dtoh_vec(ptr, 4 * MAILBOX_ENTRY_BYTES)
+            .unwrap();
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+}

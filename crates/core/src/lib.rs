@@ -1,0 +1,69 @@
+//! # DCGN — Distributed Computing on GPU Networks
+//!
+//! A reproduction of the message passing system described in *Message Passing
+//! on Data-Parallel Architectures* (Stuart & Owens, IPDPS 2009).  DCGN makes
+//! data-parallel devices (GPUs) first-class communication targets: GPU
+//! kernels can call `send`, `recv`, `barrier` and `broadcast` directly, with
+//! the host relaying requests between device memory and the MPI substrate.
+//!
+//! ## Key concepts
+//!
+//! * **Slots** ([`config::NodeConfig::slots_per_gpu`]): each GPU is
+//!   virtualised into one or more DCGN ranks, so the developer chooses the
+//!   granularity at which a device participates in communication.
+//! * **Rank assignment** ([`rank::RankMap`]): node *n* contributes
+//!   `Cn + Gn × Sn` consecutive ranks — CPU-kernel threads first, then GPU
+//!   slots in (gpu, slot) order.
+//! * **Communication thread** ([`runtime::Runtime`] internals): exactly one
+//!   thread per process touches MPI; CPU and GPU kernel threads relay
+//!   requests to it through thread-safe queues.
+//! * **Sleep-based polling** ([`gpu`]): the GPU cannot signal the host, so a
+//!   GPU-kernel thread polls per-slot mailboxes in device memory on a
+//!   configurable interval and writes completions back.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dcgn::{DcgnConfig, Runtime};
+//!
+//! // Two nodes, one CPU-kernel thread each: a two-rank CPU ping-pong.
+//! let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
+//! runtime
+//!     .launch_cpu_only(|ctx| {
+//!         if ctx.rank() == 0 {
+//!             ctx.send(1, b"ping").unwrap();
+//!             let (pong, _) = ctx.recv(1).unwrap();
+//!             assert_eq!(pong, b"pong");
+//!         } else {
+//!             let (ping, _) = ctx.recv(0).unwrap();
+//!             assert_eq!(ping, b"ping");
+//!             ctx.send(0, b"pong").unwrap();
+//!         }
+//!     })
+//!     .unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod error;
+pub mod gpu;
+pub mod message;
+pub mod rank;
+pub mod runtime;
+
+mod comm_thread;
+
+pub use config::{DcgnConfig, NodeConfig};
+pub use cpu::CpuCtx;
+pub use error::{DcgnError, Result};
+pub use gpu::{GpuCtx, GpuPollStats, GpuSetupCtx};
+pub use message::CommStatus;
+pub use rank::{RankKind, RankMap};
+pub use runtime::{LaunchReport, Runtime};
+
+// Re-export the pieces of the substrate crates that appear in the public API
+// so applications only need to depend on `dcgn`.
+pub use dcgn_dpm::{BlockCtx, Device, DeviceConfig, DevicePtr, Dim};
+pub use dcgn_simtime::{CostModel, LinkCost};

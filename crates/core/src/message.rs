@@ -1,0 +1,197 @@
+//! Internal request/reply plumbing between kernel threads and the
+//! communication thread, and the wire format of DCGN point-to-point messages
+//! exchanged between nodes.
+
+use crossbeam::channel::Sender;
+
+use crate::error::DcgnError;
+
+/// Completion information returned by DCGN receives (the analogue of the
+/// paper's `dcgn::CommStatus`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommStatus {
+    /// DCGN rank the message came from.
+    pub source: usize,
+    /// Tag the message was sent with (0 for the untagged API).
+    pub tag: u32,
+    /// Payload size in bytes.
+    pub len: usize,
+}
+
+/// Reply sent back to the requesting kernel thread when its communication
+/// request completes.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    /// A send has been accepted / delivered.
+    SendDone,
+    /// A receive completed with the given payload.
+    RecvDone {
+        /// Payload bytes.
+        data: Vec<u8>,
+        /// Completion metadata.
+        status: CommStatus,
+    },
+    /// A barrier completed.
+    BarrierDone,
+    /// A broadcast completed; every participant receives the root's bytes.
+    BroadcastDone {
+        /// The broadcast payload.
+        data: Vec<u8>,
+    },
+    /// A gather completed; `Some` (chunks indexed by rank) at the root,
+    /// `None` elsewhere.
+    GatherDone {
+        /// Gathered per-rank chunks at the root.
+        data: Option<Vec<Vec<u8>>>,
+    },
+    /// The request failed.
+    Error(DcgnError),
+}
+
+/// The kinds of communication request a kernel (CPU or GPU slot) can issue.
+#[derive(Debug)]
+pub(crate) enum RequestKind {
+    /// Point-to-point send.
+    Send {
+        dst: usize,
+        tag: u32,
+        data: Vec<u8>,
+    },
+    /// Point-to-point receive.
+    Recv { src: Option<usize>, tag: u32 },
+    /// Barrier across all DCGN ranks.
+    Barrier,
+    /// Broadcast from `root`; `data` is `Some` only at the root.
+    Broadcast { root: usize, data: Option<Vec<u8>> },
+    /// Gather to `root`; every rank contributes `data`.
+    Gather { root: usize, data: Vec<u8> },
+}
+
+impl RequestKind {
+    /// Short name used in collective-mismatch diagnostics.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Send { .. } => "send",
+            RequestKind::Recv { .. } => "recv",
+            RequestKind::Barrier => "barrier",
+            RequestKind::Broadcast { .. } => "broadcast",
+            RequestKind::Gather { .. } => "gather",
+        }
+    }
+
+    /// True for collective requests (which must be joined by every rank on
+    /// the node before the node-level operation runs).
+    pub(crate) fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            RequestKind::Barrier | RequestKind::Broadcast { .. } | RequestKind::Gather { .. }
+        )
+    }
+}
+
+/// A communication request relayed to the node's communication thread.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// DCGN rank issuing the request.
+    pub src_rank: usize,
+    /// What is being requested.
+    pub kind: RequestKind,
+    /// Where to deliver the completion.
+    pub reply_tx: Sender<Reply>,
+}
+
+/// Commands accepted by the communication thread's work queue.
+#[derive(Debug)]
+pub(crate) enum CommCommand {
+    /// A communication request from a local kernel.
+    Request(Request),
+    /// All kernel threads of this process have finished; drain and shut down.
+    LocalKernelsDone,
+}
+
+// ---------------------------------------------------------------------------
+// Wire format of inter-node DCGN point-to-point messages.
+// ---------------------------------------------------------------------------
+
+/// Header prepended to every inter-node point-to-point payload:
+/// `[src u32][dst u32][tag u32][reserved u32]`.
+pub(crate) const P2P_HEADER_BYTES: usize = 16;
+
+/// Encode a DCGN point-to-point message for transport through the node-level
+/// MPI substrate.
+pub(crate) fn encode_p2p(src: usize, dst: usize, tag: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(P2P_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(src as u32).to_le_bytes());
+    out.extend_from_slice(&(dst as u32).to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode an inter-node DCGN point-to-point message.
+pub(crate) fn decode_p2p(wire: &[u8]) -> Result<(usize, usize, u32, Vec<u8>), DcgnError> {
+    if wire.len() < P2P_HEADER_BYTES {
+        return Err(DcgnError::Internal(format!(
+            "short point-to-point frame: {} bytes",
+            wire.len()
+        )));
+    }
+    let src = u32::from_le_bytes(wire[0..4].try_into().expect("4 bytes")) as usize;
+    let dst = u32::from_le_bytes(wire[4..8].try_into().expect("4 bytes")) as usize;
+    let tag = u32::from_le_bytes(wire[8..12].try_into().expect("4 bytes"));
+    Ok((src, dst, tag, wire[P2P_HEADER_BYTES..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_roundtrip() {
+        let payload: Vec<u8> = (0..100u8).collect();
+        let wire = encode_p2p(3, 11, 42, &payload);
+        assert_eq!(wire.len(), P2P_HEADER_BYTES + 100);
+        let (src, dst, tag, data) = decode_p2p(&wire).unwrap();
+        assert_eq!((src, dst, tag), (3, 11, 42));
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let wire = encode_p2p(0, 1, 0, &[]);
+        let (src, dst, tag, data) = decode_p2p(&wire).unwrap();
+        assert_eq!((src, dst, tag), (0, 1, 0));
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn short_frame_is_rejected() {
+        assert!(decode_p2p(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn request_kind_names_and_collective_flag() {
+        assert_eq!(
+            RequestKind::Send {
+                dst: 0,
+                tag: 0,
+                data: vec![]
+            }
+            .name(),
+            "send"
+        );
+        assert!(!RequestKind::Recv { src: None, tag: 0 }.is_collective());
+        assert!(RequestKind::Barrier.is_collective());
+        assert!(RequestKind::Broadcast {
+            root: 0,
+            data: None
+        }
+        .is_collective());
+        assert!(RequestKind::Gather {
+            root: 0,
+            data: vec![]
+        }
+        .is_collective());
+    }
+}

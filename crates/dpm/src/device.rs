@@ -1,0 +1,568 @@
+//! The simulated device: multiprocessors, kernel launch, and the host-side
+//! memory transfer API.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use dcgn_simtime::{CostModel, VirtualBus};
+
+use crate::kernel::{BlockCtx, Dim};
+use crate::memory::{DeviceMemory, DevicePtr, MemoryError};
+
+/// Static description of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Number of multiprocessors.  Each multiprocessor executes one block at
+    /// a time, to completion.
+    pub num_multiprocessors: usize,
+    /// Size of device global memory in bytes.
+    pub memory_bytes: usize,
+    /// Marketing name, used in traces only.
+    pub name: String,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        // A deliberately small stand-in for a G92-class part: enough
+        // multiprocessors to expose block-scheduling behaviour without
+        // swamping a small simulation host with threads.
+        DeviceConfig {
+            num_multiprocessors: 4,
+            memory_bytes: 64 << 20,
+            name: "SimG92".to_string(),
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Builder-style override of the multiprocessor count.
+    pub fn with_multiprocessors(mut self, n: usize) -> Self {
+        self.num_multiprocessors = n.max(1);
+        self
+    }
+
+    /// Builder-style override of the device memory size.
+    pub fn with_memory_bytes(mut self, bytes: usize) -> Self {
+        self.memory_bytes = bytes;
+        self
+    }
+}
+
+/// Errors reported when waiting on a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// One or more blocks faulted (panicked); the message of the first fault
+    /// is preserved.
+    BlockFault(String),
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::BlockFault(msg) => write!(f, "kernel block fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+struct LaunchState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    fault: Mutex<Option<String>>,
+}
+
+impl LaunchState {
+    fn new(blocks: usize) -> Self {
+        LaunchState {
+            remaining: Mutex::new(blocks),
+            done: Condvar::new(),
+            fault: Mutex::new(None),
+        }
+    }
+
+    fn block_finished(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn record_fault(&self, msg: String) {
+        let mut fault = self.fault.lock();
+        if fault.is_none() {
+            *fault = Some(msg);
+        }
+    }
+}
+
+/// Handle returned by [`Device::launch`]; waits for all blocks of a kernel to
+/// retire.
+pub struct KernelHandle {
+    state: Arc<LaunchState>,
+}
+
+impl KernelHandle {
+    /// Block until every block of the launch has completed.
+    pub fn wait(&self) -> Result<(), KernelError> {
+        let mut remaining = self.state.remaining.lock();
+        while *remaining > 0 {
+            self.state.done.wait(&mut remaining);
+        }
+        drop(remaining);
+        match self.state.fault.lock().clone() {
+            Some(msg) => Err(KernelError::BlockFault(msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`.
+    /// Returns `true` when the kernel finished within the timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut remaining = self.state.remaining.lock();
+        while *remaining > 0 {
+            if self.state.done.wait_until(&mut remaining, deadline).timed_out() {
+                return *remaining == 0;
+            }
+        }
+        true
+    }
+
+    /// True once every block has retired.
+    pub fn is_done(&self) -> bool {
+        *self.state.remaining.lock() == 0
+    }
+}
+
+type BlockClosure = Arc<dyn Fn(&BlockCtx) + Send + Sync + 'static>;
+
+struct BlockTask {
+    kernel: BlockClosure,
+    block_id: usize,
+    grid_dim: Dim,
+    block_dim: Dim,
+    device_id: usize,
+    memory: Arc<DeviceMemory>,
+    state: Arc<LaunchState>,
+}
+
+enum SmMessage {
+    Run(BlockTask),
+    Shutdown,
+}
+
+/// A simulated data-parallel device.
+///
+/// The host interacts with the device exclusively through this type: memory
+/// allocation, host↔device copies (which pay the PCI-e cost and serialise on
+/// the device's PCI-e link), and kernel launches.  Kernels themselves receive
+/// a [`BlockCtx`] and access device memory directly.
+pub struct Device {
+    id: usize,
+    config: DeviceConfig,
+    memory: Arc<DeviceMemory>,
+    pcie: Arc<VirtualBus>,
+    cost: CostModel,
+    sm_tx: Sender<SmMessage>,
+    sm_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shutdown: AtomicBool,
+}
+
+impl Device {
+    /// Create a device with `id` and the given configuration and cost model.
+    pub fn new(id: usize, config: DeviceConfig, cost: CostModel) -> Arc<Self> {
+        let memory = Arc::new(DeviceMemory::new(config.memory_bytes));
+        let (sm_tx, sm_rx) = unbounded::<SmMessage>();
+        let device = Arc::new(Device {
+            id,
+            pcie: Arc::new(VirtualBus::new(format!("pcie-dev{id}"), cost.pcie)),
+            memory,
+            cost,
+            sm_tx,
+            sm_threads: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let mut threads = Vec::new();
+        for sm in 0..device.config.num_multiprocessors {
+            let rx = sm_rx.clone();
+            let name = format!("dev{id}-sm{sm}");
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || Self::sm_worker(rx))
+                    .expect("failed to spawn multiprocessor worker"),
+            );
+        }
+        *device.sm_threads.lock() = threads;
+        device
+    }
+
+    /// Create a device with default configuration and a zero-cost model
+    /// (handy in tests).
+    pub fn new_default(id: usize) -> Arc<Self> {
+        Self::new(id, DeviceConfig::default(), CostModel::zero())
+    }
+
+    fn sm_worker(rx: Receiver<SmMessage>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                SmMessage::Shutdown => break,
+                SmMessage::Run(task) => {
+                    let ctx = BlockCtx {
+                        memory: Arc::clone(&task.memory),
+                        block_id: task.block_id,
+                        grid_dim: task.grid_dim,
+                        block_dim: task.block_dim,
+                        device_id: task.device_id,
+                        shared: Mutex::new(Vec::new()),
+                    };
+                    let kernel = Arc::clone(&task.kernel);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        kernel(&ctx);
+                    }));
+                    if let Err(panic) = result {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "unknown block fault".to_string());
+                        task.state.record_fault(msg);
+                    }
+                    task.state.block_finished();
+                }
+            }
+        }
+    }
+
+    /// Device identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of multiprocessors (the maximum number of concurrently resident
+    /// blocks).
+    pub fn num_multiprocessors(&self) -> usize {
+        self.config.num_multiprocessors
+    }
+
+    /// Total device memory in bytes.
+    pub fn memory_capacity(&self) -> usize {
+        self.memory.capacity()
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn memory_allocated(&self) -> usize {
+        self.memory.allocated_bytes()
+    }
+
+    /// The cost model this device was created with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The device's PCI-e link (shared with async copy streams).
+    pub(crate) fn pcie(&self) -> Arc<VirtualBus> {
+        Arc::clone(&self.pcie)
+    }
+
+    pub(crate) fn memory_arc(&self) -> Arc<DeviceMemory> {
+        Arc::clone(&self.memory)
+    }
+
+    // ---- host-side memory API ----
+
+    /// Allocate `size` bytes of device memory.
+    pub fn malloc(&self, size: usize) -> Result<DevicePtr, MemoryError> {
+        self.memory.malloc(size)
+    }
+
+    /// Release a device allocation.
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), MemoryError> {
+        self.memory.free(ptr)
+    }
+
+    /// Copy host memory to the device (blocking, pays the PCI-e cost).
+    pub fn memcpy_htod(&self, dst: DevicePtr, src: &[u8]) -> Result<(), MemoryError> {
+        self.pcie.transfer(src.len());
+        self.memory.write(dst, src)
+    }
+
+    /// Copy device memory to the host (blocking, pays the PCI-e cost).
+    pub fn memcpy_dtoh(&self, dst: &mut [u8], src: DevicePtr) -> Result<(), MemoryError> {
+        self.pcie.transfer(dst.len());
+        self.memory.read(src, dst)
+    }
+
+    /// Copy device memory to a freshly allocated host vector.
+    pub fn memcpy_dtoh_vec(&self, src: DevicePtr, len: usize) -> Result<Vec<u8>, MemoryError> {
+        let mut out = vec![0u8; len];
+        self.memcpy_dtoh(&mut out, src)?;
+        Ok(out)
+    }
+
+    /// Device-to-device copy (no PCI-e crossing).
+    pub fn memcpy_dtod(
+        &self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        len: usize,
+    ) -> Result<(), MemoryError> {
+        self.memory.copy_within(src, dst, len)
+    }
+
+    /// Read a single `u32` from device memory, paying the PCI-e latency.
+    /// This is the primitive the DCGN GPU-kernel thread uses when polling
+    /// mailbox headers.
+    pub fn read_u32(&self, ptr: DevicePtr) -> Result<u32, MemoryError> {
+        self.pcie.transfer(4);
+        self.memory.read_u32(ptr)
+    }
+
+    /// Write a single `u32` to device memory, paying the PCI-e latency.
+    pub fn write_u32(&self, ptr: DevicePtr, value: u32) -> Result<(), MemoryError> {
+        self.pcie.transfer(4);
+        self.memory.write_u32(ptr, value)
+    }
+
+    // ---- kernel launch ----
+
+    /// Launch a kernel as a grid of `grid_dim` blocks of `block_dim` logical
+    /// threads.  Returns immediately with a [`KernelHandle`]; blocks are
+    /// scheduled onto multiprocessors in order and each runs to completion.
+    pub fn launch<F>(
+        &self,
+        grid_dim: impl Into<Dim>,
+        block_dim: impl Into<Dim>,
+        kernel: F,
+    ) -> KernelHandle
+    where
+        F: Fn(&BlockCtx) + Send + Sync + 'static,
+    {
+        let grid_dim = grid_dim.into();
+        let block_dim = block_dim.into();
+        let blocks = grid_dim.total().max(1);
+        self.cost.charge_kernel_launch();
+        let state = Arc::new(LaunchState::new(blocks));
+        let kernel: BlockClosure = Arc::new(kernel);
+        for block_id in 0..blocks {
+            let task = BlockTask {
+                kernel: Arc::clone(&kernel),
+                block_id,
+                grid_dim,
+                block_dim,
+                device_id: self.id,
+                memory: Arc::clone(&self.memory),
+                state: Arc::clone(&state),
+            };
+            self.sm_tx
+                .send(SmMessage::Run(task))
+                .expect("device multiprocessor pool is gone");
+        }
+        KernelHandle { state }
+    }
+
+    /// Launch a kernel and wait for it to finish.
+    pub fn launch_sync<F>(
+        &self,
+        grid_dim: impl Into<Dim>,
+        block_dim: impl Into<Dim>,
+        kernel: F,
+    ) -> Result<(), KernelError>
+    where
+        F: Fn(&BlockCtx) + Send + Sync + 'static,
+    {
+        self.launch(grid_dim, block_dim, kernel).wait()
+    }
+}
+
+impl Drop for Device {
+    fn drop(&mut self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            for _ in 0..self.config.num_multiprocessors {
+                let _ = self.sm_tx.send(SmMessage::Shutdown);
+            }
+            for handle in self.sm_threads.lock().drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("id", &self.id)
+            .field("name", &self.config.name)
+            .field("multiprocessors", &self.config.num_multiprocessors)
+            .field("memory_bytes", &self.config.memory_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn htod_dtoh_roundtrip() {
+        let dev = Device::new_default(0);
+        let ptr = dev.malloc(256).unwrap();
+        let payload: Vec<u8> = (0..=255u8).collect();
+        dev.memcpy_htod(ptr, &payload).unwrap();
+        assert_eq!(dev.memcpy_dtoh_vec(ptr, 256).unwrap(), payload);
+        dev.free(ptr).unwrap();
+    }
+
+    #[test]
+    fn kernel_sees_all_blocks() {
+        let dev = Device::new_default(0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        dev.launch_sync(8, 32, move |ctx| {
+            assert!(ctx.block_id() < 8);
+            assert_eq!(ctx.grid_dim().total(), 8);
+            assert_eq!(ctx.threads_per_block(), 32);
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn kernel_writes_device_memory_visible_to_host() {
+        let dev = Device::new_default(0);
+        let ptr = dev.malloc(4 * 16).unwrap();
+        dev.launch_sync(16, 1, move |ctx| {
+            ctx.write_u32(ptr.add(4 * ctx.block_id()), ctx.block_id() as u32 * 3);
+        })
+        .unwrap();
+        for i in 0..16 {
+            assert_eq!(dev.read_u32(ptr.add(4 * i)).unwrap(), i as u32 * 3);
+        }
+    }
+
+    #[test]
+    fn block_fault_is_reported() {
+        let dev = Device::new_default(0);
+        let err = dev
+            .launch_sync(2, 1, |ctx| {
+                if ctx.block_id() == 1 {
+                    panic!("intentional fault");
+                }
+            })
+            .unwrap_err();
+        let KernelError::BlockFault(msg) = err;
+        assert!(msg.contains("intentional fault"));
+    }
+
+    #[test]
+    fn more_blocks_than_multiprocessors_complete() {
+        let dev = Device::new(
+            0,
+            DeviceConfig::default().with_multiprocessors(2),
+            CostModel::zero(),
+        );
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        dev.launch_sync(20, 1, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn blocks_run_to_completion_can_deadlock_when_oversubscribed() {
+        // Reproduces the scheduling hazard described in §3.2.4 of the paper:
+        // with 1 multiprocessor and 2 blocks where block 0 waits for a flag
+        // that only block 1 would set, the kernel cannot make progress until
+        // the host intervenes.
+        let dev = Device::new(
+            0,
+            DeviceConfig::default().with_multiprocessors(1),
+            CostModel::zero(),
+        );
+        let flag = dev.malloc(4).unwrap();
+        dev.memcpy_htod(flag, &0u32.to_le_bytes()).unwrap();
+        let handle = dev.launch(2, 1, move |ctx| {
+            if ctx.block_id() == 0 {
+                ctx.wait_for_u32(flag, 1);
+            } else {
+                ctx.write_u32(flag, 1);
+            }
+        });
+        // The kernel is stuck: block 1 can never be scheduled.
+        assert!(!handle.wait_timeout(Duration::from_millis(150)));
+        // The host breaks the deadlock by setting the flag itself (this is
+        // exactly the kind of intervention DCGN's GPU-kernel thread performs).
+        dev.write_u32(flag, 1).unwrap();
+        assert!(handle.wait_timeout(Duration::from_secs(5)));
+        handle.wait().unwrap();
+    }
+
+    #[test]
+    fn concurrent_blocks_use_multiple_multiprocessors() {
+        // With 2 multiprocessors, two blocks that rendezvous through device
+        // memory can complete only if they run concurrently.
+        let dev = Device::new(
+            0,
+            DeviceConfig::default().with_multiprocessors(2),
+            CostModel::zero(),
+        );
+        let flags = dev.malloc(8).unwrap();
+        dev.memcpy_htod(flags, &[0u8; 8]).unwrap();
+        dev.launch_sync(2, 1, move |ctx| {
+            let mine = flags.add(4 * ctx.block_id());
+            let theirs = flags.add(4 * (1 - ctx.block_id()));
+            ctx.write_u32(mine, 1);
+            ctx.wait_for_u32(theirs, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pcie_cost_is_charged_for_host_copies() {
+        let mut cost = CostModel::zero();
+        cost.pcie = dcgn_simtime::LinkCost::from_us_and_mbps(300, 1e9);
+        let dev = Device::new(0, DeviceConfig::default(), cost);
+        let ptr = dev.malloc(64).unwrap();
+        let start = std::time::Instant::now();
+        dev.memcpy_htod(ptr, &[0u8; 64]).unwrap();
+        dev.memcpy_dtoh_vec(ptr, 64).unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(600));
+    }
+
+    #[test]
+    fn memory_accounting_tracks_allocations() {
+        let dev = Device::new_default(1);
+        assert_eq!(dev.memory_allocated(), 0);
+        let p = dev.malloc(1024).unwrap();
+        assert!(dev.memory_allocated() >= 1024);
+        dev.free(p).unwrap();
+        assert_eq!(dev.memory_allocated(), 0);
+        assert_eq!(dev.id(), 1);
+    }
+
+    #[test]
+    fn dtod_copy_does_not_touch_host() {
+        let dev = Device::new_default(0);
+        let a = dev.malloc(128).unwrap();
+        let b = dev.malloc(128).unwrap();
+        dev.memcpy_htod(a, &[9u8; 128]).unwrap();
+        dev.memcpy_dtod(b, a, 128).unwrap();
+        assert_eq!(dev.memcpy_dtoh_vec(b, 128).unwrap(), vec![9u8; 128]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! The algorithms mirror those of a production MPI: dissemination barrier,
+//! binomial-tree broadcast and reduce, linear scatter/gather (with vector
+//! variants), ring allgather and pairwise all-to-all.  All internal traffic
+//! uses tags at or above [`crate::comm::TAG_INTERNAL_BASE`] so it can never
+//! be stolen by user wildcard receives.
+
+use crate::comm::{Communicator, TAG_INTERNAL_BASE};
+use crate::packet::RmpiError;
+use crate::typed::{bytes_to_f64s, f64s_to_bytes};
+use crate::Result;
+
+const TAG_BARRIER: u32 = TAG_INTERNAL_BASE + 0x100;
+const TAG_BCAST: u32 = TAG_INTERNAL_BASE + 0x200;
+const TAG_GATHER: u32 = TAG_INTERNAL_BASE + 0x300;
+const TAG_SCATTER: u32 = TAG_INTERNAL_BASE + 0x400;
+const TAG_ALLGATHER: u32 = TAG_INTERNAL_BASE + 0x500;
+const TAG_ALLTOALL: u32 = TAG_INTERNAL_BASE + 0x600;
+const TAG_REDUCE: u32 = TAG_INTERNAL_BASE + 0x700;
+
+/// Element-wise reduction operators for the typed reduce/allreduce helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(&self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len());
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = match self {
+                ReduceOp::Sum => *a + *b,
+                ReduceOp::Min => a.min(*b),
+                ReduceOp::Max => a.max(*b),
+            };
+        }
+    }
+}
+
+impl Communicator {
+    fn check_root(&self, root: usize) -> Result<()> {
+        if root >= self.size() {
+            Err(RmpiError::InvalidRank(root))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Synchronise every rank (dissemination algorithm, `⌈log₂ P⌉` rounds).
+    pub fn barrier(&mut self) -> Result<()> {
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        let rank = self.rank();
+        let mut step = 0u32;
+        let mut dist = 1usize;
+        while dist < size {
+            let to = (rank + dist) % size;
+            let from = (rank + size - dist) % size;
+            let tag = TAG_BARRIER + step;
+            self.sendrecv(to, tag, &[], Some(from), Some(tag))?;
+            dist <<= 1;
+            step += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root` to every rank (binomial tree).  On entry
+    /// only the root's `data` matters; on return every rank holds the root's
+    /// bytes.
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) -> Result<()> {
+        self.check_root(root)?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        let rank = self.rank();
+        let relative = (rank + size - root) % size;
+
+        // Receive from the parent (non-root ranks only).
+        let mut mask = 1usize;
+        while mask < size {
+            if relative & mask != 0 {
+                let src = (rank + size - mask) % size;
+                let (bytes, _) = self.recv(Some(src), Some(TAG_BCAST))?;
+                *data = bytes;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < size {
+                let dst = (rank + mask) % size;
+                self.send(dst, TAG_BCAST, data)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Gather per-rank buffers of possibly different sizes at `root`.
+    /// Returns `Some(contributions)` (indexed by rank) at the root, `None`
+    /// elsewhere.
+    pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        self.check_root(root)?;
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+            out[root] = data.to_vec();
+            // Post all receives up front so arrival order does not matter.
+            let mut reqs = Vec::new();
+            for src in (0..size).filter(|&s| s != root) {
+                reqs.push((src, self.irecv(Some(src), Some(TAG_GATHER))?));
+            }
+            let only_reqs: Vec<_> = reqs.iter().map(|(_, r)| *r).collect();
+            self.wait_all(&only_reqs)?;
+            for (src, req) in reqs {
+                let (bytes, _) = self.take_recv(req).ok_or(RmpiError::UnknownRequest)?;
+                out[src] = bytes;
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, TAG_GATHER, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Gather equal-sized buffers at `root`, concatenated in rank order.
+    pub fn gather(&mut self, root: usize, data: &[u8]) -> Result<Option<Vec<u8>>> {
+        let parts = self.gatherv(root, data)?;
+        Ok(parts.map(|parts| {
+            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for p in parts {
+                out.extend_from_slice(&p);
+            }
+            out
+        }))
+    }
+
+    /// Scatter per-rank chunks from `root`.  The root passes
+    /// `Some(chunks)` with exactly one chunk per rank; other ranks pass
+    /// `None`.  Every rank returns its own chunk.
+    pub fn scatterv(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        self.check_root(root)?;
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let chunks = chunks.ok_or_else(|| {
+                RmpiError::InvalidArgument("root must supply scatter chunks".into())
+            })?;
+            if chunks.len() != size {
+                return Err(RmpiError::InvalidArgument(format!(
+                    "scatter needs {} chunks, got {}",
+                    size,
+                    chunks.len()
+                )));
+            }
+            for (dst, chunk) in chunks.iter().enumerate() {
+                if dst != root {
+                    self.send(dst, TAG_SCATTER, chunk)?;
+                }
+            }
+            Ok(chunks[root].clone())
+        } else {
+            let (bytes, _) = self.recv(Some(root), Some(TAG_SCATTER))?;
+            Ok(bytes)
+        }
+    }
+
+    /// Scatter an evenly divisible byte buffer from `root`.
+    pub fn scatter(&mut self, root: usize, data: Option<&[u8]>) -> Result<Vec<u8>> {
+        let size = self.size();
+        let chunks = if self.rank() == root {
+            let data = data.ok_or_else(|| {
+                RmpiError::InvalidArgument("root must supply scatter data".into())
+            })?;
+            if data.len() % size != 0 {
+                return Err(RmpiError::InvalidArgument(format!(
+                    "scatter buffer of {} bytes not divisible by {} ranks",
+                    data.len(),
+                    size
+                )));
+            }
+            let chunk = data.len() / size;
+            Some(
+                (0..size)
+                    .map(|i| data[i * chunk..(i + 1) * chunk].to_vec())
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            None
+        };
+        self.scatterv(root, chunks.as_deref())
+    }
+
+    /// All ranks contribute a buffer; every rank receives all contributions
+    /// indexed by rank (ring algorithm, `P-1` steps).
+    pub fn allgatherv(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let size = self.size();
+        let rank = self.rank();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+        out[rank] = data.to_vec();
+        if size == 1 {
+            return Ok(out);
+        }
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        // At step s we forward the block that originated at rank - s.
+        let mut forward = data.to_vec();
+        for step in 0..size - 1 {
+            let (incoming, _) = self.sendrecv(
+                right,
+                TAG_ALLGATHER + step as u32,
+                &forward,
+                Some(left),
+                Some(TAG_ALLGATHER + step as u32),
+            )?;
+            let origin = (rank + size - step - 1) % size;
+            out[origin] = incoming.clone();
+            forward = incoming;
+        }
+        Ok(out)
+    }
+
+    /// Personalised all-to-all exchange: `chunks[i]` goes to rank `i`, the
+    /// result's entry `i` came from rank `i` (pairwise exchange algorithm).
+    pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let size = self.size();
+        let rank = self.rank();
+        if chunks.len() != size {
+            return Err(RmpiError::InvalidArgument(format!(
+                "alltoall needs {} chunks, got {}",
+                size,
+                chunks.len()
+            )));
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
+        out[rank] = chunks[rank].clone();
+        for step in 1..size {
+            let to = (rank + step) % size;
+            let from = (rank + size - step) % size;
+            let (incoming, _) = self.sendrecv(
+                to,
+                TAG_ALLTOALL + step as u32,
+                &chunks[to],
+                Some(from),
+                Some(TAG_ALLTOALL + step as u32),
+            )?;
+            out[from] = incoming;
+        }
+        Ok(out)
+    }
+
+    /// Element-wise reduction of `f64` vectors to `root` (binomial tree).
+    /// Returns `Some(result)` at the root, `None` elsewhere.
+    pub fn reduce_f64(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        self.check_root(root)?;
+        let size = self.size();
+        let rank = self.rank();
+        let relative = (rank + size - root) % size;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < size {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < size {
+                    let src = (src_rel + root) % size;
+                    let (bytes, _) = self.recv(Some(src), Some(TAG_REDUCE))?;
+                    let other = bytes_to_f64s(&bytes);
+                    if other.len() != acc.len() {
+                        return Err(RmpiError::InvalidArgument(format!(
+                            "reduce length mismatch: {} vs {}",
+                            other.len(),
+                            acc.len()
+                        )));
+                    }
+                    op.apply(&mut acc, &other);
+                }
+            } else {
+                let dst_rel = relative & !mask;
+                let dst = (dst_rel + root) % size;
+                self.send(dst, TAG_REDUCE, &f64s_to_bytes(&acc))?;
+                break;
+            }
+            mask <<= 1;
+        }
+        if rank == root {
+            Ok(Some(acc))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Element-wise reduction where every rank receives the result
+    /// (reduce to rank 0 followed by broadcast).
+    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        let reduced = self.reduce_f64(0, data, op)?;
+        let mut bytes = reduced.map(|r| f64s_to_bytes(&r)).unwrap_or_default();
+        self.bcast(0, &mut bytes)?;
+        Ok(bytes_to_f64s(&bytes))
+    }
+}

@@ -1,0 +1,600 @@
+//! The communicator and its single-threaded progress engine.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dcgn_netsim::{Delivery, Endpoint, EndpointId};
+
+use crate::packet::{Packet, RmpiError, Status};
+use crate::Result;
+
+/// First tag value reserved for internal (collective) traffic.  User tags
+/// must stay below this value; `ANY_TAG` receives never match internal tags.
+pub const TAG_INTERNAL_BASE: u32 = 0x8000_0000;
+
+/// Handle to a nonblocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request(u64);
+
+enum SendState {
+    NotStarted,
+    WaitingCts { send_id: u64 },
+    Complete,
+}
+
+struct SendOp {
+    dst: usize,
+    tag: u32,
+    data: Option<Vec<u8>>,
+    state: SendState,
+}
+
+enum RecvState {
+    Posted,
+    WaitingData {
+        send_id: u64,
+        src: usize,
+        tag: u32,
+    },
+    Complete {
+        data: Vec<u8>,
+        status: Status,
+    },
+}
+
+struct RecvOp {
+    src: Option<usize>,
+    tag: Option<u32>,
+    state: RecvState,
+}
+
+enum Op {
+    Send(SendOp),
+    Recv(RecvOp),
+}
+
+enum UnexpectedKind {
+    Eager(Vec<u8>),
+    Rts { send_id: u64 },
+}
+
+struct Unexpected {
+    src: usize,
+    tag: u32,
+    kind: UnexpectedKind,
+}
+
+/// An MPI-style communicator bound to one rank of the world.
+///
+/// A communicator must be driven from a single thread; every call into it
+/// (including nonblocking ones) advances the internal progress engine for all
+/// outstanding operations.
+pub struct Communicator {
+    rank: usize,
+    endpoint: Endpoint<Packet>,
+    rank_to_ep: Arc<Vec<EndpointId>>,
+    ep_to_rank: Arc<HashMap<EndpointId, usize>>,
+    eager_threshold: usize,
+    progress_timeout: Duration,
+    next_req: u64,
+    next_send_id: u64,
+    ops: HashMap<u64, Op>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl Communicator {
+    pub(crate) fn new(
+        rank: usize,
+        endpoint: Endpoint<Packet>,
+        rank_to_ep: Arc<Vec<EndpointId>>,
+        ep_to_rank: Arc<HashMap<EndpointId, usize>>,
+        eager_threshold: usize,
+    ) -> Self {
+        Communicator {
+            rank,
+            endpoint,
+            rank_to_ep,
+            ep_to_rank,
+            eager_threshold,
+            progress_timeout: Duration::from_secs(30),
+            next_req: 0,
+            next_send_id: 0,
+            ops: HashMap::new(),
+            unexpected: VecDeque::new(),
+        }
+    }
+
+    /// This communicator's rank in the world.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.rank_to_ep.len()
+    }
+
+    /// The eager/rendezvous protocol threshold in bytes.
+    pub fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+
+    /// Node index this rank's endpoint is attached to.
+    pub fn node(&self) -> usize {
+        self.endpoint.node()
+    }
+
+    /// Change the stall timeout of the progress engine (default 30 s).
+    /// Deadlocked communication patterns surface as
+    /// [`RmpiError::Stalled`] after this long.
+    pub fn set_progress_timeout(&mut self, timeout: Duration) {
+        self.progress_timeout = timeout;
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking API
+    // ------------------------------------------------------------------
+
+    /// Start a nonblocking send of `data` to `dst` with `tag`.
+    pub fn isend(&mut self, dst: usize, tag: u32, data: Vec<u8>) -> Result<Request> {
+        if dst >= self.size() {
+            return Err(RmpiError::InvalidRank(dst));
+        }
+        let id = self.alloc_req();
+        self.ops.insert(
+            id,
+            Op::Send(SendOp {
+                dst,
+                tag,
+                data: Some(data),
+                state: SendState::NotStarted,
+            }),
+        );
+        // Kick the engine once so eager sends leave immediately.
+        self.start_sends();
+        Ok(Request(id))
+    }
+
+    /// Post a nonblocking receive matching `src` (or any source) and `tag`
+    /// (or any tag).
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<Request> {
+        if let Some(s) = src {
+            if s >= self.size() {
+                return Err(RmpiError::InvalidRank(s));
+            }
+        }
+        let id = self.alloc_req();
+        self.ops.insert(
+            id,
+            Op::Recv(RecvOp {
+                src,
+                tag,
+                state: RecvState::Posted,
+            }),
+        );
+        Ok(Request(id))
+    }
+
+    /// Make one nonblocking progress pass and report whether `req` has
+    /// completed.  The request stays valid until waited on.
+    pub fn test(&mut self, req: Request) -> Result<bool> {
+        if !self.ops.contains_key(&req.0) {
+            return Err(RmpiError::UnknownRequest);
+        }
+        self.progress_pass()?;
+        Ok(self.is_complete(req.0))
+    }
+
+    /// Wait for a send request to complete.
+    pub fn wait_send(&mut self, req: Request) -> Result<()> {
+        self.progress_until(&[req.0], "send completion")?;
+        match self.ops.remove(&req.0) {
+            Some(Op::Send(_)) => Ok(()),
+            Some(op) => {
+                self.ops.insert(req.0, op);
+                Err(RmpiError::UnknownRequest)
+            }
+            None => Err(RmpiError::UnknownRequest),
+        }
+    }
+
+    /// Wait for a receive request to complete and return its payload and
+    /// status.
+    pub fn wait_recv(&mut self, req: Request) -> Result<(Vec<u8>, Status)> {
+        self.progress_until(&[req.0], "recv completion")?;
+        match self.ops.remove(&req.0) {
+            Some(Op::Recv(RecvOp {
+                state: RecvState::Complete { data, status },
+                ..
+            })) => Ok((data, status)),
+            Some(op) => {
+                self.ops.insert(req.0, op);
+                Err(RmpiError::UnknownRequest)
+            }
+            None => Err(RmpiError::UnknownRequest),
+        }
+    }
+
+    /// Wait for a set of requests (sends and receives) to complete.  Receive
+    /// payloads can then be collected with [`Communicator::take_recv`].
+    pub fn wait_all(&mut self, reqs: &[Request]) -> Result<()> {
+        let ids: Vec<u64> = reqs.iter().map(|r| r.0).collect();
+        self.progress_until(&ids, "wait_all")?;
+        // Remove completed send ops eagerly; recvs stay for take_recv.
+        for id in ids {
+            if matches!(self.ops.get(&id), Some(Op::Send(_))) {
+                self.ops.remove(&id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect the payload of a completed receive request (after
+    /// [`Communicator::wait_all`] or a successful [`Communicator::test`]).
+    pub fn take_recv(&mut self, req: Request) -> Option<(Vec<u8>, Status)> {
+        match self.ops.get(&req.0) {
+            Some(Op::Recv(RecvOp {
+                state: RecvState::Complete { .. },
+                ..
+            })) => match self.ops.remove(&req.0) {
+                Some(Op::Recv(RecvOp {
+                    state: RecvState::Complete { data, status },
+                    ..
+                })) => Some((data, status)),
+                _ => unreachable!("checked above"),
+            },
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking API
+    // ------------------------------------------------------------------
+
+    /// Blocking send of `data` to `dst` with `tag`.
+    pub fn send(&mut self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
+        let req = self.isend(dst, tag, data.to_vec())?;
+        self.wait_send(req)
+    }
+
+    /// Blocking receive returning the payload and status.
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<(Vec<u8>, Status)> {
+        let req = self.irecv(src, tag)?;
+        self.wait_recv(req)
+    }
+
+    /// Blocking receive into a caller-provided buffer.  Fails with
+    /// [`RmpiError::Truncated`] if the message does not fit.
+    pub fn recv_into(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<u32>,
+        buf: &mut [u8],
+    ) -> Result<Status> {
+        let (data, status) = self.recv(src, tag)?;
+        if data.len() > buf.len() {
+            return Err(RmpiError::Truncated {
+                buffer: buf.len(),
+                message: data.len(),
+            });
+        }
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(status)
+    }
+
+    /// Combined send and receive, progressed together so the pattern cannot
+    /// deadlock (the equivalent of `MPI_Sendrecv`).
+    pub fn sendrecv(
+        &mut self,
+        dst: usize,
+        send_tag: u32,
+        data: &[u8],
+        src: Option<usize>,
+        recv_tag: Option<u32>,
+    ) -> Result<(Vec<u8>, Status)> {
+        let send_req = self.isend(dst, send_tag, data.to_vec())?;
+        let recv_req = self.irecv(src, recv_tag)?;
+        self.wait_all(&[send_req, recv_req])?;
+        self.take_recv(recv_req).ok_or(RmpiError::UnknownRequest)
+    }
+
+    /// In-place exchange: send the contents of `buf` to `dst` and replace it
+    /// with the message received from `src` (the equivalent of
+    /// `MPI_Sendrecv_replace`, which Cannon's algorithm relies on).
+    pub fn sendrecv_replace(
+        &mut self,
+        buf: &mut Vec<u8>,
+        dst: usize,
+        send_tag: u32,
+        src: Option<usize>,
+        recv_tag: Option<u32>,
+    ) -> Result<Status> {
+        let (data, status) = self.sendrecv(dst, send_tag, buf, src, recv_tag)?;
+        *buf = data;
+        Ok(status)
+    }
+
+    /// Nonblocking check for an already-matched incoming message.  Makes one
+    /// progress pass; returns a completed `(payload, status)` if a message
+    /// matching `(src, tag)` has arrived, without blocking.  Used by pollers
+    /// (like the DCGN communication thread) that cannot afford to block.
+    pub fn try_recv_match(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> Result<Option<(Vec<u8>, Status)>> {
+        self.progress_pass()?;
+        let idx = self.unexpected.iter().position(|u| {
+            matches!(u.kind, UnexpectedKind::Eager(_))
+                && Self::matches(src, tag, u.src, u.tag)
+        });
+        if let Some(idx) = idx {
+            let u = self.unexpected.remove(idx).expect("index valid");
+            if let UnexpectedKind::Eager(data) = u.kind {
+                let status = Status {
+                    source: u.src,
+                    tag: u.tag,
+                    len: data.len(),
+                };
+                return Ok(Some((data, status)));
+            }
+        }
+        // A rendezvous message needs a posted receive to make progress, so a
+        // matching RTS is handled by posting a real irecv and letting the
+        // caller complete it later; we do not do that implicitly here.
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    fn alloc_req(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    fn ep_of(&self, rank: usize) -> EndpointId {
+        self.rank_to_ep[rank]
+    }
+
+    fn rank_of(&self, ep: EndpointId) -> usize {
+        *self
+            .ep_to_rank
+            .get(&ep)
+            .expect("delivery from endpoint outside the world")
+    }
+
+    fn matches(want_src: Option<usize>, want_tag: Option<u32>, src: usize, tag: u32) -> bool {
+        let src_ok = want_src.map_or(true, |s| s == src);
+        // ANY_TAG never matches internal (collective) tags.
+        let tag_ok = match want_tag {
+            Some(t) => t == tag,
+            None => tag < TAG_INTERNAL_BASE,
+        };
+        src_ok && tag_ok
+    }
+
+    fn is_complete(&self, id: u64) -> bool {
+        match self.ops.get(&id) {
+            Some(Op::Send(s)) => matches!(s.state, SendState::Complete),
+            Some(Op::Recv(r)) => matches!(r.state, RecvState::Complete { .. }),
+            None => false,
+        }
+    }
+
+    /// Start every send that has not yet touched the wire.
+    fn start_sends(&mut self) {
+        let ids: Vec<u64> = self
+            .ops
+            .iter()
+            .filter_map(|(&id, op)| match op {
+                Op::Send(s) if matches!(s.state, SendState::NotStarted) => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in ids {
+            let (dst, tag, data_len) = match self.ops.get(&id) {
+                Some(Op::Send(s)) => (s.dst, s.tag, s.data.as_ref().map_or(0, |d| d.len())),
+                _ => continue,
+            };
+            let dst_ep = self.ep_of(dst);
+            if data_len <= self.eager_threshold {
+                // Eager: ship the payload immediately; the send is complete
+                // from the sender's point of view.
+                let data = match self.ops.get_mut(&id) {
+                    Some(Op::Send(s)) => s.data.take().unwrap_or_default(),
+                    _ => continue,
+                };
+                let pkt = Packet::Eager { tag, data };
+                let wire = pkt.wire_bytes();
+                let _ = self.endpoint.send(dst_ep, pkt, wire);
+                if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+                    s.state = SendState::Complete;
+                }
+            } else {
+                // Rendezvous: announce and wait for the receiver's CTS.
+                let send_id = self.next_send_id;
+                self.next_send_id += 1;
+                let pkt = Packet::Rts {
+                    tag,
+                    len: data_len,
+                    send_id,
+                };
+                let wire = pkt.wire_bytes();
+                let _ = self.endpoint.send(dst_ep, pkt, wire);
+                if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+                    s.state = SendState::WaitingCts { send_id };
+                }
+            }
+        }
+    }
+
+    /// Match posted receives against the unexpected queue in FIFO order.
+    fn match_recvs(&mut self) {
+        let mut recv_ids: Vec<u64> = self
+            .ops
+            .iter()
+            .filter_map(|(&id, op)| match op {
+                Op::Recv(r) if matches!(r.state, RecvState::Posted) => Some(id),
+                _ => None,
+            })
+            .collect();
+        recv_ids.sort_unstable();
+        for id in recv_ids {
+            let (want_src, want_tag) = match self.ops.get(&id) {
+                Some(Op::Recv(r)) => (r.src, r.tag),
+                _ => continue,
+            };
+            let idx = self
+                .unexpected
+                .iter()
+                .position(|u| Self::matches(want_src, want_tag, u.src, u.tag));
+            let Some(idx) = idx else { continue };
+            let u = self.unexpected.remove(idx).expect("index valid");
+            match u.kind {
+                UnexpectedKind::Eager(data) => {
+                    let status = Status {
+                        source: u.src,
+                        tag: u.tag,
+                        len: data.len(),
+                    };
+                    if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+                        r.state = RecvState::Complete { data, status };
+                    }
+                }
+                UnexpectedKind::Rts { send_id } => {
+                    let src_ep = self.ep_of(u.src);
+                    let pkt = Packet::Cts { send_id };
+                    let wire = pkt.wire_bytes();
+                    let _ = self.endpoint.send(src_ep, pkt, wire);
+                    if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+                        r.state = RecvState::WaitingData {
+                            send_id,
+                            src: u.src,
+                            tag: u.tag,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incorporate one delivered packet into engine state.
+    fn classify(&mut self, delivery: Delivery<Packet>) {
+        let src = self.rank_of(delivery.src);
+        match delivery.msg {
+            Packet::Eager { tag, data } => self.unexpected.push_back(Unexpected {
+                src,
+                tag,
+                kind: UnexpectedKind::Eager(data),
+            }),
+            Packet::Rts { tag, send_id, .. } => self.unexpected.push_back(Unexpected {
+                src,
+                tag,
+                kind: UnexpectedKind::Rts { send_id },
+            }),
+            Packet::Cts { send_id } => {
+                let op_id = self.ops.iter().find_map(|(&id, op)| match op {
+                    Op::Send(s) => match s.state {
+                        SendState::WaitingCts { send_id: sid } if sid == send_id => Some(id),
+                        _ => None,
+                    },
+                    _ => None,
+                });
+                if let Some(id) = op_id {
+                    let (dst, tag, data) = match self.ops.get_mut(&id) {
+                        Some(Op::Send(s)) => (s.dst, s.tag, s.data.take().unwrap_or_default()),
+                        _ => return,
+                    };
+                    let dst_ep = self.ep_of(dst);
+                    let pkt = Packet::RdvData {
+                        send_id,
+                        tag,
+                        data,
+                    };
+                    let wire = pkt.wire_bytes();
+                    let _ = self.endpoint.send(dst_ep, pkt, wire);
+                    if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+                        s.state = SendState::Complete;
+                    }
+                }
+            }
+            Packet::RdvData { send_id, data, .. } => {
+                let op_id = self.ops.iter().find_map(|(&id, op)| match op {
+                    Op::Recv(r) => match r.state {
+                        RecvState::WaitingData { send_id: sid, .. } if sid == send_id => Some(id),
+                        _ => None,
+                    },
+                    _ => None,
+                });
+                if let Some(id) = op_id {
+                    if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+                        if let RecvState::WaitingData { src, tag, .. } = r.state {
+                            let status = Status {
+                                source: src,
+                                tag,
+                                len: data.len(),
+                            };
+                            r.state = RecvState::Complete { data, status };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One nonblocking pass of the engine: start sends, drain the endpoint,
+    /// match receives.
+    fn progress_pass(&mut self) -> Result<()> {
+        self.start_sends();
+        loop {
+            match self.endpoint.try_recv() {
+                Ok(d) => self.classify(d),
+                Err(dcgn_netsim::RecvError::Empty) => break,
+                Err(_) => return Err(RmpiError::Disconnected),
+            }
+        }
+        self.match_recvs();
+        Ok(())
+    }
+
+    /// Drive the engine until every id in `targets` is complete.
+    fn progress_until(&mut self, targets: &[u64], what: &'static str) -> Result<()> {
+        for &t in targets {
+            if !self.ops.contains_key(&t) {
+                return Err(RmpiError::UnknownRequest);
+            }
+        }
+        let deadline = Instant::now() + self.progress_timeout;
+        loop {
+            self.progress_pass()?;
+            if targets.iter().all(|&t| self.is_complete(t)) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RmpiError::Stalled(what));
+            }
+            let wait = (deadline - now).min(Duration::from_millis(50));
+            match self.endpoint.recv_timeout(wait) {
+                Ok(d) => self.classify(d),
+                Err(dcgn_netsim::RecvError::Timeout) => {}
+                Err(_) => return Err(RmpiError::Disconnected),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .field("pending_ops", &self.ops.len())
+            .field("unexpected", &self.unexpected.len())
+            .finish()
+    }
+}

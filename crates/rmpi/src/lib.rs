@@ -1,0 +1,44 @@
+//! An MPI-like message passing library over the simulated cluster fabric.
+//!
+//! The DCGN system is layered *on top of* MPI (the paper uses MVAPICH2) and is
+//! benchmarked *against* MPI.  This crate plays both roles in the
+//! reproduction:
+//!
+//! * it is the communication substrate that DCGN's per-process communication
+//!   thread drives (one rank per node), and
+//! * it is the "MVAPICH2" baseline that Figure 6, Figure 7 and Table 1
+//!   compare DCGN against.
+//!
+//! The design follows a classic single-threaded MPI progress engine:
+//!
+//! * point-to-point messages use an **eager** protocol below a configurable
+//!   threshold and a **rendezvous** (RTS/CTS) protocol above it,
+//! * receives match on `(source, tag)` with wildcard support and an
+//!   unexpected-message queue,
+//! * nonblocking operations ([`Communicator::isend`]/[`Communicator::irecv`])
+//!   are tracked as requests and progressed by every call into the library,
+//! * collectives (barrier, broadcast, scatter/gather, allgather, all-to-all,
+//!   reduce/allreduce) are built from point-to-point messages using the
+//!   standard dissemination/binomial/ring algorithms.
+//!
+//! A communicator is owned by exactly one thread (`MPI_THREAD_SINGLE`), which
+//! mirrors the constraint the paper designs around: DCGN funnels all
+//! communication through a single comm thread because MPI implementations are
+//! frequently not thread-safe.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod comm;
+pub mod packet;
+pub mod typed;
+pub mod world;
+
+pub use collectives::ReduceOp;
+pub use comm::{Communicator, Request};
+pub use packet::{Packet, RmpiError, Status, ANY_SOURCE, ANY_TAG};
+pub use typed::{bytes_to_f32s, bytes_to_f64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes, u32s_to_bytes};
+pub use world::{MpiWorld, RankPlacement};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RmpiError>;

@@ -1,0 +1,167 @@
+//! Wire-level packet types, status, and error definitions.
+
+use std::fmt;
+
+/// Wildcard source rank: match a message from any rank.
+pub const ANY_SOURCE: Option<usize> = None;
+
+/// Wildcard tag: match a message with any tag.
+pub const ANY_TAG: Option<u32> = None;
+
+/// Fixed per-packet header size charged on the wire in addition to payload
+/// bytes (matching envelope, sequence and protocol fields of a real MPI
+/// transport).
+pub const HEADER_BYTES: usize = 32;
+
+/// The packets exchanged between communicator endpoints.
+///
+/// `Eager` carries the payload immediately; large messages use the
+/// rendezvous triplet `Rts` → `Cts` → `RdvData`.
+#[derive(Debug)]
+pub enum Packet {
+    /// Small message: payload travels with the envelope.
+    Eager {
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// Rendezvous request-to-send announcing a large message.
+    Rts {
+        /// Message tag.
+        tag: u32,
+        /// Payload length of the pending message.
+        len: usize,
+        /// Sender-side identifier for this transfer.
+        send_id: u64,
+    },
+    /// Clear-to-send from the receiver, releasing the payload transfer.
+    Cts {
+        /// Identifier from the matching [`Packet::Rts`].
+        send_id: u64,
+    },
+    /// The payload of a rendezvous transfer.
+    RdvData {
+        /// Identifier from the matching [`Packet::Rts`].
+        send_id: u64,
+        /// Message tag (repeated for sanity checks).
+        tag: u32,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Packet {
+    /// Number of bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Packet::Eager { data, .. } => HEADER_BYTES + data.len(),
+            Packet::Rts { .. } => HEADER_BYTES,
+            Packet::Cts { .. } => HEADER_BYTES,
+            Packet::RdvData { data, .. } => HEADER_BYTES + data.len(),
+        }
+    }
+}
+
+/// Completion information for a receive, mirroring `MPI_Status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank the message came from.
+    pub source: usize,
+    /// Tag the message was sent with.
+    pub tag: u32,
+    /// Number of payload bytes received.
+    pub len: usize,
+}
+
+/// Errors produced by the message passing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmpiError {
+    /// A rank argument was outside `0..size`.
+    InvalidRank(usize),
+    /// A received message was larger than the buffer provided to
+    /// `recv_into` (MPI_ERR_TRUNCATE).
+    Truncated {
+        /// Bytes available in the receive buffer.
+        buffer: usize,
+        /// Bytes in the matching message.
+        message: usize,
+    },
+    /// The fabric or a peer endpoint has gone away.
+    Disconnected,
+    /// No progress was possible within the communicator's progress timeout —
+    /// the usual cause is a deadlocked communication pattern.
+    Stalled(&'static str),
+    /// An argument was structurally invalid (e.g. scatter buffer not
+    /// divisible by the communicator size).
+    InvalidArgument(String),
+    /// A request handle was unknown or already consumed.
+    UnknownRequest,
+}
+
+impl fmt::Display for RmpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            RmpiError::Truncated { buffer, message } => write!(
+                f,
+                "message truncated: buffer holds {buffer} bytes, message has {message}"
+            ),
+            RmpiError::Disconnected => write!(f, "communicator disconnected"),
+            RmpiError::Stalled(what) => {
+                write!(f, "no progress within timeout while waiting for {what}")
+            }
+            RmpiError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            RmpiError::UnknownRequest => write!(f, "unknown or already-completed request"),
+        }
+    }
+}
+
+impl std::error::Error for RmpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_accounts_for_header_and_payload() {
+        let eager = Packet::Eager {
+            tag: 0,
+            data: vec![0u8; 100],
+        };
+        assert_eq!(eager.wire_bytes(), HEADER_BYTES + 100);
+        let rts = Packet::Rts {
+            tag: 0,
+            len: 1 << 20,
+            send_id: 1,
+        };
+        assert_eq!(rts.wire_bytes(), HEADER_BYTES);
+        let cts = Packet::Cts { send_id: 1 };
+        assert_eq!(cts.wire_bytes(), HEADER_BYTES);
+        let data = Packet::RdvData {
+            send_id: 1,
+            tag: 0,
+            data: vec![0u8; 1 << 20],
+        };
+        assert_eq!(data.wire_bytes(), HEADER_BYTES + (1 << 20));
+    }
+
+    #[test]
+    fn errors_format_usefully() {
+        let msgs = [
+            RmpiError::InvalidRank(7).to_string(),
+            RmpiError::Truncated {
+                buffer: 4,
+                message: 8,
+            }
+            .to_string(),
+            RmpiError::Disconnected.to_string(),
+            RmpiError::Stalled("recv").to_string(),
+            RmpiError::InvalidArgument("bad".into()).to_string(),
+            RmpiError::UnknownRequest.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

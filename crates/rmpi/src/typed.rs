@@ -1,0 +1,112 @@
+//! Conversions between typed slices and the byte buffers carried by the
+//! message layer.
+
+/// Convert a slice of `f64` values to little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Convert little-endian bytes back to `f64` values.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(
+        bytes.len() % 8 == 0,
+        "byte length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Convert a slice of `f32` values to little-endian bytes.
+pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Convert little-endian bytes back to `f32` values.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 4.
+pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    assert!(
+        bytes.len() % 4 == 0,
+        "byte length {} is not a multiple of 4",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Convert a slice of `u32` values to little-endian bytes.
+pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Convert little-endian bytes back to `u32` values.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 4.
+pub fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
+    assert!(
+        bytes.len() % 4 == 0,
+        "byte length {} is not a multiple of 4",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let vals = [0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&vals)), vals.to_vec());
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [0.0f32, -2.25, 1e30, f32::EPSILON];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&vals)), vals.to_vec());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let vals = [0u32, 1, u32::MAX, 0xDEADBEEF];
+        assert_eq!(bytes_to_u32s(&u32s_to_bytes(&vals)), vals.to_vec());
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert!(bytes_to_f64s(&f64s_to_bytes(&[])).is_empty());
+        assert!(bytes_to_u32s(&u32s_to_bytes(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of 8")]
+    fn misaligned_f64_bytes_panic() {
+        bytes_to_f64s(&[0u8; 7]);
+    }
+}

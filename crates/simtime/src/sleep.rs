@@ -1,0 +1,84 @@
+//! Delay injection primitives.
+//!
+//! Simulated hardware costs (PCI-e transfers, NIC serialisation, kernel
+//! launch latency, polling intervals) are injected as real wall-clock delays.
+//! On a lightly loaded machine `thread::sleep` has a granularity of tens of
+//! microseconds, which is far coarser than the microsecond-scale latencies we
+//! model, so short delays are realised with a yielding spin loop instead.
+//! Long delays always use `thread::sleep` so that the (possibly single-core)
+//! host is not starved by busy waiting.
+
+use std::time::{Duration, Instant};
+
+/// Threshold below which a delay is realised by spinning rather than
+/// sleeping.  Chosen so that OS timer granularity does not dominate the
+/// modelled latencies while keeping CPU burn bounded.
+const SPIN_THRESHOLD: Duration = Duration::from_micros(200);
+
+/// Portion of a long delay that is still spun away after sleeping, to absorb
+/// over-sleep from the OS scheduler.
+const SLEEP_SLACK: Duration = Duration::from_micros(150);
+
+/// Sleep for `d`, trading CPU time for accuracy only when `d` is short.
+///
+/// * `d >= 200µs`: `thread::sleep` for most of the interval, then yield-spin
+///   the remainder.
+/// * `d < 200µs`: yield-spin the whole interval.  Yielding (rather than a raw
+///   `spin_loop`) keeps the simulation live on single-core hosts where the
+///   thread being waited on needs the same core.
+pub fn precise_sleep(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    if d >= SPIN_THRESHOLD {
+        let coarse = d.saturating_sub(SLEEP_SLACK);
+        if !coarse.is_zero() {
+            std::thread::sleep(coarse);
+        }
+    }
+    while start.elapsed() < d {
+        std::thread::yield_now();
+    }
+}
+
+/// Sleep for `micros` microseconds (convenience wrapper over
+/// [`precise_sleep`]).
+pub fn sleep_micros(micros: u64) {
+    precise_sleep(Duration::from_micros(micros));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sleep_returns_immediately() {
+        let start = Instant::now();
+        precise_sleep(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn short_sleep_is_at_least_requested() {
+        let d = Duration::from_micros(50);
+        let start = Instant::now();
+        precise_sleep(d);
+        assert!(start.elapsed() >= d);
+    }
+
+    #[test]
+    fn long_sleep_is_at_least_requested() {
+        let d = Duration::from_millis(2);
+        let start = Instant::now();
+        precise_sleep(d);
+        assert!(start.elapsed() >= d);
+    }
+
+    #[test]
+    fn sleep_micros_matches_duration() {
+        let start = Instant::now();
+        sleep_micros(300);
+        assert!(start.elapsed() >= Duration::from_micros(300));
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end application correctness across the full stack, at sizes small
+//! enough for CI: Mandelbrot, Cannon and N-body in both the DCGN and the
+//! GAS+MPI variants, verified against sequential references.
+
+use dcgn::CostModel;
+use dcgn_apps::cannon;
+use dcgn_apps::mandelbrot::{self, MandelbrotParams};
+use dcgn_apps::nbody;
+
+fn small_mandelbrot() -> MandelbrotParams {
+    MandelbrotParams {
+        width: 48,
+        height: 48,
+        max_iter: 96,
+        strip_rows: 8,
+        ..MandelbrotParams::default()
+    }
+}
+
+#[test]
+fn mandelbrot_dcgn_and_gas_agree_with_reference() {
+    let p = small_mandelbrot();
+    let reference = mandelbrot::render_reference(&p);
+    let dcgn_run = mandelbrot::run_dcgn_gpu(p, 2, 1, 1, CostModel::zero()).unwrap();
+    let gas_run = mandelbrot::run_gas(p, 2, 2, CostModel::zero());
+    assert_eq!(dcgn_run.image, reference);
+    assert_eq!(gas_run.image, reference);
+    // Every strip was attributed to a worker.
+    assert!(dcgn_run.strip_owner.iter().all(|&o| o != usize::MAX));
+}
+
+#[test]
+fn mandelbrot_multiple_slots_per_gpu() {
+    let p = small_mandelbrot();
+    let reference = mandelbrot::render_reference(&p);
+    let run = mandelbrot::run_dcgn_gpu(p, 1, 1, 3, CostModel::zero()).unwrap();
+    assert_eq!(run.image, reference);
+    assert_eq!(run.workers, 3);
+}
+
+#[test]
+fn cannon_dcgn_and_gas_match_reference_product() {
+    let dcgn_run = cannon::run_dcgn_gpu(24, 4, 2, CostModel::zero()).unwrap();
+    assert!(dcgn_run.max_error() < 1e-4);
+    let gas_run = cannon::run_gas(24, 4, 2, CostModel::zero());
+    assert!(gas_run.max_error() < 1e-4);
+}
+
+#[test]
+fn cannon_three_by_three_grid() {
+    let run = cannon::run_dcgn_gpu(18, 9, 3, CostModel::zero()).unwrap();
+    assert!(run.max_error() < 1e-4);
+    assert_eq!(run.workers, 9);
+}
+
+#[test]
+fn nbody_dcgn_and_gas_match_reference_trajectories() {
+    let steps = 2;
+    let dcgn_run = nbody::run_dcgn_gpu(64, 4, 2, steps, CostModel::zero()).unwrap();
+    assert!(dcgn_run.max_position_error(steps) < 1e-4);
+    let gas_run = nbody::run_gas(64, 4, 2, steps, CostModel::zero());
+    assert!(gas_run.max_position_error(steps) < 1e-4);
+}
+
+#[test]
+fn apps_run_under_the_paper_cost_model() {
+    // Same correctness with realistic (scaled) hardware costs injected.
+    let cost = CostModel::g92_scaled(50.0);
+    let p = small_mandelbrot();
+    let run = mandelbrot::run_dcgn_gpu(p, 2, 1, 1, cost).unwrap();
+    assert_eq!(run.image, mandelbrot::render_reference(&p));
+    let run = cannon::run_dcgn_gpu(16, 4, 2, cost).unwrap();
+    assert!(run.max_error() < 1e-4);
+    let run = nbody::run_dcgn_gpu(48, 2, 2, 1, cost).unwrap();
+    assert!(run.max_position_error(1) < 1e-4);
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: DCGN collectives spanning CPU ranks and GPU
+//! slots on multiple nodes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dcgn::{DcgnConfig, DevicePtr, Runtime};
+use parking_lot::Mutex;
+
+#[test]
+fn barrier_over_mixed_ranks_and_nodes() {
+    // 2 nodes x (1 CPU + 1 GPU slot): 4 ranks of two kinds.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let (c_cpu, c_gpu) = (Arc::clone(&counter), Arc::clone(&counter));
+    runtime
+        .launch(
+            move |ctx| {
+                c_cpu.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier().unwrap();
+                assert_eq!(c_cpu.load(Ordering::SeqCst), 4);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                c_gpu.fetch_add(1, Ordering::SeqCst);
+                ctx.barrier(0);
+                assert_eq!(c_gpu.load(Ordering::SeqCst), 4);
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn broadcast_cpu_root_reaches_gpu_slots() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let payload: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+    let expected_cpu = payload.clone();
+    let expected_gpu = payload.clone();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let (seen_cpu, seen_gpu) = (Arc::clone(&seen), Arc::clone(&seen));
+    runtime
+        .launch(
+            move |ctx| {
+                let mut data = if ctx.rank() == 0 { payload.clone() } else { Vec::new() };
+                ctx.broadcast(0, &mut data).unwrap();
+                assert_eq!(data, expected_cpu);
+                seen_cpu.fetch_add(1, Ordering::SeqCst);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(8 * 1024);
+                let got = ctx.broadcast(0, 0, buf, 512);
+                assert_eq!(got, 512);
+                assert_eq!(ctx.block().read_vec(buf, 512), expected_gpu);
+                seen_gpu.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn incomplete_collective_fails_rather_than_hanging() {
+    // A gather in which the GPU slots never join must NOT complete: the
+    // launch reports an error (the CPU ranks time out / are failed at
+    // shutdown) instead of silently succeeding or deadlocking.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    runtime.set_request_timeout(std::time::Duration::from_secs(2));
+    let gathered = Arc::new(Mutex::new(None));
+    let g = Arc::clone(&gathered);
+    let result = runtime.launch(
+        move |ctx| {
+            let mine = vec![ctx.rank() as u8; 3];
+            let out = ctx.gather(0, &mine).expect("gather should fail, not succeed");
+            if ctx.rank() == 0 {
+                *g.lock() = out;
+            }
+        },
+        move |_ctx| {
+            // GPU slots intentionally never join the collective.
+        },
+    );
+    assert!(result.is_err());
+    assert!(gathered.lock().is_none());
+}
+
+#[test]
+fn gather_with_cpu_only_ranks_completes() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+    let gathered = Arc::new(Mutex::new(None));
+    let g = Arc::clone(&gathered);
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let mine = vec![ctx.rank() as u8 + 1];
+            let out = ctx.gather(3, &mine).unwrap();
+            if ctx.rank() == 3 {
+                *g.lock() = out;
+            }
+        })
+        .unwrap();
+    let chunks = gathered.lock().clone().unwrap();
+    assert_eq!(chunks, vec![vec![1], vec![2], vec![3], vec![4]]);
+}
+
+#[test]
+fn broadcast_gpu_root_feeds_everyone() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let map = runtime.rank_map().clone();
+    let gpu_root = map.gpu_ranks()[0];
+    let cpu_seen = Arc::new(Mutex::new(Vec::new()));
+    let cs = Arc::clone(&cpu_seen);
+    runtime
+        .launch(
+            move |ctx| {
+                let mut data = Vec::new();
+                ctx.broadcast(gpu_root, &mut data).unwrap();
+                cs.lock().push(data.len());
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(4 * 1024);
+                if ctx.rank(0) == gpu_root {
+                    ctx.block().write(buf, &[9u8; 100]);
+                    ctx.broadcast(0, gpu_root, buf, 100);
+                } else {
+                    let got = ctx.broadcast(0, gpu_root, buf, 128);
+                    assert_eq!(got, 100);
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(cpu_seen.lock().clone(), vec![100, 100]);
+}
+
+#[test]
+fn repeated_mixed_collectives() {
+    // Alternating barriers and broadcasts across several iterations, from
+    // both CPU and GPU ranks, to catch cross-round state leaks.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    runtime
+        .launch(
+            move |ctx| {
+                for round in 0..4u8 {
+                    ctx.barrier().unwrap();
+                    let mut data = if ctx.rank() == 0 { vec![round; 64] } else { Vec::new() };
+                    ctx.broadcast(0, &mut data).unwrap();
+                    assert_eq!(data, vec![round; 64]);
+                }
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(2 * 1024);
+                for round in 0..4u8 {
+                    ctx.barrier(0);
+                    let got = ctx.broadcast(0, 0, buf, 64);
+                    assert_eq!(got, 64);
+                    assert_eq!(ctx.block().read_vec(buf, 64), vec![round; 64]);
+                }
+            },
+        )
+        .unwrap();
+}

@@ -1,0 +1,168 @@
+//! Failure injection and edge-of-envelope configurations: the runtime must
+//! fail loudly (never hang, never silently corrupt) when applications misuse
+//! it or when configurations are extreme.
+
+use std::time::Duration;
+
+use dcgn::{CostModel, DcgnConfig, DcgnError, DeviceConfig, DevicePtr, NodeConfig, Runtime};
+
+#[test]
+fn invalid_configurations_are_rejected_before_launch() {
+    assert!(Runtime::new(DcgnConfig::heterogeneous(vec![])).is_err());
+    assert!(Runtime::new(DcgnConfig::homogeneous(3, 0, 0, 0)).is_err());
+    assert!(Runtime::new(DcgnConfig::heterogeneous(vec![NodeConfig::new(0, 2, 0)])).is_err());
+    // More slots than resident blocks on the device.
+    let tiny_device = DeviceConfig::default().with_multiprocessors(1);
+    assert!(Runtime::new(DcgnConfig::heterogeneous(vec![
+        NodeConfig::new(0, 1, 4).with_device(tiny_device)
+    ]))
+    .is_err());
+}
+
+#[test]
+fn send_to_nonexistent_rank_reports_error_not_hang() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(1, 2, 0, 0)).unwrap();
+    runtime
+        .launch_cpu_only(|ctx| {
+            assert!(matches!(
+                ctx.send(17, b"nope"),
+                Err(DcgnError::InvalidRank(17))
+            ));
+        })
+        .unwrap();
+}
+
+#[test]
+fn mismatched_collectives_are_detected() {
+    // Rank 0 enters a barrier while rank 1 enters a broadcast: the node's
+    // comm thread reports the mismatch to the second participant.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 2, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(3));
+    let result = runtime.launch_cpu_only(|ctx| {
+        // Whichever rank joins second sees the mismatch immediately; the
+        // first joiner's collective can never complete and times out.  Both
+        // must observe an error — and the job must terminate.
+        if ctx.rank() == 0 {
+            assert!(ctx.barrier().is_err());
+        } else {
+            let mut data = vec![1u8];
+            assert!(ctx.broadcast(1, &mut data).is_err());
+        }
+    });
+    result.unwrap();
+}
+
+#[test]
+fn receive_that_never_matches_times_out() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_millis(300));
+    let result = runtime.launch_cpu_only(|ctx| {
+        // Nobody ever sends to us.
+        let err = ctx.recv_any().unwrap_err();
+        assert!(matches!(err, DcgnError::Internal(_) | DcgnError::ShuttingDown));
+    });
+    // The kernel handled the error itself, so the launch succeeds.
+    result.unwrap();
+}
+
+#[test]
+fn kernel_panic_is_reported_as_launch_error() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(2));
+    let result = runtime.launch_cpu_only(|_ctx| {
+        panic!("application bug");
+    });
+    match result {
+        Err(DcgnError::Internal(msg)) => assert!(msg.contains("application bug")),
+        other => panic!("expected an internal error, got {other:?}"),
+    }
+}
+
+#[test]
+fn gpu_kernel_fault_is_reported_as_launch_error() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 0, 1, 1)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(2));
+    let result = runtime.launch_gpu_only(|ctx| {
+        if ctx.block().block_id() == 0 {
+            // Out-of-bounds device access faults the block.
+            let bad = DevicePtr::NULL.add(usize::MAX / 2);
+            ctx.block().read_u32(bad);
+        }
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn truncated_gpu_receive_surfaces_as_device_fault() {
+    // The receiving buffer on the device is smaller than the message: the
+    // mailbox completion carries a truncation error and the kernel panics
+    // with a device fault, which the launch reports.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 1, 1)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(5));
+    let result = runtime.launch(
+        |ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.send(1, &[1u8; 256]);
+            }
+        },
+        |ctx| {
+            if ctx.block().block_id() != 0 {
+                return;
+            }
+            let buf = DevicePtr::NULL.add(4096);
+            // Only willing to accept 16 bytes.
+            ctx.recv(0, 0, buf, 16);
+        },
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn zero_cost_and_scaled_cost_models_agree_on_results() {
+    // The cost model only affects timing, never results.
+    let run = |cost: CostModel| {
+        let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0).with_cost(cost)).unwrap();
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = std::sync::Arc::clone(&out);
+        runtime
+            .launch_cpu_only(move |ctx| {
+                let mut data = if ctx.rank() == 0 { vec![42u8; 100] } else { Vec::new() };
+                ctx.broadcast(0, &mut data).unwrap();
+                o.lock().push(data);
+            })
+            .unwrap();
+        let v = out.lock().clone();
+        v
+    };
+    assert_eq!(run(CostModel::zero()), run(CostModel::g92_scaled(100.0)));
+}
+
+#[test]
+fn extreme_polling_intervals_still_complete() {
+    // A very coarse polling interval makes GPU messages slow but must not
+    // break correctness.
+    let cfg = DcgnConfig::homogeneous(1, 1, 1, 1)
+        .with_poll_interval(Duration::from_millis(20));
+    let runtime = Runtime::new(cfg).unwrap();
+    runtime
+        .launch(
+            |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, b"slow poll").unwrap();
+                    let (reply, _) = ctx.recv(1).unwrap();
+                    assert_eq!(reply, b"ok");
+                }
+            },
+            |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(2048);
+                let s = ctx.recv(0, 0, buf, 64);
+                assert_eq!(s.len, 9);
+                ctx.block().write(buf, b"ok");
+                ctx.send(0, 0, buf, 2);
+            },
+        )
+        .unwrap();
+}

@@ -1,0 +1,215 @@
+//! Cross-crate integration: point-to-point traffic between every combination
+//! of endpoint kinds (CPU↔CPU, CPU↔GPU, GPU↔GPU) across nodes, exercising the
+//! full stack (netsim fabric → rmpi → comm thread → mailbox protocol → dpm).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dcgn::{CostModel, DcgnConfig, DevicePtr, NodeConfig, Runtime};
+
+#[test]
+fn cpu_cpu_pingpong_two_nodes() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hits);
+    runtime
+        .launch_cpu_only(move |ctx| {
+            for round in 0..3u8 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, &[round; 32]).unwrap();
+                    let (back, _) = ctx.recv(1).unwrap();
+                    assert_eq!(back, vec![round + 100; 32]);
+                } else {
+                    let (msg, _) = ctx.recv(0).unwrap();
+                    assert_eq!(msg, vec![round; 32]);
+                    ctx.send(0, &vec![round + 100; 32]).unwrap();
+                }
+            }
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn gpu_gpu_pingpong_two_nodes_matches_figure_one() {
+    // The exact structure of Figure 1 in the paper: two GPU ranks, slot 0,
+    // only "thread 0" (block 0) communicates, payload lives in global memory.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 0, 1, 1)).unwrap();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hits);
+    runtime
+        .launch_gpu_only(move |ctx| {
+            const SLOT_INDEX: usize = 0;
+            if ctx.block().block_id() != 0 {
+                return;
+            }
+            let gpu_mem = DevicePtr::NULL.add(16 * 1024);
+            let gpu_mem_size = 256usize;
+            ctx.block().write(gpu_mem, &vec![ctx.rank(SLOT_INDEX) as u8; gpu_mem_size]);
+            if ctx.rank(SLOT_INDEX) == 0 {
+                ctx.send(SLOT_INDEX, 1, gpu_mem, gpu_mem_size);
+                let stat = ctx.recv(SLOT_INDEX, 1, gpu_mem, gpu_mem_size);
+                assert_eq!(stat.len, gpu_mem_size);
+                assert_eq!(
+                    ctx.block().read_vec(gpu_mem, gpu_mem_size),
+                    vec![1u8; gpu_mem_size]
+                );
+            } else if ctx.rank(SLOT_INDEX) == 1 {
+                let stat = ctx.recv(SLOT_INDEX, 0, gpu_mem, gpu_mem_size);
+                assert_eq!(stat.source, 0);
+                // Overwrite with our own pattern and send it back.
+                ctx.block().write(gpu_mem, &vec![1u8; gpu_mem_size]);
+                ctx.send(SLOT_INDEX, 0, gpu_mem, gpu_mem_size);
+            }
+            ctx.block().syncthreads();
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn mixed_cpu_gpu_traffic_all_four_directions() {
+    // One node with 1 CPU rank + 1 GPU slot, another node the same: exercise
+    // CPU→GPU, GPU→CPU, CPU→CPU and GPU→GPU in one job.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    // Ranks: node0 = {0: CPU, 1: GPU}, node1 = {2: CPU, 3: GPU}.
+    runtime
+        .launch(
+            move |ctx| match ctx.rank() {
+                0 => {
+                    // CPU→CPU (remote), CPU→GPU (remote).
+                    ctx.send(2, b"cpu to cpu").unwrap();
+                    ctx.send(3, b"cpu to gpu").unwrap();
+                    let (from_gpu, s) = ctx.recv(1).unwrap();
+                    assert_eq!(from_gpu, b"gpu to cpu");
+                    assert_eq!(s.source, 1);
+                }
+                2 => {
+                    let (msg, _) = ctx.recv(0).unwrap();
+                    assert_eq!(msg, b"cpu to cpu");
+                }
+                _ => unreachable!("only ranks 0 and 2 are CPU ranks"),
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                const SLOT: usize = 0;
+                let scratch = DevicePtr::NULL.add(8 * 1024);
+                match ctx.rank(SLOT) {
+                    1 => {
+                        // GPU→CPU (local node) and GPU→GPU (remote).
+                        ctx.block().write(scratch, b"gpu to cpu");
+                        ctx.send(SLOT, 0, scratch, 10);
+                        ctx.block().write(scratch, b"gpu to gpu");
+                        ctx.send(SLOT, 3, scratch, 10);
+                    }
+                    3 => {
+                        let s = ctx.recv(SLOT, 0, scratch, 64);
+                        assert_eq!(ctx.block().read_vec(scratch, s.len), b"cpu to gpu");
+                        let s = ctx.recv(SLOT, 1, scratch, 64);
+                        assert_eq!(ctx.block().read_vec(scratch, s.len), b"gpu to gpu");
+                    }
+                    other => panic!("unexpected gpu rank {other}"),
+                }
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn pingpong_with_realistic_costs_still_correct() {
+    // Functional correctness is independent of the injected hardware costs.
+    let cfg = DcgnConfig::homogeneous(2, 0, 1, 1).with_cost(CostModel::g92_scaled(25.0));
+    let runtime = Runtime::new(cfg).unwrap();
+    runtime
+        .launch_gpu_only(move |ctx| {
+            const SLOT: usize = 0;
+            if ctx.block().block_id() != 0 {
+                return;
+            }
+            let buf = DevicePtr::NULL.add(4 * 1024);
+            if ctx.rank(SLOT) == 0 {
+                ctx.block().write(buf, &[7u8; 128]);
+                ctx.send(SLOT, 1, buf, 128);
+            } else {
+                let s = ctx.recv(SLOT, 0, buf, 128);
+                assert_eq!(s.len, 128);
+                assert_eq!(ctx.block().read_vec(buf, 128), vec![7u8; 128]);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn sendrecv_replace_ring_of_gpu_ranks() {
+    // Four GPU ranks over two nodes rotate a token simultaneously — the
+    // communication core of Cannon's algorithm.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 0, 1, 2)).unwrap();
+    let checks = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&checks);
+    runtime
+        .launch_gpu_only(move |ctx| {
+            let slot = ctx.slot_for_block();
+            if ctx.block().block_id() >= ctx.slots() {
+                return;
+            }
+            let me = ctx.rank(slot);
+            let n = ctx.size();
+            let next = (me + 1) % n;
+            let prev = (me + n - 1) % n;
+            let buf = DevicePtr::NULL.add(32 * 1024 + slot * 1024);
+            ctx.block().write(buf, &[me as u8; 16]);
+            let s = ctx.sendrecv_replace(slot, next, prev, buf, 16);
+            assert_eq!(s.source, prev);
+            assert_eq!(ctx.block().read_vec(buf, 16), vec![prev as u8; 16]);
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert_eq!(checks.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn heterogeneous_node_shapes_interoperate() {
+    // A deliberately lopsided job: node 0 has 2 CPU ranks, node 1 has one GPU
+    // with 2 slots, node 2 has 1 CPU + 1 GPU slot.
+    let cfg = DcgnConfig::heterogeneous(vec![
+        NodeConfig::new(2, 0, 0),
+        NodeConfig::new(0, 1, 2),
+        NodeConfig::new(1, 1, 1),
+    ]);
+    let runtime = Runtime::new(cfg).unwrap();
+    assert_eq!(runtime.rank_map().total_ranks(), 6);
+    let sum = Arc::new(AtomicUsize::new(0));
+    let (s_cpu, s_gpu) = (Arc::clone(&sum), Arc::clone(&sum));
+    runtime
+        .launch(
+            move |ctx| {
+                // Every CPU rank sends its rank to rank 0; rank 0 sums.
+                if ctx.rank() == 0 {
+                    let mut total = 0;
+                    for _ in 0..ctx.size() - 1 {
+                        let (msg, _) = ctx.recv_any().unwrap();
+                        total += msg[0] as usize;
+                    }
+                    s_cpu.fetch_add(total, Ordering::SeqCst);
+                } else {
+                    ctx.send(0, &[ctx.rank() as u8]).unwrap();
+                }
+            },
+            move |ctx| {
+                let slot = ctx.slot_for_block();
+                if ctx.block().block_id() >= ctx.slots() {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(16 * 1024 + slot * 256);
+                ctx.block().write(buf, &[ctx.rank(slot) as u8]);
+                ctx.send(slot, 0, buf, 1);
+                let _ = &s_gpu;
+            },
+        )
+        .unwrap();
+    assert_eq!(sum.load(Ordering::SeqCst), (1..6).sum::<usize>());
+}
