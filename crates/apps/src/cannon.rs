@@ -117,7 +117,11 @@ impl CannonRun {
 
 fn grid_side(p: usize) -> usize {
     let q = (p as f64).sqrt().round() as usize;
-    assert_eq!(q * q, p, "Cannon needs a perfect-square worker count, got {p}");
+    assert_eq!(
+        q * q,
+        p,
+        "Cannon needs a perfect-square worker count, got {p}"
+    );
     q
 }
 
@@ -131,14 +135,17 @@ pub fn run_dcgn_gpu(
     cost: CostModel,
 ) -> Result<CannonRun, DcgnError> {
     let q = grid_side(p);
-    assert!(n % q == 0, "matrix dimension {n} must be divisible by {q}");
+    assert!(
+        n.is_multiple_of(q),
+        "matrix dimension {n} must be divisible by {q}"
+    );
     let bs = n / q;
     let block_bytes = bs * bs * 4;
 
     // Distribute P GPU slots over the nodes: every node gets one GPU with
     // ceil(P / nodes) slots (the last may have fewer via rank count).
     assert!(
-        p % num_nodes == 0,
+        p.is_multiple_of(num_nodes),
         "worker count {p} must be divisible by node count {num_nodes}"
     );
     let slots_per_node = p / num_nodes;
@@ -195,7 +202,8 @@ pub fn run_dcgn_gpu(
                     .expect("stage A");
                 dev.memcpy_htod(b, &f32s_to_bytes(&aligned_b_block(row, col, q, bs)))
                     .expect("stage B");
-                dev.memcpy_htod(c, &vec![0u8; block_bytes + 4]).expect("zero C");
+                dev.memcpy_htod(c, &vec![0u8; block_bytes + 4])
+                    .expect("zero C");
                 per_slot.push((a, b, c));
             }
             per_slot
@@ -258,7 +266,7 @@ pub fn run_dcgn_gpu(
 /// `sendrecv_replace` between kernel invocations.
 pub fn run_gas(n: usize, p: usize, num_nodes: usize, cost: CostModel) -> CannonRun {
     let q = grid_side(p);
-    assert!(n % q == 0);
+    assert!(n.is_multiple_of(q));
     let bs = n / q;
     let block_bytes = bs * bs * 4;
     // Rank 0 is the master, ranks 1..=p are workers.

@@ -18,6 +18,10 @@ use dcgn_rmpi::{MpiWorld, RankPlacement};
 use dcgn_simtime::Stopwatch;
 use parking_lot::Mutex;
 
+/// Shared slot the master rank deposits the rendered image and per-strip
+/// ownership table into.
+type SharedImageResult = Arc<Mutex<Option<(Vec<u32>, Vec<usize>)>>>;
+
 /// Parameters of a Mandelbrot rendering job.
 #[derive(Debug, Clone, Copy)]
 pub struct MandelbrotParams {
@@ -57,7 +61,7 @@ impl Default for MandelbrotParams {
 impl MandelbrotParams {
     /// Number of strips the image is divided into.
     pub fn num_strips(&self) -> usize {
-        (self.height + self.strip_rows - 1) / self.strip_rows
+        self.height.div_ceil(self.strip_rows)
     }
 
     /// Number of rows in strip `s` (the last strip may be short).
@@ -140,9 +144,10 @@ pub fn run_dcgn_gpu(
     let mut nodes = Vec::new();
     for n in 0..num_nodes {
         let cpus = if n == 0 { 1 } else { 0 };
-        nodes.push(NodeConfig::new(cpus, gpus_per_node, slots).with_device(
-            DeviceConfig::default().with_multiprocessors(slots.max(2)),
-        ));
+        nodes.push(
+            NodeConfig::new(cpus, gpus_per_node, slots)
+                .with_device(DeviceConfig::default().with_multiprocessors(slots.max(2))),
+        );
     }
     let config = DcgnConfig::heterogeneous(nodes).with_cost(cost);
     let runtime = Runtime::new(config)?;
@@ -154,7 +159,7 @@ pub fn run_dcgn_gpu(
         ));
     }
 
-    let result: Arc<Mutex<Option<(Vec<u32>, Vec<usize>)>>> = Arc::new(Mutex::new(None));
+    let result: SharedImageResult = Arc::new(Mutex::new(None));
     let result_for_master = Arc::clone(&result);
     let strip_bytes = 12 + params.strip_rows * params.width * 4;
 
@@ -309,10 +314,10 @@ pub fn run_gas(
                     for (i, v) in pixels.iter().enumerate() {
                         image[row_start * p.width + i] = *v;
                     }
-                    for s in 0..p.num_strips() {
+                    for (s, owner) in strip_owner.iter_mut().enumerate() {
                         let row = s * p.strip_rows;
                         if row >= row_start && row < row_start + row_count {
-                            strip_owner[s] = status.source;
+                            *owner = status.source;
                         }
                     }
                 }
@@ -321,7 +326,7 @@ pub fn run_gas(
                 // Static partition: worker w of W gets rows [w*share, ...).
                 let workers = comm.size() - 1;
                 let w = comm.rank() - 1;
-                let share = (p.height + workers - 1) / workers;
+                let share = p.height.div_ceil(workers);
                 let row_start = (w * share).min(p.height);
                 let row_count = share.min(p.height - row_start);
                 // GPU-as-slave: render on the device, then pull the pixels
@@ -341,8 +346,7 @@ pub fn run_gas(
                                 pixels.push(pixel_iters(&p, col, row));
                             }
                         });
-                        let bytes: Vec<u8> =
-                            pixels.iter().flat_map(|v| v.to_le_bytes()).collect();
+                        let bytes: Vec<u8> = pixels.iter().flat_map(|v| v.to_le_bytes()).collect();
                         block.write(out, &bytes);
                     })
                     .expect("gas kernel");

@@ -44,7 +44,11 @@ pub fn initial_bodies(n: usize) -> Vec<Body> {
             let t = i as f32 / n as f32;
             let angle = t * 12.0;
             Body {
-                pos: [angle.cos() * (0.1 + t), angle.sin() * (0.1 + t), 0.2 * t - 0.1],
+                pos: [
+                    angle.cos() * (0.1 + t),
+                    angle.sin() * (0.1 + t),
+                    0.2 * t - 0.1,
+                ],
                 vel: [-angle.sin() * 0.05, angle.cos() * 0.05, 0.0],
                 mass: 0.5 + t,
             }
@@ -56,7 +60,12 @@ pub fn initial_bodies(n: usize) -> Vec<Body> {
 pub fn bodies_to_bytes(bodies: &[Body]) -> Vec<u8> {
     let mut out = Vec::with_capacity(bodies.len() * BODY_BYTES);
     for b in bodies {
-        for v in b.pos.iter().chain(b.vel.iter()).chain(std::iter::once(&b.mass)) {
+        for v in b
+            .pos
+            .iter()
+            .chain(b.vel.iter())
+            .chain(std::iter::once(&b.mass))
+        {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
@@ -65,7 +74,7 @@ pub fn bodies_to_bytes(bodies: &[Body]) -> Vec<u8> {
 
 /// Deserialise bodies from little-endian bytes.
 pub fn bytes_to_bodies(bytes: &[u8]) -> Vec<Body> {
-    assert!(bytes.len() % BODY_BYTES == 0);
+    assert!(bytes.len().is_multiple_of(BODY_BYTES));
     bytes
         .chunks_exact(BODY_BYTES)
         .map(|c| {
@@ -97,8 +106,8 @@ pub fn step_range(all: &[Body], range: std::ops::Range<usize>) -> Vec<Body> {
             acc[2] += dz * s;
         }
         let mut b = me;
-        for k in 0..3 {
-            b.vel[k] += acc[k] * DT;
+        for (k, a) in acc.iter().enumerate() {
+            b.vel[k] += a * DT;
             b.pos[k] += b.vel[k] * DT;
         }
         out.push(b);
@@ -143,7 +152,7 @@ impl NbodyRun {
 }
 
 fn share(n: usize, p: usize, worker: usize) -> std::ops::Range<usize> {
-    let per = (n + p - 1) / p;
+    let per = n.div_ceil(p);
     let start = (worker * per).min(n);
     let end = ((worker + 1) * per).min(n);
     start..end
@@ -159,7 +168,10 @@ pub fn run_dcgn_gpu(
     steps: usize,
     cost: CostModel,
 ) -> Result<NbodyRun, DcgnError> {
-    assert!(p % num_nodes == 0, "workers must divide evenly over nodes");
+    assert!(
+        p.is_multiple_of(num_nodes),
+        "workers must divide evenly over nodes"
+    );
     let slots_per_node = p / num_nodes;
     let all_bytes = n * BODY_BYTES;
     let mut nodes = Vec::new();
@@ -208,7 +220,8 @@ pub fn run_dcgn_gpu(
             let mut per_slot = Vec::new();
             for _ in 0..setup.slots() {
                 let all = dev.malloc(all_bytes).expect("bodies buffer");
-                dev.memcpy_htod(all, &bodies_to_bytes(&bodies)).expect("stage bodies");
+                dev.memcpy_htod(all, &bodies_to_bytes(&bodies))
+                    .expect("stage bodies");
                 per_slot.push(all);
             }
             per_slot
@@ -314,7 +327,11 @@ pub fn run_gas(n: usize, p: usize, num_nodes: usize, steps: usize, cost: CostMod
         }
     });
     let elapsed = sw.elapsed();
-    let bodies = results.into_iter().flatten().next().expect("worker 0 result");
+    let bodies = results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("worker 0 result");
     NbodyRun {
         bodies,
         elapsed,

@@ -15,9 +15,11 @@ fn bench_barriers(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
 
     for &nodes in &[1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("mpi_2cpu_per_node", nodes), &nodes, |b, &n| {
-            b.iter(|| mpi_barrier_time(n, 2, cost, 3))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mpi_2cpu_per_node", nodes),
+            &nodes,
+            |b, &n| b.iter(|| mpi_barrier_time(n, 2, cost, 3)),
+        );
         group.bench_with_input(
             BenchmarkId::new("dcgn_2cpu_per_node", nodes),
             &nodes,

@@ -17,8 +17,14 @@ fn main() {
         ..MandelbrotParams::default()
     };
     let cost = CostModel::fast();
-    println!("# Ablation: slots per GPU on a heterogeneous Mandelbrot (max_iter = {})", params.max_iter);
-    println!("{:>12}{:>10}{:>14}{:>16}", "slots/GPU", "workers", "time (ms)", "Mpixels/s");
+    println!(
+        "# Ablation: slots per GPU on a heterogeneous Mandelbrot (max_iter = {})",
+        params.max_iter
+    );
+    println!(
+        "{:>12}{:>10}{:>14}{:>16}",
+        "slots/GPU", "workers", "time (ms)", "Mpixels/s"
+    );
     for slots in [1usize, 2, 4] {
         let run = run_dcgn_gpu(params, 2, 1, slots, cost).expect("run");
         println!(

@@ -17,7 +17,11 @@ fn main() {
     };
     let cost = CostModel::fast();
     println!("# Figure 5: strip ownership across two identical runs (8 GPU worker ranks)");
-    println!("# strips: {} of {} rows each", params.num_strips(), params.strip_rows);
+    println!(
+        "# strips: {} of {} rows each",
+        params.num_strips(),
+        params.strip_rows
+    );
     for run_idx in 1..=2 {
         let run = run_dcgn_gpu(params, 4, 2, 1, cost).expect("mandelbrot run");
         println!(

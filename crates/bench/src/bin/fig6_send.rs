@@ -51,9 +51,8 @@ fn main() {
     println!();
     println!("# §5.2 ratios vs MVAPICH2 (paper: 0 B CPU-CPU ≈ 28x, 0 B GPU-GPU ≈ 564x,");
     println!("#                          1 MB CPU-CPU ≈ 1.04x, 1 MB GPU-GPU ≈ 1.5x)");
-    let ratio = |row: &[std::time::Duration], idx: usize| {
-        row[idx].as_secs_f64() / row[4].as_secs_f64()
-    };
+    let ratio =
+        |row: &[std::time::Duration], idx: usize| row[idx].as_secs_f64() / row[4].as_secs_f64();
     if !zero_byte.is_empty() {
         println!("0 B   GPU:GPU / MPI = {:6.1}x", ratio(&zero_byte, 0));
         println!("0 B   CPU:CPU / MPI = {:6.1}x", ratio(&zero_byte, 3));

@@ -4,7 +4,9 @@
 //! `cargo run -p dcgn-bench --bin fig7_broadcast --release`
 
 use dcgn::CostModel;
-use dcgn_bench::{dcgn_broadcast_time, format_duration, format_size, mpi_broadcast_time, EndpointKind};
+use dcgn_bench::{
+    dcgn_broadcast_time, format_duration, format_size, mpi_broadcast_time, EndpointKind,
+};
 
 fn main() {
     let cost = CostModel::g92_cluster();

@@ -222,7 +222,11 @@ pub fn mpi_broadcast_time(size: usize, cost: CostModel, iters: usize) -> Duratio
         comm.barrier().unwrap();
         let start = Instant::now();
         for _ in 0..iters {
-            let mut data = if comm.rank() == 0 { vec![1u8; size] } else { Vec::new() };
+            let mut data = if comm.rank() == 0 {
+                vec![1u8; size]
+            } else {
+                Vec::new()
+            };
             comm.bcast(0, &mut data).unwrap();
         }
         let elapsed = start.elapsed();

@@ -11,12 +11,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
-use dcgn_rmpi::{Communicator, Request as MpiRequest};
+use dcgn_rmpi::{bytes_to_f64s, f64s_to_bytes, Communicator, ReduceOp, Request as MpiRequest};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
 use crate::message::{
-    decode_p2p, encode_p2p, CommCommand, CommStatus, Reply, Request, RequestKind,
+    decode_p2p, encode_p2p, CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind,
 };
 use crate::rank::RankMap;
 
@@ -41,20 +41,134 @@ struct PendingRecv {
     reply_tx: Sender<Reply>,
 }
 
-/// The collective currently being assembled on this node.
-struct CollectiveAssembly {
-    name: &'static str,
-    root: usize,
-    /// `(rank, contributed data, reply channel)` for every joined local rank.
-    joined: Vec<(usize, Option<Vec<u8>>, Sender<Reply>)>,
-    kind: CollectiveKind,
-}
-
+/// Which collective operation an assembly is executing.  One discriminant per
+/// operation; all per-operation behaviour lives in [`COLLECTIVE_TABLE`], not
+/// in per-kind state machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CollectiveKind {
     Barrier,
     Broadcast,
     Gather,
+    Scatter,
+    Allgather,
+    Reduce,
+    Allreduce,
+}
+
+/// Identity of a collective operation.  Every rank on the node must join with
+/// an identical id before the node-level exchange runs; a mismatch is the
+/// paper's "collective mismatch" error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CollectiveId {
+    kind: CollectiveKind,
+    /// Root rank for rooted collectives, `None` for symmetric ones.
+    root: Option<usize>,
+    /// Reduction operator for reduce/allreduce.
+    op: Option<ReduceOp>,
+}
+
+/// What one joining rank contributes to the collective.
+#[derive(Debug)]
+enum Contribution {
+    /// Nothing (barrier; non-root joiners of broadcast/scatter).
+    None,
+    /// A flat payload (broadcast root, gather/allgather data, reduce vectors
+    /// encoded as little-endian `f64`s).
+    Bytes(Vec<u8>),
+    /// Per-rank chunks supplied by a scatter root.
+    Chunks(Vec<Vec<u8>>),
+}
+
+impl Contribution {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Contribution::Bytes(b) => b,
+            _ => &[],
+        }
+    }
+}
+
+/// The collective currently being assembled on this node: the generic
+/// join → local-combine → substrate-exchange → scatter-back engine's state.
+struct CollectiveAssembly {
+    id: CollectiveId,
+    /// `(rank, contribution, reply channel)` for every joined local rank.
+    joined: Vec<(usize, Contribution, Sender<Reply>)>,
+}
+
+/// How the results of a node-level exchange map back onto ranks.
+enum ResultSet {
+    /// Every rank receives (a clone of) the same result.
+    Uniform(CollectiveResult),
+    /// Only `root` receives the result; everyone else gets
+    /// [`CollectiveResult::Unit`].
+    RootOnly(usize, CollectiveResult),
+    /// Rank-indexed results; ranks without an entry get `Unit`.
+    PerRank(Vec<Option<CollectiveResult>>),
+}
+
+impl ResultSet {
+    fn for_rank(&self, rank: usize) -> CollectiveResult {
+        match self {
+            ResultSet::Uniform(r) => r.clone(),
+            ResultSet::RootOnly(root, r) if *root == rank => r.clone(),
+            ResultSet::RootOnly(..) => CollectiveResult::Unit,
+            ResultSet::PerRank(per_rank) => per_rank
+                .get(rank)
+                .and_then(|r| r.clone())
+                .unwrap_or(CollectiveResult::Unit),
+        }
+    }
+}
+
+/// Node-level exchange function: combines the local contributions, runs the
+/// substrate operation and reports how results distribute over ranks.
+type ExchangeFn = fn(&mut CommThread, &CollectiveAssembly) -> Result<ResultSet>;
+
+/// One row of the collective dispatch table.
+struct CollectiveSpec {
+    kind: CollectiveKind,
+    exchange: ExchangeFn,
+}
+
+/// The single source of per-operation behaviour.  Adding a collective means
+/// adding a row here (plus its `RequestKind`), not a new state machine.
+static COLLECTIVE_TABLE: &[CollectiveSpec] = &[
+    CollectiveSpec {
+        kind: CollectiveKind::Barrier,
+        exchange: CommThread::exchange_barrier,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Broadcast,
+        exchange: CommThread::exchange_broadcast,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Gather,
+        exchange: CommThread::exchange_gather,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Scatter,
+        exchange: CommThread::exchange_scatter,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Allgather,
+        exchange: CommThread::exchange_allgather,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Reduce,
+        exchange: CommThread::exchange_reduce,
+    },
+    CollectiveSpec {
+        kind: CollectiveKind::Allreduce,
+        exchange: CommThread::exchange_allreduce,
+    },
+];
+
+fn spec_for(kind: CollectiveKind) -> &'static CollectiveSpec {
+    COLLECTIVE_TABLE
+        .iter()
+        .find(|spec| spec.kind == kind)
+        .expect("every collective kind has a table row")
 }
 
 /// State and main loop of one node's communication thread.
@@ -180,7 +294,9 @@ impl CommThread {
             return self.join_collective(req);
         }
         match req.kind {
-            RequestKind::Send { dst, tag, data } => self.handle_send(req.src_rank, dst, tag, data, req.reply_tx),
+            RequestKind::Send { dst, tag, data } => {
+                self.handle_send(req.src_rank, dst, tag, data, req.reply_tx)
+            }
             RequestKind::Recv { src, tag } => {
                 self.pending_recvs.push(PendingRecv {
                     dst_rank: req.src_rank,
@@ -269,9 +385,7 @@ impl CommThread {
         while i < self.pending_recvs.len() {
             let recv = &self.pending_recvs[i];
             let found = self.incoming.iter().position(|m| {
-                m.dst == recv.dst_rank
-                    && recv.src.map_or(true, |s| s == m.src)
-                    && recv.tag == m.tag
+                m.dst == recv.dst_rank && recv.src.is_none_or(|s| s == m.src) && recv.tag == m.tag
             });
             if let Some(idx) = found {
                 let msg = self.incoming.remove(idx).expect("index valid");
@@ -314,142 +428,425 @@ impl CommThread {
     }
 
     // ------------------------------------------------------------------
-    // Collectives
+    // The generic collective engine: join → local-combine → substrate
+    // exchange → scatter-back.  All per-operation behaviour lives in
+    // COLLECTIVE_TABLE's exchange functions; everything in this section is
+    // shared by every collective.
     // ------------------------------------------------------------------
 
+    /// Phase 1 — join: classify the request, validate it, and add the rank's
+    /// contribution to the node's active assembly.
     fn join_collective(&mut self, req: Request) -> Result<()> {
         let name = req.kind.name();
-        let (kind, root, data) = match req.kind {
-            RequestKind::Barrier => (CollectiveKind::Barrier, 0, None),
-            RequestKind::Broadcast { root, data } => (CollectiveKind::Broadcast, root, data),
-            RequestKind::Gather { root, data } => (CollectiveKind::Gather, root, Some(data)),
-            _ => unreachable!("point-to-point handled elsewhere"),
+        let (id, contribution) = match classify_collective(req.kind) {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = req.reply_tx.send(Reply::Error(e));
+                return Ok(());
+            }
         };
-        if root >= self.rank_map.total_ranks() {
-            let _ = req.reply_tx.send(Reply::Error(DcgnError::InvalidRank(root)));
-            return Ok(());
+        if let Some(root) = id.root {
+            if root >= self.rank_map.total_ranks() {
+                let _ = req
+                    .reply_tx
+                    .send(Reply::Error(DcgnError::InvalidRank(root)));
+                return Ok(());
+            }
+        }
+        if let Contribution::Chunks(chunks) = &contribution {
+            if chunks.len() != self.rank_map.total_ranks() {
+                let _ = req
+                    .reply_tx
+                    .send(Reply::Error(DcgnError::InvalidArgument(format!(
+                        "scatter root must supply {} chunks, got {}",
+                        self.rank_map.total_ranks(),
+                        chunks.len()
+                    ))));
+                return Ok(());
+            }
         }
         match &mut self.active_collective {
             None => {
                 self.active_collective = Some(CollectiveAssembly {
-                    name,
-                    root,
-                    joined: vec![(req.src_rank, data, req.reply_tx)],
-                    kind,
+                    id,
+                    joined: vec![(req.src_rank, contribution, req.reply_tx)],
                 });
             }
             Some(assembly) => {
-                if assembly.kind != kind || assembly.root != root {
-                    let _ = req.reply_tx.send(Reply::Error(DcgnError::CollectiveMismatch {
-                        in_progress: assembly.name,
-                        requested: name,
-                    }));
+                if assembly.id != id {
+                    let _ = req
+                        .reply_tx
+                        .send(Reply::Error(DcgnError::CollectiveMismatch {
+                            in_progress: assembly.id.kind.name(),
+                            requested: name,
+                        }));
                     return Ok(());
                 }
-                assembly.joined.push((req.src_rank, data, req.reply_tx));
+                assembly
+                    .joined
+                    .push((req.src_rank, contribution, req.reply_tx));
             }
         }
         Ok(())
     }
 
+    /// Phases 2–4 — once every local rank has joined: run the table-driven
+    /// node-level exchange and scatter the per-rank results back.
     fn try_execute_collective(&mut self) -> Result<bool> {
         let ready = self
             .active_collective
             .as_ref()
-            .map_or(false, |a| a.joined.len() == self.local_participants());
+            .is_some_and(|a| a.joined.len() == self.local_participants());
         if !ready {
             return Ok(false);
         }
         let assembly = self.active_collective.take().expect("checked above");
-        match assembly.kind {
-            CollectiveKind::Barrier => self.execute_barrier(assembly)?,
-            CollectiveKind::Broadcast => self.execute_broadcast(assembly)?,
-            CollectiveKind::Gather => self.execute_gather(assembly)?,
+        let results = match (spec_for(assembly.id.kind).exchange)(self, &assembly) {
+            Ok(results) => results,
+            Err(DcgnError::InvalidArgument(msg)) => {
+                // A malformed contribution (e.g. mismatched reduce lengths)
+                // fails every local joiner instead of killing the thread.
+                //
+                // Like MPI, a program whose ranks disagree across *nodes* is
+                // erroneous: this node skips the substrate exchange, so peer
+                // nodes that already entered theirs block until their own
+                // kernels time out (see ROADMAP: failure containment needs
+                // cancellable substrate collectives).
+                for (_, _, reply_tx) in assembly.joined {
+                    let _ = reply_tx.send(Reply::Error(DcgnError::InvalidArgument(msg.clone())));
+                }
+                return Ok(true);
+            }
+            Err(e) => return Err(e),
+        };
+        // The rank the payload flows *from* (exempt from dispersal cost):
+        // broadcast and scatter distribute the root's data; the gathering /
+        // reducing collectives deliver *to* their receivers, root included.
+        let source = match assembly.id.kind {
+            CollectiveKind::Broadcast | CollectiveKind::Scatter => assembly.id.root,
+            _ => None,
+        };
+        for (rank, _, reply_tx) in assembly.joined {
+            let result = results.for_rank(rank);
+            // Local dispersal cost: one intra-node copy per rank that
+            // receives a payload it did not itself source.  Payload-free
+            // completions (barrier, non-root ranks of rooted collectives)
+            // charge nothing.
+            if !matches!(result, CollectiveResult::Unit) && Some(rank) != source {
+                self.cost.intra_node.charge(result_payload_len(&result));
+            }
+            let _ = reply_tx.send(Reply::CollectiveDone(result));
         }
         Ok(true)
     }
 
-    fn execute_barrier(&mut self, assembly: CollectiveAssembly) -> Result<()> {
+    // -- Table rows: the node-level exchange of each collective. ----------
+
+    fn exchange_barrier(&mut self, _assembly: &CollectiveAssembly) -> Result<ResultSet> {
         // All local ranks have joined; one node-level barrier finishes it.
         self.comm.barrier()?;
-        for (_, _, reply_tx) in assembly.joined {
-            let _ = reply_tx.send(Reply::BarrierDone);
-        }
-        Ok(())
+        Ok(ResultSet::Uniform(CollectiveResult::Unit))
     }
 
-    fn execute_broadcast(&mut self, assembly: CollectiveAssembly) -> Result<()> {
-        let root_node = self
-            .rank_map
-            .node_of(assembly.root)
-            .ok_or(DcgnError::InvalidRank(assembly.root))?;
+    fn exchange_broadcast(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let root = assembly.id.root.expect("broadcast is rooted");
+        let root_node = self.node_of_root(root)?;
         // If the root is resident, its buffer seeds the MPI broadcast;
         // otherwise an empty buffer receives the payload (§3.2.3).
         let mut data = assembly
             .joined
             .iter()
-            .find(|(rank, _, _)| *rank == assembly.root)
-            .and_then(|(_, d, _)| d.clone())
+            .find(|(rank, _, _)| *rank == root)
+            .map(|(_, c, _)| c.as_bytes().to_vec())
             .unwrap_or_default();
         self.comm.bcast(root_node, &mut data)?;
-        // Local dispersal: one copy per non-root participant.
-        for (rank, _, reply_tx) in assembly.joined {
-            if rank != assembly.root {
-                self.cost.intra_node.charge(data.len());
-            }
-            let _ = reply_tx.send(Reply::BroadcastDone { data: clone_payload(&data) });
-        }
-        Ok(())
+        Ok(ResultSet::Uniform(CollectiveResult::Bytes(data)))
     }
 
-    fn execute_gather(&mut self, assembly: CollectiveAssembly) -> Result<()> {
-        let root_node = self
-            .rank_map
-            .node_of(assembly.root)
-            .ok_or(DcgnError::InvalidRank(assembly.root))?;
-        // Encode this node's contributions as [rank u32][len u32][bytes]…
-        let mut blob = Vec::new();
-        for (rank, data, _) in &assembly.joined {
-            let data = data.as_deref().unwrap_or(&[]);
-            blob.extend_from_slice(&(*rank as u32).to_le_bytes());
-            blob.extend_from_slice(&(data.len() as u32).to_le_bytes());
-            blob.extend_from_slice(data);
-        }
+    fn exchange_gather(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let root = assembly.id.root.expect("gather is rooted");
+        let root_node = self.node_of_root(root)?;
+        let blob = encode_rank_frames(
+            assembly
+                .joined
+                .iter()
+                .map(|(rank, c, _)| (*rank, c.as_bytes())),
+        );
         let node_blobs = self.comm.gatherv(root_node, &blob)?;
-        let result = match node_blobs {
+        Ok(match node_blobs {
             Some(blobs) => {
                 let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
                 for blob in blobs {
-                    let mut off = 0;
-                    while off + 8 <= blob.len() {
-                        let rank = u32::from_le_bytes(blob[off..off + 4].try_into().unwrap())
-                            as usize;
-                        let len =
-                            u32::from_le_bytes(blob[off + 4..off + 8].try_into().unwrap())
-                                as usize;
-                        off += 8;
-                        if rank < per_rank.len() && off + len <= blob.len() {
-                            per_rank[rank] = blob[off..off + len].to_vec();
-                        }
-                        off += len;
-                    }
+                    decode_rank_frames_into(&blob, &mut per_rank);
                 }
-                Some(per_rank)
+                ResultSet::RootOnly(root, CollectiveResult::Chunks(per_rank))
             }
-            None => None,
+            None => ResultSet::RootOnly(root, CollectiveResult::Unit),
+        })
+    }
+
+    fn exchange_scatter(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let root = assembly.id.root.expect("scatter is rooted");
+        let root_node = self.node_of_root(root)?;
+        // Only the root node holds the chunk list; it frames each remote
+        // node's share as one blob and the substrate scatters them.
+        let node_blobs = if self.node == root_node {
+            let chunks = assembly
+                .joined
+                .iter()
+                .find_map(|(rank, c, _)| match (rank, c) {
+                    (r, Contribution::Chunks(chunks)) if *r == root => Some(chunks),
+                    _ => None,
+                })
+                .ok_or_else(|| {
+                    DcgnError::InvalidArgument("scatter root supplied no chunks".into())
+                })?;
+            let blobs: Vec<Vec<u8>> = (0..self.rank_map.num_nodes())
+                .map(|node| {
+                    encode_rank_frames(
+                        self.rank_map
+                            .ranks_on_node(node)
+                            .map(|rank| (rank, chunks[rank].as_slice())),
+                    )
+                })
+                .collect();
+            Some(blobs)
+        } else {
+            None
         };
-        for (rank, _, reply_tx) in assembly.joined {
-            let payload = if rank == assembly.root {
-                result.clone()
-            } else {
-                None
-            };
-            let _ = reply_tx.send(Reply::GatherDone { data: payload });
+        let my_blob = self.comm.scatterv(root_node, node_blobs.as_deref())?;
+        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
+        decode_rank_frames_into(&my_blob, &mut per_rank);
+        Ok(ResultSet::PerRank(
+            per_rank
+                .into_iter()
+                .enumerate()
+                .map(|(rank, chunk)| {
+                    self.rank_map
+                        .node_of(rank)
+                        .filter(|&n| n == self.node)
+                        .map(|_| CollectiveResult::Bytes(chunk))
+                })
+                .collect(),
+        ))
+    }
+
+    fn exchange_allgather(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let blob = encode_rank_frames(
+            assembly
+                .joined
+                .iter()
+                .map(|(rank, c, _)| (*rank, c.as_bytes())),
+        );
+        let all_blobs = self.comm.allgatherv(&blob)?;
+        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
+        for blob in all_blobs {
+            decode_rank_frames_into(&blob, &mut per_rank);
         }
-        Ok(())
+        Ok(ResultSet::Uniform(CollectiveResult::Chunks(per_rank)))
+    }
+
+    fn exchange_reduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let root = assembly.id.root.expect("reduce is rooted");
+        let root_node = self.node_of_root(root)?;
+        let op = assembly.id.op.expect("reduce carries an operator");
+        let partial = combine_local_f64(assembly, op)?;
+        let reduced = self.comm.reduce_f64(root_node, &partial, op)?;
+        Ok(match reduced {
+            Some(values) => {
+                ResultSet::RootOnly(root, CollectiveResult::Bytes(f64s_to_bytes(&values)))
+            }
+            None => ResultSet::RootOnly(root, CollectiveResult::Unit),
+        })
+    }
+
+    fn exchange_allreduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let op = assembly.id.op.expect("allreduce carries an operator");
+        let partial = combine_local_f64(assembly, op)?;
+        let values = self.comm.allreduce_f64(&partial, op)?;
+        Ok(ResultSet::Uniform(CollectiveResult::Bytes(f64s_to_bytes(
+            &values,
+        ))))
+    }
+
+    fn node_of_root(&self, root: usize) -> Result<usize> {
+        self.rank_map
+            .node_of(root)
+            .ok_or(DcgnError::InvalidRank(root))
     }
 }
 
-fn clone_payload(data: &[u8]) -> Vec<u8> {
-    data.to_vec()
+impl CollectiveKind {
+    fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+        }
+    }
+}
+
+/// Map a collective request onto its identity and this rank's contribution.
+/// Point-to-point kinds are a caller bug.
+fn classify_collective(kind: RequestKind) -> Result<(CollectiveId, Contribution)> {
+    let id = |kind, root, op| CollectiveId { kind, root, op };
+    Ok(match kind {
+        RequestKind::Barrier => (id(CollectiveKind::Barrier, None, None), Contribution::None),
+        RequestKind::Broadcast { root, data } => (
+            id(CollectiveKind::Broadcast, Some(root), None),
+            data.map_or(Contribution::None, Contribution::Bytes),
+        ),
+        RequestKind::Gather { root, data } => (
+            id(CollectiveKind::Gather, Some(root), None),
+            Contribution::Bytes(data),
+        ),
+        RequestKind::Scatter { root, chunks } => (
+            id(CollectiveKind::Scatter, Some(root), None),
+            chunks.map_or(Contribution::None, Contribution::Chunks),
+        ),
+        RequestKind::Allgather { data } => (
+            id(CollectiveKind::Allgather, None, None),
+            Contribution::Bytes(data),
+        ),
+        RequestKind::Reduce { root, data, op } => (
+            id(CollectiveKind::Reduce, Some(root), Some(op)),
+            Contribution::Bytes(f64s_to_bytes(&data)),
+        ),
+        RequestKind::Allreduce { data, op } => (
+            id(CollectiveKind::Allreduce, None, Some(op)),
+            Contribution::Bytes(f64s_to_bytes(&data)),
+        ),
+        RequestKind::Send { .. } | RequestKind::Recv { .. } => {
+            return Err(DcgnError::Internal(
+                "point-to-point request routed to the collective engine".into(),
+            ))
+        }
+    })
+}
+
+/// Local-combine for reduce/allreduce: fold every joined rank's vector into
+/// one node-level partial.  All contributions must have the same length.
+fn combine_local_f64(assembly: &CollectiveAssembly, op: ReduceOp) -> Result<Vec<f64>> {
+    let mut acc: Option<Vec<f64>> = None;
+    for (rank, contribution, _) in &assembly.joined {
+        let values = bytes_to_f64s(contribution.as_bytes());
+        match &mut acc {
+            None => acc = Some(values),
+            Some(acc) => {
+                if acc.len() != values.len() {
+                    return Err(DcgnError::InvalidArgument(format!(
+                        "reduce length mismatch: rank {rank} contributed {} values, expected {}",
+                        values.len(),
+                        acc.len()
+                    )));
+                }
+                op.apply(acc, &values);
+            }
+        }
+    }
+    Ok(acc.unwrap_or_default())
+}
+
+/// Byte size of the payload a rank receives, for intra-node cost accounting.
+fn result_payload_len(result: &CollectiveResult) -> usize {
+    match result {
+        CollectiveResult::Unit => 0,
+        CollectiveResult::Bytes(b) => b.len(),
+        CollectiveResult::Chunks(chunks) => chunks.iter().map(Vec::len).sum(),
+    }
+}
+
+/// Encode `(rank, bytes)` pairs as `[rank u32][len u32][bytes]…` — the wire
+/// framing every chunked collective uses to move per-rank data between nodes.
+fn encode_rank_frames<'a>(frames: impl Iterator<Item = (usize, &'a [u8])>) -> Vec<u8> {
+    let mut blob = Vec::new();
+    for (rank, data) in frames {
+        blob.extend_from_slice(&(rank as u32).to_le_bytes());
+        blob.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        blob.extend_from_slice(data);
+    }
+    blob
+}
+
+/// Decode rank frames into a rank-indexed table, ignoring malformed or
+/// out-of-range entries.
+fn decode_rank_frames_into(blob: &[u8], per_rank: &mut [Vec<u8>]) {
+    let mut off = 0;
+    while off + 8 <= blob.len() {
+        let rank = u32::from_le_bytes(blob[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(blob[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
+        off += 8;
+        if rank < per_rank.len() && off + len <= blob.len() {
+            per_rank[rank] = blob[off..off + len].to_vec();
+        }
+        off += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive variant list; the match forces an update here (and thus in
+    /// the assertions below) whenever a `CollectiveKind` is added, turning a
+    /// missing `COLLECTIVE_TABLE` row from a runtime panic into a test
+    /// failure.
+    const ALL_KINDS: [CollectiveKind; 7] = [
+        CollectiveKind::Barrier,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Gather,
+        CollectiveKind::Scatter,
+        CollectiveKind::Allgather,
+        CollectiveKind::Reduce,
+        CollectiveKind::Allreduce,
+    ];
+
+    #[test]
+    fn every_collective_kind_has_a_table_row() {
+        assert_eq!(COLLECTIVE_TABLE.len(), ALL_KINDS.len());
+        for kind in ALL_KINDS {
+            // Exhaustiveness guard: adding a variant breaks this match.
+            match kind {
+                CollectiveKind::Barrier
+                | CollectiveKind::Broadcast
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+                | CollectiveKind::Allgather
+                | CollectiveKind::Reduce
+                | CollectiveKind::Allreduce => {}
+            }
+            assert_eq!(spec_for(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn rank_frames_roundtrip() {
+        let frames: Vec<(usize, Vec<u8>)> = vec![(0, vec![1, 2]), (2, vec![]), (3, vec![9; 300])];
+        let blob = encode_rank_frames(frames.iter().map(|(r, d)| (*r, d.as_slice())));
+        let mut per_rank = vec![Vec::new(); 4];
+        decode_rank_frames_into(&blob, &mut per_rank);
+        assert_eq!(per_rank[0], vec![1, 2]);
+        assert!(per_rank[1].is_empty());
+        assert!(per_rank[2].is_empty());
+        assert_eq!(per_rank[3], vec![9; 300]);
+    }
+
+    #[test]
+    fn decode_ignores_out_of_range_and_truncated_frames() {
+        let blob = encode_rank_frames([(7usize, &[1u8, 2][..])].into_iter());
+        let mut per_rank = vec![Vec::new(); 2];
+        decode_rank_frames_into(&blob, &mut per_rank);
+        assert!(per_rank.iter().all(Vec::is_empty));
+        // Truncated payload: header promises 100 bytes, blob ends early.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&100u32.to_le_bytes());
+        bad.extend_from_slice(&[5; 10]);
+        decode_rank_frames_into(&bad, &mut per_rank);
+        assert!(per_rank.iter().all(Vec::is_empty));
+    }
 }

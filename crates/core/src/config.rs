@@ -192,8 +192,7 @@ mod tests {
     #[test]
     fn too_many_slots_for_device_is_rejected() {
         let device = DeviceConfig::default().with_multiprocessors(2);
-        let cfg =
-            DcgnConfig::heterogeneous(vec![NodeConfig::new(0, 1, 8).with_device(device)]);
+        let cfg = DcgnConfig::heterogeneous(vec![NodeConfig::new(0, 1, 8).with_device(device)]);
         assert!(matches!(cfg.validate(), Err(DcgnError::InvalidConfig(_))));
     }
 

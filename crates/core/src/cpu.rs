@@ -8,10 +8,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
-use crate::message::{CommCommand, CommStatus, Reply, Request, RequestKind};
+use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
 use crate::rank::RankMap;
 
 /// Execution context of one CPU-kernel thread (one DCGN rank).
@@ -163,7 +164,12 @@ impl CpuCtx {
     /// `dst` and replace it with the message received from `src`.  The two
     /// halves are posted together so symmetric exchanges cannot deadlock —
     /// this is the call Cannon's algorithm uses in the paper.
-    pub fn sendrecv_replace(&self, buf: &mut Vec<u8>, dst: usize, src: usize) -> Result<CommStatus> {
+    pub fn sendrecv_replace(
+        &self,
+        buf: &mut Vec<u8>,
+        dst: usize,
+        src: usize,
+    ) -> Result<CommStatus> {
         self.check_rank(dst)?;
         self.check_rank(src)?;
         let send_rx = self.post(RequestKind::Send {
@@ -199,18 +205,34 @@ impl CpuCtx {
     }
 
     // ------------------------------------------------------------------
-    // Collectives
+    // Collectives — every operation is one relay into the comm thread's
+    // generic collective engine plus a shape-check of the result.
     // ------------------------------------------------------------------
+
+    /// Relay a collective request and return this rank's share of the result.
+    fn collective(&self, kind: RequestKind, what: &'static str) -> Result<CollectiveResult> {
+        match self.post_and_wait(kind, what)? {
+            Reply::CollectiveDone(result) => Ok(result),
+            Reply::Error(e) => Err(e),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reply to {what}: {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_bytes(result: CollectiveResult, what: &'static str) -> Result<Vec<u8>> {
+        match result {
+            CollectiveResult::Bytes(b) => Ok(b),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected {what} result shape: {other:?}"
+            ))),
+        }
+    }
 
     /// Barrier across every DCGN rank (CPU threads and GPU slots alike).
     pub fn barrier(&self) -> Result<()> {
-        match self.post_and_wait(RequestKind::Barrier, "barrier")? {
-            Reply::BarrierDone => Ok(()),
-            Reply::Error(e) => Err(e),
-            other => Err(DcgnError::Internal(format!(
-                "unexpected reply to barrier: {other:?}"
-            ))),
-        }
+        self.collective(RequestKind::Barrier, "barrier")?;
+        Ok(())
     }
 
     /// Broadcast from `root`.  On entry only the root's `data` matters; on
@@ -222,35 +244,113 @@ impl CpuCtx {
         } else {
             None
         };
-        match self.post_and_wait(RequestKind::Broadcast { root, data: payload }, "broadcast")? {
-            Reply::BroadcastDone { data: result } => {
-                *data = result;
-                Ok(())
-            }
-            Reply::Error(e) => Err(e),
-            other => Err(DcgnError::Internal(format!(
-                "unexpected reply to broadcast: {other:?}"
-            ))),
-        }
+        let result = self.collective(
+            RequestKind::Broadcast {
+                root,
+                data: payload,
+            },
+            "broadcast",
+        )?;
+        *data = Self::expect_bytes(result, "broadcast")?;
+        Ok(())
     }
 
     /// Gather every rank's `data` at `root`.  Returns `Some(chunks)` indexed
     /// by rank at the root and `None` elsewhere.
     pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         self.check_rank(root)?;
-        match self.post_and_wait(
+        match self.collective(
             RequestKind::Gather {
                 root,
                 data: data.to_vec(),
             },
             "gather",
         )? {
-            Reply::GatherDone { data } => Ok(data),
-            Reply::Error(e) => Err(e),
+            CollectiveResult::Chunks(chunks) => Ok(Some(chunks)),
+            CollectiveResult::Unit => Ok(None),
             other => Err(DcgnError::Internal(format!(
-                "unexpected reply to gather: {other:?}"
+                "unexpected gather result shape: {other:?}"
             ))),
         }
+    }
+
+    /// Scatter per-rank chunks from `root`.  The root passes `Some(chunks)`
+    /// with exactly one chunk per rank; every other rank passes `None`.
+    /// Every rank (the root included) receives its own chunk.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        self.check_rank(root)?;
+        let payload = if self.rank == root {
+            let chunks = chunks.ok_or_else(|| {
+                DcgnError::InvalidArgument("scatter root must supply chunks".into())
+            })?;
+            if chunks.len() != self.size() {
+                return Err(DcgnError::InvalidArgument(format!(
+                    "scatter needs {} chunks, got {}",
+                    self.size(),
+                    chunks.len()
+                )));
+            }
+            Some(chunks.to_vec())
+        } else {
+            None
+        };
+        let result = self.collective(
+            RequestKind::Scatter {
+                root,
+                chunks: payload,
+            },
+            "scatter",
+        )?;
+        Self::expect_bytes(result, "scatter")
+    }
+
+    /// Allgather: contribute `data` and receive every rank's contribution,
+    /// indexed by rank.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        match self.collective(
+            RequestKind::Allgather {
+                data: data.to_vec(),
+            },
+            "allgather",
+        )? {
+            CollectiveResult::Chunks(chunks) => Ok(chunks),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected allgather result shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// Element-wise reduction of every rank's `data` to `root`.  All ranks
+    /// must contribute vectors of the same length.  Returns `Some(result)`
+    /// at the root and `None` elsewhere.
+    pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Result<Option<Vec<f64>>> {
+        self.check_rank(root)?;
+        match self.collective(
+            RequestKind::Reduce {
+                root,
+                data: data.to_vec(),
+                op,
+            },
+            "reduce",
+        )? {
+            CollectiveResult::Bytes(bytes) => Ok(Some(bytes_to_f64s(&bytes))),
+            CollectiveResult::Unit => Ok(None),
+            other => Err(DcgnError::Internal(format!(
+                "unexpected reduce result shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// Element-wise reduction where every rank receives the result.
+    pub fn allreduce(&self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        let result = self.collective(
+            RequestKind::Allreduce {
+                data: data.to_vec(),
+                op,
+            },
+            "allreduce",
+        )?;
+        Ok(bytes_to_f64s(&Self::expect_bytes(result, "allreduce")?))
     }
 }
 

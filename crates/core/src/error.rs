@@ -24,6 +24,9 @@ pub enum DcgnError {
         /// Size of the matching message.
         message: usize,
     },
+    /// A request argument was malformed (e.g. a scatter root supplying the
+    /// wrong number of chunks, or reduce contributions of differing length).
+    InvalidArgument(String),
     /// Ranks disagreed about which collective to execute.
     CollectiveMismatch {
         /// Collective already in progress on the node.
@@ -53,6 +56,7 @@ impl fmt::Display for DcgnError {
                 f,
                 "receive buffer too small: {buffer} bytes for a {message}-byte message"
             ),
+            DcgnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             DcgnError::CollectiveMismatch {
                 in_progress,
                 requested,
@@ -72,7 +76,13 @@ impl std::error::Error for DcgnError {}
 
 impl From<dcgn_rmpi::RmpiError> for DcgnError {
     fn from(e: dcgn_rmpi::RmpiError) -> Self {
-        DcgnError::Mpi(e.to_string())
+        match e {
+            // Preserve the argument-error category: the comm thread's
+            // collective engine contains InvalidArgument failures (failing
+            // the joined ranks) instead of tearing the whole thread down.
+            dcgn_rmpi::RmpiError::InvalidArgument(msg) => DcgnError::InvalidArgument(msg),
+            other => DcgnError::Mpi(other.to_string()),
+        }
     }
 }
 
@@ -102,6 +112,7 @@ mod tests {
                 buffer: 1,
                 message: 2,
             },
+            DcgnError::InvalidArgument("bad chunk count".into()),
             DcgnError::CollectiveMismatch {
                 in_progress: "barrier",
                 requested: "broadcast",
@@ -120,6 +131,10 @@ mod tests {
     fn conversions_from_substrate_errors() {
         let mpi: DcgnError = dcgn_rmpi::RmpiError::InvalidRank(2).into();
         assert!(matches!(mpi, DcgnError::Mpi(_)));
+        // Argument errors keep their category so the collective engine's
+        // containment path can catch them.
+        let arg: DcgnError = dcgn_rmpi::RmpiError::InvalidArgument("x".into()).into();
+        assert!(matches!(arg, DcgnError::InvalidArgument(_)));
         let dev: DcgnError = dcgn_dpm::MemoryError::InvalidFree(0).into();
         assert!(matches!(dev, DcgnError::Device(_)));
     }

@@ -15,10 +15,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dcgn_dpm::{BlockCtx, Device, DevicePtr, KernelHandle};
+use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
-use crate::message::{CommCommand, CommStatus, Reply, Request, RequestKind};
+use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
 
 // ---------------------------------------------------------------------------
 // Mailbox layout
@@ -54,6 +55,43 @@ pub mod opcode {
     /// Combined send + receive replacing the buffer in place
     /// (the `MPI_Sendrecv_replace` analogue Cannon's algorithm uses).
     pub const SENDRECV_REPLACE: u32 = 5;
+    /// Gather to a root (in-place: per-rank blocks of `len` bytes).
+    pub const GATHER: u32 = 6;
+    /// Scatter from a root (in-place: the root stages `ranks × len` bytes).
+    pub const SCATTER: u32 = 7;
+    /// Allgather (in-place: per-rank blocks of `len` bytes).
+    pub const ALLGATHER: u32 = 8;
+    /// Element-wise `f64` reduction to a root.
+    pub const REDUCE: u32 = 9;
+    /// Element-wise `f64` reduction delivered to every rank.
+    pub const ALLREDUCE: u32 = 10;
+}
+
+/// Wire encoding of [`ReduceOp`] in the mailbox `reduce_op` field.
+pub mod reduce_op_code {
+    /// Element-wise sum.
+    pub const SUM: u32 = 0;
+    /// Element-wise minimum.
+    pub const MIN: u32 = 1;
+    /// Element-wise maximum.
+    pub const MAX: u32 = 2;
+}
+
+fn encode_reduce_op(op: ReduceOp) -> u32 {
+    match op {
+        ReduceOp::Sum => reduce_op_code::SUM,
+        ReduceOp::Min => reduce_op_code::MIN,
+        ReduceOp::Max => reduce_op_code::MAX,
+    }
+}
+
+fn decode_reduce_op(code: u32) -> Option<ReduceOp> {
+    match code {
+        reduce_op_code::SUM => Some(ReduceOp::Sum),
+        reduce_op_code::MIN => Some(ReduceOp::Min),
+        reduce_op_code::MAX => Some(ReduceOp::Max),
+        _ => None,
+    }
 }
 
 /// Peer value meaning "any source".
@@ -70,6 +108,7 @@ const OFF_RESULT_LEN: usize = 32;
 const OFF_RESULT_SRC: usize = 40;
 const OFF_ERROR: usize = 44;
 const OFF_PEER2: usize = 48;
+const OFF_REDUCE_OP: usize = 52;
 
 /// Error codes written into the `error` field of a mailbox entry.
 pub mod mailbox_error {
@@ -178,6 +217,7 @@ impl<'a> GpuCtx<'a> {
     /// Claim a slot's mailbox (serialises concurrent blocks sharing a slot),
     /// fill in a request, publish it, wait for completion and release the
     /// mailbox.  Returns `(result_len, result_src, error)`.
+    #[allow(clippy::too_many_arguments)]
     fn transact(
         &self,
         slot: usize,
@@ -185,6 +225,7 @@ impl<'a> GpuCtx<'a> {
         peer: u32,
         peer2: u32,
         tag: u32,
+        reduce_op: u32,
         data_ptr: DevicePtr,
         len: usize,
     ) -> (usize, usize, u32) {
@@ -200,6 +241,7 @@ impl<'a> GpuCtx<'a> {
         b.write_u32(entry.add(OFF_PEER), peer);
         b.write_u32(entry.add(OFF_PEER2), peer2);
         b.write_u32(entry.add(OFF_TAG), tag);
+        b.write_u32(entry.add(OFF_REDUCE_OP), reduce_op);
         b.write_u64(entry.add(OFF_DATA_PTR), data_ptr.offset() as u64);
         b.write_u64(entry.add(OFF_LEN), len as u64);
         b.write_u64(entry.add(OFF_RESULT_LEN), 0);
@@ -230,7 +272,7 @@ impl<'a> GpuCtx<'a> {
     /// Send `len` bytes starting at device pointer `data` to DCGN rank `dst`
     /// using `slot` (the paper's `dcgn::gpu::send`).
     pub fn send(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) {
-        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, data, len);
+        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, 0, data, len);
         self.check(err, "send");
     }
 
@@ -238,7 +280,7 @@ impl<'a> GpuCtx<'a> {
     /// `src` using `slot` (the paper's `dcgn::gpu::recv`).  Returns the
     /// completion status.
     pub fn recv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, data, len);
+        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
@@ -249,7 +291,7 @@ impl<'a> GpuCtx<'a> {
 
     /// Receive from any rank.
     pub fn recv_any(&self, slot: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, data, len);
+        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
@@ -260,7 +302,7 @@ impl<'a> GpuCtx<'a> {
 
     /// Barrier across every DCGN rank, entered by this slot.
     pub fn barrier(&self, slot: usize) {
-        let (_, _, err) = self.transact(slot, opcode::BARRIER, 0, 0, 0, DevicePtr::NULL, 0);
+        let (_, _, err) = self.transact(slot, opcode::BARRIER, 0, 0, 0, 0, DevicePtr::NULL, 0);
         self.check(err, "barrier");
     }
 
@@ -269,8 +311,87 @@ impl<'a> GpuCtx<'a> {
     /// root's bytes into `data` (at most `len` bytes).  Returns the number of
     /// bytes broadcast.
     pub fn broadcast(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(slot, opcode::BROADCAST, root as u32, 0, 0, data, len);
+        let (got, _, err) = self.transact(slot, opcode::BROADCAST, root as u32, 0, 0, 0, data, len);
         self.check(err, "broadcast");
+        got
+    }
+
+    /// Gather every rank's block at DCGN rank `root` (in-place, like
+    /// `MPI_Gather` with `MPI_IN_PLACE`): `data` addresses a buffer of
+    /// `size() × len` bytes in which this slot has written its own `len`-byte
+    /// contribution at offset `rank × len`.  On return the root's buffer
+    /// holds every rank's block at that rank's offset; other participants'
+    /// buffers are untouched.  Returns the total bytes gathered at the root
+    /// and `0` elsewhere.
+    pub fn gather(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
+        let (got, _, err) = self.transact(slot, opcode::GATHER, root as u32, 0, 0, 0, data, len);
+        self.check(err, "gather");
+        got
+    }
+
+    /// Scatter per-rank chunks of `len` bytes from DCGN rank `root`
+    /// (in-place): the root's `data` buffer stages `size() × len` bytes with
+    /// rank `r`'s chunk at offset `r × len`; on return every participant's
+    /// `data` holds its own chunk in the first `len` bytes (the root's own
+    /// chunk is copied down to its buffer start as well).  Returns the chunk
+    /// size received.
+    pub fn scatter(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
+        let (got, _, err) = self.transact(slot, opcode::SCATTER, root as u32, 0, 0, 0, data, len);
+        self.check(err, "scatter");
+        got
+    }
+
+    /// Allgather every rank's block (in-place, like `MPI_Allgather` with
+    /// `MPI_IN_PLACE`): same buffer convention as [`GpuCtx::gather`], but on
+    /// return *every* participant's buffer holds all `size() × len` bytes.
+    /// Returns the total bytes gathered.
+    pub fn allgather(&self, slot: usize, data: DevicePtr, len: usize) -> usize {
+        let (got, _, err) = self.transact(slot, opcode::ALLGATHER, 0, 0, 0, 0, data, len);
+        self.check(err, "allgather");
+        got
+    }
+
+    /// Element-wise reduction of `count` `f64`s at `data` to DCGN rank
+    /// `root`.  On return the root's buffer holds the reduced vector; other
+    /// participants' buffers are untouched.  Returns the result size in
+    /// bytes at the root and `0` elsewhere.
+    pub fn reduce(
+        &self,
+        slot: usize,
+        root: usize,
+        op: ReduceOp,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::REDUCE,
+            root as u32,
+            0,
+            0,
+            encode_reduce_op(op),
+            data,
+            count * 8,
+        );
+        self.check(err, "reduce");
+        got
+    }
+
+    /// Element-wise reduction of `count` `f64`s at `data`, with every rank
+    /// receiving the reduced vector in place.  Returns the result size in
+    /// bytes.
+    pub fn allreduce(&self, slot: usize, op: ReduceOp, data: DevicePtr, count: usize) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::ALLREDUCE,
+            0,
+            0,
+            0,
+            encode_reduce_op(op),
+            data,
+            count * 8,
+        );
+        self.check(err, "allreduce");
         got
     }
 
@@ -291,6 +412,7 @@ impl<'a> GpuCtx<'a> {
             opcode::SENDRECV_REPLACE,
             dst as u32,
             src as u32,
+            0,
             0,
             data,
             len,
@@ -389,9 +511,15 @@ struct PendingSlotOp {
     /// otherwise) and the replies already collected.
     reply_rxs: Vec<Receiver<Reply>>,
     replies: Vec<Reply>,
-    opcode: u32,
     data_ptr: DevicePtr,
+    /// Device buffer capacity available for the write-back.
     max_len: usize,
+    /// Per-rank block size for the in-place chunked collectives
+    /// (gather/scatter/allgather); 0 for other operations.
+    unit_len: usize,
+    /// True when the device already holds the result bytes (broadcast at the
+    /// root), so no PCI-e write-back is needed.
+    skip_writeback: bool,
 }
 
 impl PendingSlotOp {
@@ -451,18 +579,25 @@ impl GpuKernelThread {
     /// Decode a mailbox entry that is in `REQUESTED` state and relay it to
     /// the communication thread.  Returns the pending-op bookkeeping.
     fn pick_up_request(&self, slot: usize, entry_bytes: &[u8]) -> Result<PendingSlotOp> {
-        let read_u32 = |off: usize| {
-            u32::from_le_bytes(entry_bytes[off..off + 4].try_into().expect("4 bytes"))
-        };
-        let read_u64 = |off: usize| {
-            u64::from_le_bytes(entry_bytes[off..off + 8].try_into().expect("8 bytes"))
-        };
+        let read_u32 =
+            |off: usize| u32::from_le_bytes(entry_bytes[off..off + 4].try_into().expect("4 bytes"));
+        let read_u64 =
+            |off: usize| u64::from_le_bytes(entry_bytes[off..off + 8].try_into().expect("8 bytes"));
         let op = read_u32(OFF_OPCODE);
         let peer = read_u32(OFF_PEER);
         let peer2 = read_u32(OFF_PEER2);
         let tag = read_u32(OFF_TAG);
+        let reduce_op = read_u32(OFF_REDUCE_OP);
         let data_ptr = DevicePtr::NULL.add(read_u64(OFF_DATA_PTR) as usize);
         let len = read_u64(OFF_LEN) as usize;
+        let my_rank = self.layout.slot_rank_base + slot;
+        let total_ranks = self.layout.total_ranks;
+
+        // Write-back bookkeeping; the chunked in-place collectives override
+        // these below.
+        let mut max_len = len;
+        let mut unit_len = 0;
+        let mut skip_writeback = false;
 
         let mut reply_rxs = Vec::with_capacity(2);
         match op {
@@ -497,13 +632,73 @@ impl GpuKernelThread {
             }
             opcode::BROADCAST => {
                 let root = peer as usize;
-                let my_rank = self.layout.slot_rank_base + slot;
                 let data = if my_rank == root {
+                    // The root's device buffer already holds the payload, so
+                    // the completion does not need to copy it back down.
+                    skip_writeback = true;
                     Some(self.device.memcpy_dtoh_vec(data_ptr, len)?)
                 } else {
                     None
                 };
                 reply_rxs.push(self.relay_request(slot, RequestKind::Broadcast { root, data })?);
+            }
+            opcode::GATHER => {
+                // In-place convention: this slot's contribution sits at its
+                // rank's offset inside a `total_ranks × len` buffer.
+                let data = self
+                    .device
+                    .memcpy_dtoh_vec(data_ptr.add(my_rank * len), len)?;
+                unit_len = len;
+                max_len = len * total_ranks;
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Gather {
+                        root: peer as usize,
+                        data,
+                    },
+                )?);
+            }
+            opcode::SCATTER => {
+                let root = peer as usize;
+                let chunks = if my_rank == root {
+                    // The root stages one `len`-byte chunk per rank.
+                    let staged = self.device.memcpy_dtoh_vec(data_ptr, len * total_ranks)?;
+                    Some(
+                        (0..total_ranks)
+                            .map(|r| staged[r * len..(r + 1) * len].to_vec())
+                            .collect::<Vec<_>>(),
+                    )
+                } else {
+                    None
+                };
+                reply_rxs.push(self.relay_request(slot, RequestKind::Scatter { root, chunks })?);
+            }
+            opcode::ALLGATHER => {
+                let data = self
+                    .device
+                    .memcpy_dtoh_vec(data_ptr.add(my_rank * len), len)?;
+                unit_len = len;
+                max_len = len * total_ranks;
+                reply_rxs.push(self.relay_request(slot, RequestKind::Allgather { data })?);
+            }
+            opcode::REDUCE | opcode::ALLREDUCE => {
+                let op_kind = decode_reduce_op(reduce_op).ok_or_else(|| {
+                    DcgnError::Internal(format!(
+                        "unknown reduce-op code {reduce_op} on slot {slot}"
+                    ))
+                })?;
+                let bytes = self.device.memcpy_dtoh_vec(data_ptr, len)?;
+                let data = bytes_to_f64s(&bytes);
+                let kind = if op == opcode::REDUCE {
+                    RequestKind::Reduce {
+                        root: peer as usize,
+                        data,
+                        op: op_kind,
+                    }
+                } else {
+                    RequestKind::Allreduce { data, op: op_kind }
+                };
+                reply_rxs.push(self.relay_request(slot, kind)?);
             }
             opcode::SENDRECV_REPLACE => {
                 // Two requests relayed together: the outbound copy of the
@@ -538,9 +733,10 @@ impl GpuKernelThread {
         Ok(PendingSlotOp {
             reply_rxs,
             replies: Vec::new(),
-            opcode: op,
             data_ptr,
-            max_len: len,
+            max_len,
+            unit_len,
+            skip_writeback,
         })
     }
 
@@ -553,7 +749,7 @@ impl GpuKernelThread {
         let mut result_src = 0u32;
         for reply in pending.replies.drain(..) {
             match reply {
-                Reply::SendDone | Reply::BarrierDone => {}
+                Reply::SendDone => {}
                 Reply::RecvDone { data, status } => {
                     if data.len() > pending.max_len {
                         error = mailbox_error::TRUNCATED;
@@ -563,20 +759,35 @@ impl GpuKernelThread {
                         result_src = status.source as u32;
                     }
                 }
-                Reply::BroadcastDone { data } => {
+                // A collective completed; write this rank's share of the
+                // result back into the slot's device buffer.
+                Reply::CollectiveDone(CollectiveResult::Unit) => {}
+                Reply::CollectiveDone(CollectiveResult::Bytes(data)) => {
                     result_len = data.len() as u64;
-                    if pending.opcode == opcode::BROADCAST {
-                        if data.len() > pending.max_len {
-                            error = mailbox_error::TRUNCATED;
-                        } else {
-                            // The root already holds the payload; everyone
-                            // else needs it copied down over PCI-e.
-                            self.device.memcpy_htod(pending.data_ptr, &data)?;
-                        }
+                    if pending.skip_writeback {
+                        // Broadcast root: the device buffer already holds the
+                        // payload; no PCI-e copy needed.
+                    } else if data.len() > pending.max_len {
+                        error = mailbox_error::TRUNCATED;
+                    } else {
+                        self.device.memcpy_htod(pending.data_ptr, &data)?;
                     }
                 }
-                Reply::GatherDone { .. } => {
-                    error = mailbox_error::OTHER;
+                Reply::CollectiveDone(CollectiveResult::Chunks(chunks)) => {
+                    // In-place gather/allgather: the device buffer expects
+                    // equal `unit_len`-byte blocks, one per rank.
+                    if chunks.iter().any(|c| c.len() != pending.unit_len)
+                        || chunks.len() * pending.unit_len > pending.max_len
+                    {
+                        error = mailbox_error::TRUNCATED;
+                    } else {
+                        let mut flat = Vec::with_capacity(chunks.len() * pending.unit_len);
+                        for chunk in &chunks {
+                            flat.extend_from_slice(chunk);
+                        }
+                        self.device.memcpy_htod(pending.data_ptr, &flat)?;
+                        result_len = flat.len() as u64;
+                    }
                 }
                 Reply::Error(e) => {
                     error = match e {
@@ -596,7 +807,8 @@ impl GpuKernelThread {
         results[12..16].copy_from_slice(&error.to_le_bytes());
         self.device
             .memcpy_htod(entry.add(OFF_RESULT_LEN), &results)?;
-        self.device.write_u32(entry.add(OFF_STATUS), status::COMPLETE)?;
+        self.device
+            .write_u32(entry.add(OFF_STATUS), status::COMPLETE)?;
         Ok(())
     }
 
@@ -635,9 +847,7 @@ impl GpuKernelThread {
                     saw_request = true;
                     requests += 1;
                     // Pull the whole entry, mark it in-progress, relay it.
-                    let bytes = self
-                        .device
-                        .memcpy_dtoh_vec(entry, MAILBOX_ENTRY_BYTES)?;
+                    let bytes = self.device.memcpy_dtoh_vec(entry, MAILBOX_ENTRY_BYTES)?;
                     self.device
                         .write_u32(entry.add(OFF_STATUS), status::IN_PROGRESS)?;
                     let op = self.pick_up_request(slot, &bytes)?;
@@ -666,8 +876,18 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time layout guard
     fn mailbox_entry_is_large_enough_for_all_fields() {
         assert!(OFF_ERROR + 4 <= MAILBOX_ENTRY_BYTES);
+        assert!(OFF_REDUCE_OP + 4 <= MAILBOX_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn reduce_op_codes_roundtrip() {
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            assert_eq!(decode_reduce_op(encode_reduce_op(op)), Some(op));
+        }
+        assert_eq!(decode_reduce_op(99), None);
     }
 
     #[test]

@@ -20,6 +20,42 @@
 //! * **Sleep-based polling** ([`gpu`]): the GPU cannot signal the host, so a
 //!   GPU-kernel thread polls per-slot mailboxes in device memory on a
 //!   configurable interval and writes completions back.
+//! * **Generic collective engine** ([`cpu::CpuCtx`] / [`gpu::GpuCtx`]): both
+//!   rank kinds expose the full collective set — `barrier`, `broadcast`,
+//!   `gather`, `scatter`, `allgather`, `reduce` and `allreduce` (with
+//!   [`ReduceOp`] operators) — routed through one table-driven assembly path
+//!   in the comm thread: every local rank *joins*, contributions are
+//!   *locally combined*, one node-level *substrate exchange* runs through
+//!   `dcgn_rmpi`'s collectives, and per-rank results are *scattered back*.
+//!   Adding a collective means adding a dispatch-table row, not a new
+//!   per-operation state machine.
+//!
+//! ## Collective quick reference
+//!
+//! CPU ranks operate on host buffers; GPU slots operate on device memory
+//! with the `MPI_IN_PLACE` convention (chunked collectives address a
+//! `ranks × len` buffer with rank *r*'s block at offset `r × len`;
+//! reductions operate on `count` little-endian `f64`s):
+//!
+//! ```
+//! use dcgn::{DcgnConfig, ReduceOp, Runtime};
+//!
+//! let runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+//! runtime
+//!     .launch_cpu_only(|ctx| {
+//!         // Every rank contributes [rank+1]; everyone receives the sum.
+//!         let mine = vec![(ctx.rank() + 1) as f64];
+//!         let sum = ctx.allreduce(&mine, ReduceOp::Sum).unwrap();
+//!         assert_eq!(sum, vec![10.0]); // 1 + 2 + 3 + 4
+//!
+//!         // Rank 0 scatters one chunk to each rank.
+//!         let chunks: Option<Vec<Vec<u8>>> = (ctx.rank() == 0)
+//!             .then(|| (0..ctx.size()).map(|r| vec![r as u8; 2]).collect());
+//!         let mine = ctx.scatter(0, chunks.as_deref()).unwrap();
+//!         assert_eq!(mine, vec![ctx.rank() as u8; 2]);
+//!     })
+//!     .unwrap();
+//! ```
 //!
 //! ## Quick start
 //!
@@ -66,4 +102,5 @@ pub use runtime::{LaunchReport, Runtime};
 // Re-export the pieces of the substrate crates that appear in the public API
 // so applications only need to depend on `dcgn`.
 pub use dcgn_dpm::{BlockCtx, Device, DeviceConfig, DevicePtr, Dim};
+pub use dcgn_rmpi::ReduceOp;
 pub use dcgn_simtime::{CostModel, LinkCost};

@@ -3,6 +3,7 @@
 //! exchanged between nodes.
 
 use crossbeam::channel::Sender;
+use dcgn_rmpi::ReduceOp;
 
 use crate::error::DcgnError;
 
@@ -18,6 +19,20 @@ pub struct CommStatus {
     pub len: usize,
 }
 
+/// Per-rank outcome of a collective operation, produced by the comm thread's
+/// generic collective engine and scattered back to every joined rank.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CollectiveResult {
+    /// No payload for this rank (barrier; non-root ranks of rooted
+    /// collectives).
+    Unit,
+    /// A flat payload: the root's bytes (broadcast), this rank's chunk
+    /// (scatter) or the reduced vector (reduce at root / allreduce).
+    Bytes(Vec<u8>),
+    /// Per-rank chunks indexed by global rank (gather at root, allgather).
+    Chunks(Vec<Vec<u8>>),
+}
+
 /// Reply sent back to the requesting kernel thread when its communication
 /// request completes.
 #[derive(Debug)]
@@ -31,19 +46,9 @@ pub(crate) enum Reply {
         /// Completion metadata.
         status: CommStatus,
     },
-    /// A barrier completed.
-    BarrierDone,
-    /// A broadcast completed; every participant receives the root's bytes.
-    BroadcastDone {
-        /// The broadcast payload.
-        data: Vec<u8>,
-    },
-    /// A gather completed; `Some` (chunks indexed by rank) at the root,
-    /// `None` elsewhere.
-    GatherDone {
-        /// Gathered per-rank chunks at the root.
-        data: Option<Vec<Vec<u8>>>,
-    },
+    /// A collective completed; the payload is this rank's share of the
+    /// result.
+    CollectiveDone(CollectiveResult),
     /// The request failed.
     Error(DcgnError),
 }
@@ -52,11 +57,7 @@ pub(crate) enum Reply {
 #[derive(Debug)]
 pub(crate) enum RequestKind {
     /// Point-to-point send.
-    Send {
-        dst: usize,
-        tag: u32,
-        data: Vec<u8>,
-    },
+    Send { dst: usize, tag: u32, data: Vec<u8> },
     /// Point-to-point receive.
     Recv { src: Option<usize>, tag: u32 },
     /// Barrier across all DCGN ranks.
@@ -65,6 +66,23 @@ pub(crate) enum RequestKind {
     Broadcast { root: usize, data: Option<Vec<u8>> },
     /// Gather to `root`; every rank contributes `data`.
     Gather { root: usize, data: Vec<u8> },
+    /// Scatter from `root`; `chunks` is `Some` (one chunk per rank) only at
+    /// the root.  Every rank receives its own chunk.
+    Scatter {
+        root: usize,
+        chunks: Option<Vec<Vec<u8>>>,
+    },
+    /// Allgather: every rank contributes `data` and receives every rank's
+    /// contribution indexed by rank.
+    Allgather { data: Vec<u8> },
+    /// Element-wise reduction of `f64` vectors to `root`.
+    Reduce {
+        root: usize,
+        data: Vec<f64>,
+        op: ReduceOp,
+    },
+    /// Element-wise reduction delivered to every rank.
+    Allreduce { data: Vec<f64>, op: ReduceOp },
 }
 
 impl RequestKind {
@@ -76,16 +94,17 @@ impl RequestKind {
             RequestKind::Barrier => "barrier",
             RequestKind::Broadcast { .. } => "broadcast",
             RequestKind::Gather { .. } => "gather",
+            RequestKind::Scatter { .. } => "scatter",
+            RequestKind::Allgather { .. } => "allgather",
+            RequestKind::Reduce { .. } => "reduce",
+            RequestKind::Allreduce { .. } => "allreduce",
         }
     }
 
     /// True for collective requests (which must be joined by every rank on
     /// the node before the node-level operation runs).
     pub(crate) fn is_collective(&self) -> bool {
-        matches!(
-            self,
-            RequestKind::Barrier | RequestKind::Broadcast { .. } | RequestKind::Gather { .. }
-        )
+        !matches!(self, RequestKind::Send { .. } | RequestKind::Recv { .. })
     }
 }
 
@@ -182,16 +201,49 @@ mod tests {
             "send"
         );
         assert!(!RequestKind::Recv { src: None, tag: 0 }.is_collective());
-        assert!(RequestKind::Barrier.is_collective());
-        assert!(RequestKind::Broadcast {
-            root: 0,
-            data: None
+        let collectives = [
+            (RequestKind::Barrier, "barrier"),
+            (
+                RequestKind::Broadcast {
+                    root: 0,
+                    data: None,
+                },
+                "broadcast",
+            ),
+            (
+                RequestKind::Gather {
+                    root: 0,
+                    data: vec![],
+                },
+                "gather",
+            ),
+            (
+                RequestKind::Scatter {
+                    root: 0,
+                    chunks: None,
+                },
+                "scatter",
+            ),
+            (RequestKind::Allgather { data: vec![] }, "allgather"),
+            (
+                RequestKind::Reduce {
+                    root: 0,
+                    data: vec![],
+                    op: ReduceOp::Sum,
+                },
+                "reduce",
+            ),
+            (
+                RequestKind::Allreduce {
+                    data: vec![],
+                    op: ReduceOp::Max,
+                },
+                "allreduce",
+            ),
+        ];
+        for (kind, name) in collectives {
+            assert!(kind.is_collective(), "{name} must be a collective");
+            assert_eq!(kind.name(), name);
         }
-        .is_collective());
-        assert!(RequestKind::Gather {
-            root: 0,
-            data: vec![]
-        }
-        .is_collective());
     }
 }

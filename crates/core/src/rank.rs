@@ -114,13 +114,8 @@ impl RankMap {
 
     /// The rank backed by CPU-kernel thread `cpu_index` on `node`.
     pub fn cpu_rank(&self, node: usize, cpu_index: usize) -> Option<usize> {
-        self.ranks_on_node(node).find(|&r| {
-            self.kinds[r]
-                == RankKind::Cpu {
-                    node,
-                    cpu_index,
-                }
-        })
+        self.ranks_on_node(node)
+            .find(|&r| self.kinds[r] == RankKind::Cpu { node, cpu_index })
     }
 
     /// The rank backed by `slot` of GPU `gpu_index` on `node`.

@@ -152,9 +152,7 @@ impl Runtime {
             comm_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcgn-comm-node{node}"))
-                    .spawn(move || {
-                        CommThread::new(node, rank_map, comm, rx, cost).run()
-                    })
+                    .spawn(move || CommThread::new(node, rank_map, comm, rx, cost).run())
                     .map_err(|e| DcgnError::Internal(format!("spawn comm thread: {e}")))?,
             );
         }
@@ -189,11 +187,7 @@ impl Runtime {
 
             // GPU-kernel threads (one per GPU).
             for gpu_index in 0..node_cfg.gpus {
-                let device = Device::new(
-                    node * 16 + gpu_index,
-                    node_cfg.device.clone(),
-                    cost,
-                );
+                let device = Device::new(node * 16 + gpu_index, node_cfg.device.clone(), cost);
                 let slots = node_cfg.slots_per_gpu;
                 let mailbox_base = GpuKernelThread::allocate_mailboxes(&device, slots)?;
                 let slot_rank_base = self

@@ -225,7 +225,7 @@ fn gpu_setup_and_finish_hooks_manage_device_memory() {
                 let dev = setup.device();
                 let buf = dev.malloc(64).unwrap();
                 let rank = setup.slot_rank(0) as u8;
-                dev.memcpy_htod(buf, &vec![rank; 64]).unwrap();
+                dev.memcpy_htod(buf, &[rank; 64]).unwrap();
                 buf
             },
             |ctx, buf| {
@@ -245,7 +245,7 @@ fn gpu_setup_and_finish_hooks_manage_device_memory() {
                     assert_eq!(status.len, 64);
                     // Reply with our own rank pattern afterwards (the recv
                     // overwrote the buffer, so rebuild it).
-                    ctx.block().write(tmp, &vec![me as u8 + 10; 64]);
+                    ctx.block().write(tmp, &[me as u8 + 10; 64]);
                     ctx.send(SLOT, peer, tmp, 64);
                 }
             },
@@ -314,9 +314,8 @@ fn eight_gpu_job_matches_paper_testbed_shape() {
                 for _ in 1..ctx.size() {
                     let status = ctx.recv_any(SLOT, scratch, 8);
                     assert_eq!(status.len, 8);
-                    total += u64::from_le_bytes(
-                        block.read_vec(scratch, 8).try_into().unwrap(),
-                    ) as usize;
+                    total +=
+                        u64::from_le_bytes(block.read_vec(scratch, 8).try_into().unwrap()) as usize;
                 }
                 s.store(total, Ordering::SeqCst);
             } else {

@@ -127,7 +127,12 @@ impl KernelHandle {
         let deadline = std::time::Instant::now() + timeout;
         let mut remaining = self.state.remaining.lock();
         while *remaining > 0 {
-            if self.state.done.wait_until(&mut remaining, deadline).timed_out() {
+            if self
+                .state
+                .done
+                .wait_until(&mut remaining, deadline)
+                .timed_out()
+            {
                 return *remaining == 0;
             }
         }

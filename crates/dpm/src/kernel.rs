@@ -94,7 +94,7 @@ impl BlockCtx {
     /// when work is block-partitioned across the block's threads.
     pub fn thread_range(&self, tid: usize, total_items: usize) -> std::ops::Range<usize> {
         let threads = self.threads_per_block();
-        let per = (total_items + threads - 1) / threads;
+        let per = total_items.div_ceil(threads);
         let start = (tid * per).min(total_items);
         let end = ((tid + 1) * per).min(total_items);
         start..end

@@ -182,7 +182,7 @@ impl Allocator {
 const ALIGN: usize = 256;
 
 fn round_up(size: usize) -> usize {
-    (size + ALIGN - 1) / ALIGN * ALIGN
+    size.div_ceil(ALIGN) * ALIGN
 }
 
 /// The device memory arena.  Shared between the host-facing [`crate::Device`]
@@ -219,7 +219,10 @@ impl DeviceMemory {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<(), MemoryError> {
-        if offset.checked_add(len).map_or(true, |end| end > self.capacity) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.capacity)
+        {
             Err(MemoryError::OutOfBounds {
                 offset,
                 len,

@@ -183,7 +183,10 @@ mod tests {
         let stream = Stream::new(&dev);
         let ptr = dev.malloc(64).unwrap();
         let payload: Vec<u8> = (0..64u8).collect();
-        stream.memcpy_htod_async(ptr, payload.clone()).wait().unwrap();
+        stream
+            .memcpy_htod_async(ptr, payload.clone())
+            .wait()
+            .unwrap();
         let back = stream.memcpy_dtoh_async(ptr, 64).wait().unwrap();
         assert_eq!(back, payload);
     }

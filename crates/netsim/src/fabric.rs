@@ -232,7 +232,8 @@ impl<T: Send + 'static> Endpoint<T> {
     /// (intra-node or inter-node, depending on where `dst` lives).  The call
     /// blocks for the modelled wire time, like a blocking hardware send.
     pub fn send(&self, dst: EndpointId, msg: T, wire_bytes: usize) -> Result<(), RecvError> {
-        self.fabric.deliver(self.id, self.node, dst, msg, wire_bytes)?;
+        self.fabric
+            .deliver(self.id, self.node, dst, msg, wire_bytes)?;
         self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_sent

@@ -31,7 +31,10 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
-    fn apply(&self, acc: &mut [f64], other: &[f64]) {
+    /// Fold `other` into `acc` element-wise.  Public so layers above the
+    /// substrate (e.g. DCGN's comm thread) can pre-combine local
+    /// contributions before the node-level exchange.
+    pub fn apply(&self, acc: &mut [f64], other: &[f64]) {
         debug_assert_eq!(acc.len(), other.len());
         for (a, b) in acc.iter_mut().zip(other) {
             *a = match self {

@@ -32,15 +32,8 @@ struct SendOp {
 
 enum RecvState {
     Posted,
-    WaitingData {
-        send_id: u64,
-        src: usize,
-        tag: u32,
-    },
-    Complete {
-        data: Vec<u8>,
-        status: Status,
-    },
+    WaitingData { send_id: u64, src: usize, tag: u32 },
+    Complete { data: Vec<u8>, status: Status },
 }
 
 struct RecvOp {
@@ -326,8 +319,7 @@ impl Communicator {
     ) -> Result<Option<(Vec<u8>, Status)>> {
         self.progress_pass()?;
         let idx = self.unexpected.iter().position(|u| {
-            matches!(u.kind, UnexpectedKind::Eager(_))
-                && Self::matches(src, tag, u.src, u.tag)
+            matches!(u.kind, UnexpectedKind::Eager(_)) && Self::matches(src, tag, u.src, u.tag)
         });
         if let Some(idx) = idx {
             let u = self.unexpected.remove(idx).expect("index valid");
@@ -368,7 +360,7 @@ impl Communicator {
     }
 
     fn matches(want_src: Option<usize>, want_tag: Option<u32>, src: usize, tag: u32) -> bool {
-        let src_ok = want_src.map_or(true, |s| s == src);
+        let src_ok = want_src.is_none_or(|s| s == src);
         // ANY_TAG never matches internal (collective) tags.
         let tag_ok = match want_tag {
             Some(t) => t == tag,
@@ -510,11 +502,7 @@ impl Communicator {
                         _ => return,
                     };
                     let dst_ep = self.ep_of(dst);
-                    let pkt = Packet::RdvData {
-                        send_id,
-                        tag,
-                        data,
-                    };
+                    let pkt = Packet::RdvData { send_id, tag, data };
                     let wire = pkt.wire_bytes();
                     let _ = self.endpoint.send(dst_ep, pkt, wire);
                     if let Some(Op::Send(s)) = self.ops.get_mut(&id) {

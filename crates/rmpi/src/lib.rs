@@ -37,7 +37,9 @@ pub mod world;
 pub use collectives::ReduceOp;
 pub use comm::{Communicator, Request};
 pub use packet::{Packet, RmpiError, Status, ANY_SOURCE, ANY_TAG};
-pub use typed::{bytes_to_f32s, bytes_to_f64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes, u32s_to_bytes};
+pub use typed::{
+    bytes_to_f32s, bytes_to_f64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes, u32s_to_bytes,
+};
 pub use world::{MpiWorld, RankPlacement};
 
 /// Result alias used across the crate.

@@ -16,7 +16,7 @@ pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
     assert!(
-        bytes.len() % 8 == 0,
+        bytes.len().is_multiple_of(8),
         "byte length {} is not a multiple of 8",
         bytes.len()
     );
@@ -41,7 +41,7 @@ pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of 4.
 pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
     assert!(
-        bytes.len() % 4 == 0,
+        bytes.len().is_multiple_of(4),
         "byte length {} is not a multiple of 4",
         bytes.len()
     );
@@ -66,7 +66,7 @@ pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of 4.
 pub fn bytes_to_u32s(bytes: &[u8]) -> Vec<u32> {
     assert!(
-        bytes.len() % 4 == 0,
+        bytes.len().is_multiple_of(4),
         "byte length {} is not a multiple of 4",
         bytes.len()
     );

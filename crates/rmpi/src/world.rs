@@ -20,7 +20,10 @@ pub struct RankPlacement {
 impl RankPlacement {
     /// Explicit placement: `node_of_rank[i]` is the node hosting rank `i`.
     pub fn explicit(node_of_rank: Vec<usize>) -> Self {
-        assert!(!node_of_rank.is_empty(), "placement needs at least one rank");
+        assert!(
+            !node_of_rank.is_empty(),
+            "placement needs at least one rank"
+        );
         let num_nodes = node_of_rank.iter().copied().max().unwrap() + 1;
         RankPlacement {
             node_of_rank,
@@ -34,7 +37,7 @@ impl RankPlacement {
     pub fn block(num_nodes: usize, ranks_per_node: usize) -> Self {
         assert!(num_nodes > 0 && ranks_per_node > 0);
         let node_of_rank = (0..num_nodes)
-            .flat_map(|n| std::iter::repeat(n).take(ranks_per_node))
+            .flat_map(|n| std::iter::repeat_n(n, ranks_per_node))
             .collect();
         RankPlacement {
             node_of_rank,

@@ -30,13 +30,17 @@ fn barrier_actually_synchronises() {
     use std::sync::Arc;
     let counter = Arc::new(AtomicUsize::new(0));
     let c = Arc::clone(&counter);
-    let results = MpiWorld::run(&RankPlacement::block(2, 2), CostModel::zero(), move |mut comm| {
-        // Phase 1: everyone increments; after the barrier every rank must see
-        // the full count.
-        c.fetch_add(1, Ordering::SeqCst);
-        comm.barrier().unwrap();
-        c.load(Ordering::SeqCst)
-    });
+    let results = MpiWorld::run(
+        &RankPlacement::block(2, 2),
+        CostModel::zero(),
+        move |mut comm| {
+            // Phase 1: everyone increments; after the barrier every rank must see
+            // the full count.
+            c.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            c.load(Ordering::SeqCst)
+        },
+    );
     for seen in results {
         assert_eq!(seen, 4);
     }
@@ -65,7 +69,11 @@ fn bcast_large_payload() {
     let payload: Vec<u8> = (0..200_000).map(|i| (i % 127) as u8).collect();
     let expected = payload.clone();
     let results = run_with(4, 2, move |mut comm| {
-        let mut data = if comm.rank() == 0 { payload.clone() } else { Vec::new() };
+        let mut data = if comm.rank() == 0 {
+            payload.clone()
+        } else {
+            Vec::new()
+        };
         comm.bcast(0, &mut data).unwrap();
         data
     });
@@ -107,10 +115,16 @@ fn gatherv_handles_uneven_sizes() {
 fn scatter_distributes_chunks() {
     let results = run_with(2, 2, |mut comm| {
         let data: Vec<u8> = (0..16).collect();
-        let chunk = comm
-            .scatter(1, if comm.rank() == 1 { Some(&data[..]) } else { None })
-            .unwrap();
-        chunk
+
+        comm.scatter(
+            1,
+            if comm.rank() == 1 {
+                Some(&data[..])
+            } else {
+                None
+            },
+        )
+        .unwrap()
     });
     for (rank, chunk) in results.iter().enumerate() {
         let expect: Vec<u8> = (rank as u8 * 4..rank as u8 * 4 + 4).collect();
@@ -122,8 +136,15 @@ fn scatter_distributes_chunks() {
 fn scatterv_with_uneven_chunks() {
     let results = run_with(3, 1, |mut comm| {
         let chunks: Vec<Vec<u8>> = vec![vec![1], vec![2, 2], vec![3, 3, 3]];
-        comm.scatterv(0, if comm.rank() == 0 { Some(&chunks[..]) } else { None })
-            .unwrap()
+        comm.scatterv(
+            0,
+            if comm.rank() == 0 {
+                Some(&chunks[..])
+            } else {
+                None
+            },
+        )
+        .unwrap()
     });
     assert_eq!(results[0], vec![1]);
     assert_eq!(results[1], vec![2, 2]);
@@ -243,7 +264,11 @@ fn reduce_length_mismatch_is_detected() {
 fn collectives_compose_in_sequence() {
     // A realistic mixed sequence: bcast, compute, reduce, barrier, allgather.
     let results = run_with(2, 2, |mut comm| {
-        let mut params = if comm.rank() == 0 { vec![2u8, 3] } else { Vec::new() };
+        let mut params = if comm.rank() == 0 {
+            vec![2u8, 3]
+        } else {
+            Vec::new()
+        };
         comm.bcast(0, &mut params).unwrap();
         let local = (params[0] as f64) * (comm.rank() as f64 + 1.0);
         let total = comm.allreduce_f64(&[local], ReduceOp::Sum).unwrap()[0];
@@ -266,7 +291,11 @@ fn collectives_with_realistic_cost_model_still_correct() {
         &RankPlacement::block(2, 2),
         CostModel::g92_scaled(50.0),
         |mut comm| {
-            let mut data = if comm.rank() == 3 { vec![42u8; 4096] } else { Vec::new() };
+            let mut data = if comm.rank() == 3 {
+                vec![42u8; 4096]
+            } else {
+                Vec::new()
+            };
             comm.bcast(3, &mut data).unwrap();
             let sum = comm.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap()[0];
             (data.len(), data[0], sum)

@@ -148,7 +148,10 @@ fn isend_wait_and_test() {
     // Poll the receive side until the message shows up.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !r1.test(recv_req).unwrap() {
-        assert!(std::time::Instant::now() < deadline, "message never arrived");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "message never arrived"
+        );
         std::thread::yield_now();
     }
     let (data, _) = r1.take_recv(recv_req).unwrap();
@@ -157,14 +160,18 @@ fn isend_wait_and_test() {
 
 #[test]
 fn sendrecv_exchanges_without_deadlock() {
-    let results = MpiWorld::run(&RankPlacement::block(2, 1), CostModel::zero(), |mut comm| {
-        let partner = 1 - comm.rank();
-        let mine = vec![comm.rank() as u8; 16];
-        let (theirs, status) = comm
-            .sendrecv(partner, 0, &mine, Some(partner), Some(0))
-            .unwrap();
-        (theirs, status.source)
-    });
+    let results = MpiWorld::run(
+        &RankPlacement::block(2, 1),
+        CostModel::zero(),
+        |mut comm| {
+            let partner = 1 - comm.rank();
+            let mine = vec![comm.rank() as u8; 16];
+            let (theirs, status) = comm
+                .sendrecv(partner, 0, &mine, Some(partner), Some(0))
+                .unwrap();
+            (theirs, status.source)
+        },
+    );
     assert_eq!(results[0].0, vec![1u8; 16]);
     assert_eq!(results[0].1, 1);
     assert_eq!(results[1].0, vec![0u8; 16]);
@@ -173,26 +180,34 @@ fn sendrecv_exchanges_without_deadlock() {
 
 #[test]
 fn sendrecv_replace_swaps_buffers() {
-    let results = MpiWorld::run(&RankPlacement::block(2, 1), CostModel::zero(), |mut comm| {
-        let partner = 1 - comm.rank();
-        let mut buf = vec![comm.rank() as u8 + 10; 8];
-        comm.sendrecv_replace(&mut buf, partner, 4, Some(partner), Some(4))
-            .unwrap();
-        buf
-    });
+    let results = MpiWorld::run(
+        &RankPlacement::block(2, 1),
+        CostModel::zero(),
+        |mut comm| {
+            let partner = 1 - comm.rank();
+            let mut buf = vec![comm.rank() as u8 + 10; 8];
+            comm.sendrecv_replace(&mut buf, partner, 4, Some(partner), Some(4))
+                .unwrap();
+            buf
+        },
+    );
     assert_eq!(results[0], vec![11u8; 8]);
     assert_eq!(results[1], vec![10u8; 8]);
 }
 
 #[test]
 fn large_sendrecv_replace_uses_rendezvous_both_ways() {
-    let results = MpiWorld::run(&RankPlacement::block(2, 1), CostModel::zero(), |mut comm| {
-        let partner = 1 - comm.rank();
-        let mut buf = vec![comm.rank() as u8; 300_000];
-        comm.sendrecv_replace(&mut buf, partner, 4, Some(partner), Some(4))
-            .unwrap();
-        (buf.len(), buf[0], buf[buf.len() - 1])
-    });
+    let results = MpiWorld::run(
+        &RankPlacement::block(2, 1),
+        CostModel::zero(),
+        |mut comm| {
+            let partner = 1 - comm.rank();
+            let mut buf = vec![comm.rank() as u8; 300_000];
+            comm.sendrecv_replace(&mut buf, partner, 4, Some(partner), Some(4))
+                .unwrap();
+            (buf.len(), buf[0], buf[buf.len() - 1])
+        },
+    );
     assert_eq!(results[0], (300_000, 1, 1));
     assert_eq!(results[1], (300_000, 0, 0));
 }
@@ -276,13 +291,17 @@ fn self_send_and_recv() {
 #[test]
 fn many_ranks_ring_pass() {
     let n = 6;
-    let results = MpiWorld::run(&RankPlacement::block(3, 2), CostModel::zero(), move |mut comm| {
-        let next = (comm.rank() + 1) % n;
-        let prev = (comm.rank() + n - 1) % n;
-        let token = vec![comm.rank() as u8];
-        let (incoming, _) = comm.sendrecv(next, 0, &token, Some(prev), Some(0)).unwrap();
-        incoming[0] as usize
-    });
+    let results = MpiWorld::run(
+        &RankPlacement::block(3, 2),
+        CostModel::zero(),
+        move |mut comm| {
+            let next = (comm.rank() + 1) % n;
+            let prev = (comm.rank() + n - 1) % n;
+            let token = vec![comm.rank() as u8];
+            let (incoming, _) = comm.sendrecv(next, 0, &token, Some(prev), Some(0)).unwrap();
+            incoming[0] as usize
+        },
+    );
     for (rank, &got) in results.iter().enumerate() {
         assert_eq!(got, (rank + n - 1) % n);
     }

@@ -1,6 +1,6 @@
 //! Property-based tests of the message passing substrate.
 
-use dcgn_rmpi::{f64s_to_bytes, bytes_to_f64s, MpiWorld, RankPlacement, ReduceOp};
+use dcgn_rmpi::{bytes_to_f64s, f64s_to_bytes, MpiWorld, RankPlacement, ReduceOp};
 use dcgn_simtime::CostModel;
 use proptest::prelude::*;
 

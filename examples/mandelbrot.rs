@@ -10,9 +10,9 @@ use dcgn_apps::mandelbrot::{run_dcgn_gpu, MandelbrotParams};
 
 fn ascii_render(image: &[u32], width: usize, height: usize, max_iter: u32) {
     let ramp = b" .:-=+*#%@";
-    for row in (0..height).step_by(height / 24.max(1)) {
+    for row in (0..height).step_by((height / 24).max(1)) {
         let mut line = String::new();
-        for col in (0..width).step_by(width / 64.max(1)) {
+        for col in (0..width).step_by((width / 64).max(1)) {
             let v = image[row * width + col];
             let idx = if v >= max_iter {
                 ramp.len() - 1

@@ -14,7 +14,10 @@ fn main() {
     let cost = CostModel::fast();
 
     println!("N-body, {workers} GPU ranks over {nodes} nodes, {steps} steps");
-    println!("{:>8}  {:>12}  {:>12}  {:>8}", "bodies", "DCGN (ms)", "GAS (ms)", "ratio");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>8}",
+        "bodies", "DCGN (ms)", "GAS (ms)", "ratio"
+    );
     for n in [256usize, 1024, 2048] {
         let dcgn = run_dcgn_gpu(n, workers, nodes, steps, cost).expect("dcgn nbody");
         let gas = run_gas(n, workers, nodes, steps, cost);

@@ -9,11 +9,9 @@ fn main() {
     // contributes one GPU with a single slot (rank 1).  The cost model uses
     // the paper-like G92/Infiniband parameters so the printed timings are in
     // a realistic regime.
-    let config = DcgnConfig::heterogeneous(vec![
-        NodeConfig::new(1, 0, 0),
-        NodeConfig::new(0, 1, 1),
-    ])
-    .with_cost(CostModel::g92_cluster());
+    let config =
+        DcgnConfig::heterogeneous(vec![NodeConfig::new(1, 0, 0), NodeConfig::new(0, 1, 1)])
+            .with_cost(CostModel::g92_cluster());
 
     let runtime = Runtime::new(config).expect("valid configuration");
     println!(

@@ -1,0 +1,11 @@
+//! Umbrella crate for the DCGN reproduction workspace.
+//!
+//! This package owns the repository-level integration tests (`tests/`) and
+//! examples (`examples/`) that span every crate in the workspace.  The actual
+//! library lives in [`dcgn`] and its substrate crates; this stub only
+//! re-exports the top-level entry points so `cargo doc` presents one front
+//! door.
+
+#![warn(missing_docs)]
+
+pub use dcgn::{DcgnConfig, Runtime};

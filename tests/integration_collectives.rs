@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use dcgn::{DcgnConfig, DevicePtr, Runtime};
+use dcgn::{DcgnConfig, DevicePtr, ReduceOp, Runtime};
 use parking_lot::Mutex;
 
 #[test]
@@ -43,7 +43,11 @@ fn broadcast_cpu_root_reaches_gpu_slots() {
     runtime
         .launch(
             move |ctx| {
-                let mut data = if ctx.rank() == 0 { payload.clone() } else { Vec::new() };
+                let mut data = if ctx.rank() == 0 {
+                    payload.clone()
+                } else {
+                    Vec::new()
+                };
                 ctx.broadcast(0, &mut data).unwrap();
                 assert_eq!(data, expected_cpu);
                 seen_cpu.fetch_add(1, Ordering::SeqCst);
@@ -75,7 +79,9 @@ fn incomplete_collective_fails_rather_than_hanging() {
     let result = runtime.launch(
         move |ctx| {
             let mine = vec![ctx.rank() as u8; 3];
-            let out = ctx.gather(0, &mine).expect("gather should fail, not succeed");
+            let out = ctx
+                .gather(0, &mine)
+                .expect("gather should fail, not succeed");
             if ctx.rank() == 0 {
                 *g.lock() = out;
             }
@@ -139,6 +145,166 @@ fn broadcast_gpu_root_feeds_everyone() {
 }
 
 #[test]
+fn allreduce_spans_cpu_and_gpu_ranks() {
+    // 2 nodes x (1 CPU + 1 GPU slot): rank r contributes [r+1, 2(r+1)];
+    // the sum over ranks 0..4 is [10, 20] and must land everywhere.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let (r_cpu, r_gpu) = (Arc::clone(&results), Arc::clone(&results));
+    runtime
+        .launch(
+            move |ctx| {
+                let mine = vec![(ctx.rank() + 1) as f64, 2.0 * (ctx.rank() + 1) as f64];
+                let sum = ctx.allreduce(&mine, ReduceOp::Sum).unwrap();
+                r_cpu.lock().push(sum);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let rank = ctx.rank(0);
+                let buf = DevicePtr::NULL.add(1 << 20);
+                let mine = [(rank + 1) as f64, 2.0 * (rank + 1) as f64];
+                let bytes: Vec<u8> = mine.iter().flat_map(|v| v.to_le_bytes()).collect();
+                ctx.block().write(buf, &bytes);
+                let got = ctx.allreduce(0, ReduceOp::Sum, buf, 2);
+                assert_eq!(got, 16);
+                let back = ctx.block().read_vec(buf, 16);
+                let sum: Vec<f64> = back
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                r_gpu.lock().push(sum);
+            },
+        )
+        .unwrap();
+    let results = results.lock().clone();
+    assert_eq!(results.len(), 4);
+    for sum in results {
+        assert_eq!(sum, vec![10.0, 20.0]);
+    }
+}
+
+#[test]
+fn scatter_from_gpu_root_reaches_cpu_ranks() {
+    // The scatter root is a GPU slot: chunks staged in device memory must
+    // come back out to CPU ranks on both nodes.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let map = runtime.rank_map().clone();
+    let gpu_root = map.gpu_ranks()[0];
+    let runtime_total = map.total_ranks();
+    runtime
+        .launch(
+            move |ctx| {
+                let mine = ctx.scatter(gpu_root, None).unwrap();
+                assert_eq!(mine, vec![ctx.rank() as u8 * 3 + 1; 4]);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let rank = ctx.rank(0);
+                let buf = DevicePtr::NULL.add(1 << 20);
+                if rank == gpu_root {
+                    for r in 0..runtime_total {
+                        ctx.block().write(buf.add(r * 4), &[r as u8 * 3 + 1; 4]);
+                    }
+                }
+                let got = ctx.scatter(0, gpu_root, buf, 4);
+                assert_eq!(got, 4);
+                assert_eq!(ctx.block().read_vec(buf, 4), vec![rank as u8 * 3 + 1; 4]);
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn allgather_collects_chunks_from_both_kinds() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let total = runtime.rank_map().total_ranks();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let (s_cpu, s_gpu) = (Arc::clone(&seen), Arc::clone(&seen));
+    runtime
+        .launch(
+            move |ctx| {
+                let chunks = ctx.allgather(&[ctx.rank() as u8 + 10; 3]).unwrap();
+                assert_eq!(chunks.len(), total);
+                for (r, chunk) in chunks.iter().enumerate() {
+                    assert_eq!(chunk, &vec![r as u8 + 10; 3]);
+                }
+                s_cpu.fetch_add(1, Ordering::SeqCst);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let rank = ctx.rank(0);
+                let buf = DevicePtr::NULL.add(2 << 20);
+                ctx.block().write(buf.add(rank * 3), &[rank as u8 + 10; 3]);
+                let got = ctx.allgather(0, buf, 3);
+                assert_eq!(got, 3 * ctx.size());
+                let table = ctx.block().read_vec(buf, 3 * ctx.size());
+                for r in 0..ctx.size() {
+                    assert_eq!(&table[r * 3..r * 3 + 3], &[r as u8 + 10; 3]);
+                }
+                s_gpu.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn reduce_to_cpu_root_includes_gpu_contributions() {
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let total = runtime.rank_map().total_ranks();
+    let reduced = Arc::new(Mutex::new(None));
+    let r = Arc::clone(&reduced);
+    runtime
+        .launch(
+            move |ctx| {
+                let mine = vec![(ctx.rank() + 1) as f64];
+                let out = ctx.reduce(0, &mine, ReduceOp::Max).unwrap();
+                if ctx.rank() == 0 {
+                    *r.lock() = out;
+                } else {
+                    assert!(out.is_none());
+                }
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let rank = ctx.rank(0);
+                let buf = DevicePtr::NULL.add(3 << 20);
+                ctx.block().write(buf, &((rank + 1) as f64).to_le_bytes());
+                let got = ctx.reduce(0, 0, ReduceOp::Max, buf, 1);
+                assert_eq!(got, 0, "non-root GPU slots receive no reduction");
+            },
+        )
+        .unwrap();
+    // Max over ranks 0..total of (rank + 1): the highest rank is a GPU slot,
+    // so the result proves GPU contributions flowed into the reduction.
+    assert_eq!(reduced.lock().clone(), Some(vec![total as f64]));
+}
+
+#[test]
+fn mismatched_collectives_error_cleanly() {
+    // Rank 0 calls allgather while rank 1 calls allreduce: the comm thread
+    // must reject the mismatch rather than deadlocking or crashing.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 2, 0, 0)).unwrap();
+    runtime.set_request_timeout(std::time::Duration::from_secs(2));
+    let result = runtime.launch_cpu_only(move |ctx| {
+        if ctx.rank() == 0 {
+            ctx.allgather(&[1, 2, 3]).unwrap();
+        } else {
+            ctx.allreduce(&[1.0], ReduceOp::Sum).unwrap();
+        }
+    });
+    assert!(result.is_err());
+}
+
+#[test]
 fn repeated_mixed_collectives() {
     // Alternating barriers and broadcasts across several iterations, from
     // both CPU and GPU ranks, to catch cross-round state leaks.
@@ -148,7 +314,11 @@ fn repeated_mixed_collectives() {
             move |ctx| {
                 for round in 0..4u8 {
                     ctx.barrier().unwrap();
-                    let mut data = if ctx.rank() == 0 { vec![round; 64] } else { Vec::new() };
+                    let mut data = if ctx.rank() == 0 {
+                        vec![round; 64]
+                    } else {
+                        Vec::new()
+                    };
                     ctx.broadcast(0, &mut data).unwrap();
                     assert_eq!(data, vec![round; 64]);
                 }

@@ -59,7 +59,10 @@ fn receive_that_never_matches_times_out() {
     let result = runtime.launch_cpu_only(|ctx| {
         // Nobody ever sends to us.
         let err = ctx.recv_any().unwrap_err();
-        assert!(matches!(err, DcgnError::Internal(_) | DcgnError::ShuttingDown));
+        assert!(matches!(
+            err,
+            DcgnError::Internal(_) | DcgnError::ShuttingDown
+        ));
     });
     // The kernel handled the error itself, so the launch succeeds.
     result.unwrap();
@@ -126,7 +129,11 @@ fn zero_cost_and_scaled_cost_models_agree_on_results() {
         let o = std::sync::Arc::clone(&out);
         runtime
             .launch_cpu_only(move |ctx| {
-                let mut data = if ctx.rank() == 0 { vec![42u8; 100] } else { Vec::new() };
+                let mut data = if ctx.rank() == 0 {
+                    vec![42u8; 100]
+                } else {
+                    Vec::new()
+                };
                 ctx.broadcast(0, &mut data).unwrap();
                 o.lock().push(data);
             })
@@ -141,8 +148,7 @@ fn zero_cost_and_scaled_cost_models_agree_on_results() {
 fn extreme_polling_intervals_still_complete() {
     // A very coarse polling interval makes GPU messages slow but must not
     // break correctness.
-    let cfg = DcgnConfig::homogeneous(1, 1, 1, 1)
-        .with_poll_interval(Duration::from_millis(20));
+    let cfg = DcgnConfig::homogeneous(1, 1, 1, 1).with_poll_interval(Duration::from_millis(20));
     let runtime = Runtime::new(cfg).unwrap();
     runtime
         .launch(

@@ -22,7 +22,7 @@ fn cpu_cpu_pingpong_two_nodes() {
                 } else {
                     let (msg, _) = ctx.recv(0).unwrap();
                     assert_eq!(msg, vec![round; 32]);
-                    ctx.send(0, &vec![round + 100; 32]).unwrap();
+                    ctx.send(0, &[round + 100; 32]).unwrap();
                 }
             }
             h.fetch_add(1, Ordering::SeqCst);
@@ -46,7 +46,8 @@ fn gpu_gpu_pingpong_two_nodes_matches_figure_one() {
             }
             let gpu_mem = DevicePtr::NULL.add(16 * 1024);
             let gpu_mem_size = 256usize;
-            ctx.block().write(gpu_mem, &vec![ctx.rank(SLOT_INDEX) as u8; gpu_mem_size]);
+            ctx.block()
+                .write(gpu_mem, &vec![ctx.rank(SLOT_INDEX) as u8; gpu_mem_size]);
             if ctx.rank(SLOT_INDEX) == 0 {
                 ctx.send(SLOT_INDEX, 1, gpu_mem, gpu_mem_size);
                 let stat = ctx.recv(SLOT_INDEX, 1, gpu_mem, gpu_mem_size);

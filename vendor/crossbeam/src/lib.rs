@@ -1,0 +1,377 @@
+//! Vendored, API-compatible stub of the `crossbeam::channel` subset used by
+//! this workspace: MPMC channels with cloneable senders *and* receivers,
+//! bounded/unbounded flavours, and timeout-aware receives.
+//!
+//! The build environment has no crates-registry access, so the real crate
+//! cannot be fetched; this implementation uses a `Mutex`-guarded `VecDeque`
+//! with two condition variables, which is more than adequate for the message
+//! rates the simulator generates.
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels (the `crossbeam-channel` API).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.  The
+    /// unsent message is returned to the caller.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    ///
+    /// Unlike real crossbeam, `bounded(0)` is treated as `bounded(1)` rather
+    /// than a rendezvous channel; no call site in this workspace relies on
+    /// rendezvous semantics.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is queued (or every receiver is gone).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = self
+                    .shared
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(msg);
+                    drop(state);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Receivers blocked in recv must observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn pop(&self, state: &mut State<T>) -> Option<T> {
+            let msg = state.queue.pop_front();
+            if msg.is_some() {
+                self.shared.not_full.notify_one();
+            }
+            msg
+        }
+
+        /// Block until a message arrives (or every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(msg) = self.pop(&mut state) {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Take a message if one is queued, without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.lock();
+            match self.pop(&mut state) {
+                Some(msg) => Ok(msg),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives, every sender is gone, or `timeout`
+        /// elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(msg) = self.pop(&mut state) {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, result) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = s;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator over received messages; ends when every sender
+        /// is gone and the queue is drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Senders blocked on a full bounded channel must observe the
+                // disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip_preserves_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_capacity_frees() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn disconnect_is_observable_on_both_halves() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_succeeds() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(3));
+        }
+
+        #[test]
+        fn multiple_producers_and_consumers() {
+            let (tx, rx) = unbounded();
+            let mut handles = Vec::new();
+            for p in 0..4 {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..25 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let consumer = std::thread::spawn(move || rx2.iter().count());
+            let local: usize = rx.iter().count();
+            let remote = consumer.join().unwrap();
+            assert_eq!(local + remote, 100);
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}
