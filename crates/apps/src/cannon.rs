@@ -128,6 +128,12 @@ fn grid_side(p: usize) -> usize {
 /// Cannon's algorithm with DCGN: rank 0 is a CPU master collecting the
 /// result; ranks `1..=P` are GPU slots holding the blocks in device memory
 /// and rotating them with device-side `sendrecv_replace`.
+///
+/// The grid topology uses genuine row/column communicators (the
+/// `MPI_Comm_split` idiom): every worker splits the world twice — by row
+/// with the column as key, and by column with the row as key — and reads its
+/// rotation neighbours out of the resulting member tables.  The master joins
+/// both splits with a sentinel color, landing in singleton groups.
 pub fn run_dcgn_gpu(
     n: usize,
     p: usize,
@@ -173,6 +179,11 @@ pub fn run_dcgn_gpu(
             if ctx.rank() != 0 {
                 return;
             }
+            // The splits are collective over the world, so the master
+            // participates too; its sentinel color gives singleton groups.
+            let row_comm = ctx.comm_split(u32::MAX, 0).expect("master row split");
+            let col_comm = ctx.comm_split(u32::MAX, 0).expect("master col split");
+            assert_eq!((row_comm.size(), col_comm.size()), (1, 1));
             let mut c = vec![0.0f32; n * n];
             for _ in 0..p {
                 let (msg, _) = ctx.recv_any().expect("master recv C block");
@@ -187,10 +198,11 @@ pub fn run_dcgn_gpu(
             }
             *result_master.lock() = Some(c);
         },
-        // Per-GPU setup: stage the aligned A and B blocks and a zero C block
-        // for every slot on this device.
+        // Per-GPU setup: stage the aligned A and B blocks, a zero C block
+        // and the two communicator tables for every slot on this device.
         move |setup| {
             let dev = setup.device();
+            let tbl_len = 16 + 4 * setup.size();
             let mut per_slot = Vec::new();
             for slot in 0..setup.slots() {
                 let worker = setup.slot_rank(slot) - 1;
@@ -198,13 +210,15 @@ pub fn run_dcgn_gpu(
                 let a = dev.malloc(block_bytes).expect("A block");
                 let b = dev.malloc(block_bytes).expect("B block");
                 let c = dev.malloc(block_bytes + 4).expect("C block + header");
+                let row_tbl = dev.malloc(tbl_len).expect("row comm table");
+                let col_tbl = dev.malloc(tbl_len).expect("column comm table");
                 dev.memcpy_htod(a, &f32s_to_bytes(&aligned_a_block(row, col, q, bs)))
                     .expect("stage A");
                 dev.memcpy_htod(b, &f32s_to_bytes(&aligned_b_block(row, col, q, bs)))
                     .expect("stage B");
                 dev.memcpy_htod(c, &vec![0u8; block_bytes + 4])
                     .expect("zero C");
-                per_slot.push((a, b, c));
+                per_slot.push((a, b, c, row_tbl, col_tbl));
             }
             per_slot
         },
@@ -217,15 +231,26 @@ pub fn run_dcgn_gpu(
             let me = ctx.rank(slot);
             let worker = me - 1;
             let (row, col) = (worker / q, worker % q);
-            let (a_ptr, b_ptr, c_ptr) = buffers[slot];
+            let (a_ptr, b_ptr, c_ptr, row_tbl, col_tbl) = buffers[slot];
             let block = ctx.block();
 
-            // Neighbours for the rotation: A goes left along the row, B goes
-            // up along the column (with wraparound).
-            let left = 1 + row * q + (col + q - 1) % q;
-            let right = 1 + row * q + (col + 1) % q;
-            let up = 1 + ((row + q - 1) % q) * q + col;
-            let down = 1 + ((row + 1) % q) * q + col;
+            // Row/column communicators: split by row keyed on column (so
+            // the row comm's sub-rank IS the column) and vice versa.
+            let tbl_len = 16 + 4 * ctx.size();
+            let row_comm = ctx.split(slot, row as u32, col as u32, row_tbl, tbl_len);
+            let col_comm = ctx.split(slot, col as u32, row as u32, col_tbl, tbl_len);
+            assert_eq!((row_comm.rank, row_comm.size), (col, q));
+            assert_eq!((col_comm.rank, col_comm.size), (row, q));
+            // Align each row before the rounds start: q disjoint
+            // communicators synchronising concurrently.
+            ctx.barrier_in(slot, &row_comm);
+
+            // Neighbours for the rotation come from the member tables: A
+            // goes left along the row, B up along the column (wraparound).
+            let left = ctx.comm_member(&row_comm, (col + q - 1) % q);
+            let right = ctx.comm_member(&row_comm, (col + 1) % q);
+            let up = ctx.comm_member(&col_comm, (row + q - 1) % q);
+            let down = ctx.comm_member(&col_comm, (row + 1) % q);
 
             let mut c_acc = vec![0.0f32; bs * bs];
             for step in 0..q {

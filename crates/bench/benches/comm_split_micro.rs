@@ -1,0 +1,31 @@
+//! Criterion bench for the communicator engine: `comm_split` plus one
+//! subgroup allreduce, across color counts and node counts.  More colors
+//! mean more disjoint groups whose collectives overlap in the comm thread.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcgn::CostModel;
+use dcgn_bench::dcgn_comm_split_time;
+
+fn bench_comm_split(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let mut group = c.benchmark_group("comm_split_micro");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for &nodes in &[1usize, 2] {
+        for &colors in &[2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dcgn_4cpu_per_node_{colors}colors"), nodes),
+                &nodes,
+                |b, &n| b.iter(|| dcgn_comm_split_time(n, 4, colors, cost, 3)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_split);
+criterion_main!(benches);

@@ -237,6 +237,49 @@ pub fn mpi_broadcast_time(size: usize, cost: CostModel, iters: usize) -> Duratio
 }
 
 // ---------------------------------------------------------------------------
+// Communicator split + subgroup collective
+// ---------------------------------------------------------------------------
+
+/// Average time for one `comm_split` into `colors` groups followed by a
+/// one-element allreduce inside each resulting subgroup, with
+/// `cpus_per_node × nodes` CPU ranks.  Disjoint subgroups' allreduces run
+/// concurrently, so this measures the keyed-assembly engine end to end.
+pub fn dcgn_comm_split_time(
+    nodes: usize,
+    cpus_per_node: usize,
+    colors: usize,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let config = DcgnConfig::homogeneous(nodes, cpus_per_node, 0, 0).with_cost(cost);
+    let runtime = Runtime::new(config).expect("comm_split config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m = Arc::clone(&measured);
+
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let rank = ctx.rank();
+            let color = (rank % colors) as u32;
+            ctx.barrier().unwrap();
+            let start = Instant::now();
+            for _ in 0..iters {
+                let comm = ctx.comm_split(color, 0).unwrap();
+                let sum = ctx
+                    .allreduce_in(&comm, &[1.0], dcgn::ReduceOp::Sum)
+                    .unwrap();
+                assert_eq!(sum, vec![comm.size() as f64]);
+            }
+            if rank == 0 {
+                *m.lock() = start.elapsed();
+            }
+            ctx.barrier().unwrap();
+        })
+        .expect("comm_split launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
+// ---------------------------------------------------------------------------
 // Barrier (Table 1)
 // ---------------------------------------------------------------------------
 
@@ -344,6 +387,7 @@ mod tests {
         assert!(dcgn_send_time(64, EndpointKind::Cpu, EndpointKind::Cpu, cost, 2) > Duration::ZERO);
         assert!(mpi_barrier_time(2, 1, cost, 2) > Duration::ZERO);
         assert!(dcgn_barrier_time(1, 2, 0, cost, 2) > Duration::ZERO);
+        assert!(dcgn_comm_split_time(2, 2, 2, cost, 2) > Duration::ZERO);
     }
 
     #[test]

@@ -5,16 +5,31 @@
 //! coping with non-thread-safe MPI implementations — and it services the
 //! work queue that CPU-kernel threads and GPU-kernel threads funnel their
 //! communication requests into.
+//!
+//! Collectives are keyed by communicator ([`CommId`]): every group assembles
+//! independently in its own [`CollectiveAssembly`], so two disjoint
+//! communicators can execute collectives concurrently.  World collectives
+//! exchange through the substrate's own (blocking) collectives; subgroup
+//! collectives run as *asynchronous* star exchanges around a leader node,
+//! tagged with [`dcgn_rmpi::subgroup_tag`] so concurrent groups' traffic is
+//! kept apart (probabilistically — the tag is a 30-bit mix of communicator,
+//! sequence number and phase), and are progressed incrementally by the main
+//! service loop.
 
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
-use dcgn_rmpi::{bytes_to_f64s, f64s_to_bytes, Communicator, ReduceOp, Request as MpiRequest};
+use dcgn_rmpi::{
+    bytes_to_f64s, bytes_to_u32s, f64s_to_bytes, subgroup_tag, u32s_to_bytes, Communicator,
+    ReduceOp, Request as MpiRequest,
+};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
+use crate::group::{self, CommId};
 use crate::message::{
     decode_p2p, encode_p2p, CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind,
 };
@@ -42,8 +57,9 @@ struct PendingRecv {
 }
 
 /// Which collective operation an assembly is executing.  One discriminant per
-/// operation; all per-operation behaviour lives in [`COLLECTIVE_TABLE`], not
-/// in per-kind state machines.
+/// operation; all per-operation behaviour lives in [`COLLECTIVE_TABLE`] (for
+/// the world's substrate exchange) and in the subgroup exchange functions,
+/// not in per-kind state machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CollectiveKind {
     Barrier,
@@ -53,15 +69,17 @@ enum CollectiveKind {
     Allgather,
     Reduce,
     Allreduce,
+    Split,
 }
 
-/// Identity of a collective operation.  Every rank on the node must join with
-/// an identical id before the node-level exchange runs; a mismatch is the
-/// paper's "collective mismatch" error.
+/// Identity of a collective operation.  Every member rank on the node must
+/// join its communicator's assembly with an identical id before the
+/// node-level exchange runs; a mismatch is the paper's "collective mismatch"
+/// error.  `root` is a sub-rank of the communicator the request names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CollectiveId {
     kind: CollectiveKind,
-    /// Root rank for rooted collectives, `None` for symmetric ones.
+    /// Root sub-rank for rooted collectives, `None` for symmetric ones.
     root: Option<usize>,
     /// Reduction operator for reduce/allreduce.
     op: Option<ReduceOp>,
@@ -73,9 +91,9 @@ enum Contribution {
     /// Nothing (barrier; non-root joiners of broadcast/scatter).
     None,
     /// A flat payload (broadcast root, gather/allgather data, reduce vectors
-    /// encoded as little-endian `f64`s).
+    /// encoded as little-endian `f64`s, a split's `(color, key)` pair).
     Bytes(Vec<u8>),
-    /// Per-rank chunks supplied by a scatter root.
+    /// Per-member chunks supplied by a scatter root, in sub-rank order.
     Chunks(Vec<Vec<u8>>),
 }
 
@@ -88,12 +106,36 @@ impl Contribution {
     }
 }
 
-/// The collective currently being assembled on this node: the generic
-/// join → local-combine → substrate-exchange → scatter-back engine's state.
+/// One communicator's collective currently being assembled on this node: the
+/// generic join → local-combine → exchange → scatter-back engine's state.
 struct CollectiveAssembly {
     id: CollectiveId,
-    /// `(rank, contribution, reply channel)` for every joined local rank.
+    /// `(rank, contribution, reply channel)` for every joined local member.
     joined: Vec<(usize, Contribution, Sender<Reply>)>,
+}
+
+/// One communicator group as known to this node's comm thread.
+#[derive(Debug, Clone)]
+struct CommGroup {
+    /// Global DCGN ranks in sub-rank order.
+    members: Vec<usize>,
+    /// Nodes hosting at least one member, ascending.  `nodes[0]` leads the
+    /// group's subgroup exchanges.
+    nodes: Vec<usize>,
+    /// Members resident on this node — the assembly-completeness threshold.
+    local_members: usize,
+    /// Collectives executed on this communicator so far (salts exchange
+    /// tags, so consecutive collectives on one group cannot cross-talk).
+    seq: u64,
+    /// Splits executed on this communicator (salts child communicator ids).
+    splits: u64,
+}
+
+impl CommGroup {
+    /// Sub-rank of global rank `global`, if it is a member.
+    fn sub_of(&self, global: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == global)
+    }
 }
 
 /// How the results of a node-level exchange map back onto ranks.
@@ -131,8 +173,9 @@ struct CollectiveSpec {
     exchange: ExchangeFn,
 }
 
-/// The single source of per-operation behaviour.  Adding a collective means
-/// adding a row here (plus its `RequestKind`), not a new state machine.
+/// The single source of per-operation behaviour for world collectives.
+/// Adding a collective means adding a row here (plus its `RequestKind` and a
+/// subgroup combine arm), not a new state machine.
 static COLLECTIVE_TABLE: &[CollectiveSpec] = &[
     CollectiveSpec {
         kind: CollectiveKind::Barrier,
@@ -162,6 +205,10 @@ static COLLECTIVE_TABLE: &[CollectiveSpec] = &[
         kind: CollectiveKind::Allreduce,
         exchange: CommThread::exchange_allreduce,
     },
+    CollectiveSpec {
+        kind: CollectiveKind::Split,
+        exchange: CommThread::exchange_split,
+    },
 ];
 
 fn spec_for(kind: CollectiveKind) -> &'static CollectiveSpec {
@@ -169,6 +216,100 @@ fn spec_for(kind: CollectiveKind) -> &'static CollectiveSpec {
         .iter()
         .find(|spec| spec.kind == kind)
         .expect("every collective kind has a table row")
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous subgroup exchanges.
+// ---------------------------------------------------------------------------
+
+/// Wire status byte prefixed to every subgroup exchange frame.
+const SUBGROUP_OK: u8 = 0;
+/// Error marker: the rest of the frame is a UTF-8 diagnostic.  Errors are
+/// echoed to every participating node, so a malformed collective fails only
+/// its own subgroup's ranks instead of hanging peers.
+const SUBGROUP_ERR: u8 = 1;
+
+/// Tag phase of contribution frames (toward the leader node).
+const PHASE_UP: u32 = 0;
+/// Tag phase of result frames (from the leader node).
+const PHASE_DOWN: u32 = 1;
+
+/// Progress state of one in-flight subgroup exchange.  Several of these can
+/// be live at once — one per communicator — and the main loop advances each
+/// a little per iteration, which is what lets disjoint groups overlap.
+enum ExchangePhase {
+    /// Leader: waiting for the up-frame of every other participating node.
+    AwaitUps {
+        pending: Vec<(usize, MpiRequest)>,
+        collected: Vec<(usize, Vec<u8>)>,
+    },
+    /// Non-leader: up-frame sent, waiting for the leader's down-frame.
+    AwaitDown(MpiRequest),
+}
+
+/// One communicator's collective mid-exchange across nodes.
+struct SubgroupExchange {
+    comm: CommId,
+    id: CollectiveId,
+    seq: u64,
+    /// `(rank, reply channel)` of every joined local member.
+    joined: Vec<(usize, Sender<Reply>)>,
+    /// This node's own status-framed contribution (leader keeps it for the
+    /// combine step; non-leaders have already shipped theirs).
+    own_up: Vec<u8>,
+    phase: ExchangePhase,
+}
+
+/// Frame a locally-built contribution (or local failure) for the wire.
+fn frame_up(built: std::result::Result<Vec<u8>, String>) -> Vec<u8> {
+    match built {
+        Ok(payload) => {
+            let mut f = Vec::with_capacity(1 + payload.len());
+            f.push(SUBGROUP_OK);
+            f.extend_from_slice(&payload);
+            f
+        }
+        Err(msg) => frame_error(&msg),
+    }
+}
+
+fn frame_error(msg: &str) -> Vec<u8> {
+    let mut f = Vec::with_capacity(1 + msg.len());
+    f.push(SUBGROUP_ERR);
+    f.extend_from_slice(msg.as_bytes());
+    f
+}
+
+/// Split a status-framed payload back into `Ok(payload)` / `Err(diagnostic)`.
+fn parse_frame(frame: &[u8]) -> std::result::Result<&[u8], String> {
+    match frame.first() {
+        Some(&SUBGROUP_OK) => Ok(&frame[1..]),
+        Some(&SUBGROUP_ERR) => Err(String::from_utf8_lossy(&frame[1..]).into_owned()),
+        _ => Err("empty subgroup frame".into()),
+    }
+}
+
+fn encode_color_key(color: u32, key: u32) -> Vec<u8> {
+    u32s_to_bytes(&[color, key])
+}
+
+fn decode_color_key(bytes: &[u8]) -> Option<(u32, u32)> {
+    // Exact length first: `bytes_to_u32s` silently drops a partial trailing
+    // word, which must not make a 9-byte frame decodable.
+    if bytes.len() != 8 {
+        return None;
+    }
+    match bytes_to_u32s(bytes)[..] {
+        [color, key] => Some((color, key)),
+        _ => None,
+    }
+}
+
+/// Fail every joined rank of an abandoned or erroneous collective.
+fn fail_joined(joined: Vec<(usize, Sender<Reply>)>, err: DcgnError) {
+    for (_, reply_tx) in joined {
+        let _ = reply_tx.send(Reply::Error(err.clone()));
+    }
 }
 
 /// State and main loop of one node's communication thread.
@@ -183,7 +324,14 @@ pub(crate) struct CommThread {
     incoming: VecDeque<IncomingMsg>,
     pending_recvs: Vec<PendingRecv>,
     outstanding_isends: Vec<MpiRequest>,
-    active_collective: Option<CollectiveAssembly>,
+    /// Communicator groups known to this node (world plus every split
+    /// product with a resident member).
+    groups: HashMap<CommId, CommGroup>,
+    /// Per-communicator collective assemblies — the keyed replacement of the
+    /// old single `active_collective` slot.
+    active: HashMap<CommId, CollectiveAssembly>,
+    /// Subgroup exchanges in flight across nodes.
+    exchanges: Vec<SubgroupExchange>,
     local_done: bool,
 }
 
@@ -195,6 +343,16 @@ impl CommThread {
         work_rx: Receiver<CommCommand>,
         cost: CostModel,
     ) -> Self {
+        let world_nodes: Vec<usize> = (0..rank_map.num_nodes())
+            .filter(|&n| rank_map.ranks_on_node_count(n) > 0)
+            .collect();
+        let world = CommGroup {
+            members: (0..rank_map.total_ranks()).collect(),
+            nodes: world_nodes,
+            local_members: rank_map.ranks_on_node_count(node),
+            seq: 0,
+            splits: 0,
+        };
         CommThread {
             node,
             rank_map,
@@ -205,13 +363,11 @@ impl CommThread {
             incoming: VecDeque::new(),
             pending_recvs: Vec::new(),
             outstanding_isends: Vec::new(),
-            active_collective: None,
+            groups: HashMap::from([(CommId::WORLD, world)]),
+            active: HashMap::new(),
+            exchanges: Vec::new(),
             local_done: false,
         }
-    }
-
-    fn local_participants(&self) -> usize {
-        self.rank_map.ranks_on_node_count(self.node)
     }
 
     /// Main service loop.  Returns when all local kernels are done and no
@@ -232,16 +388,21 @@ impl CommThread {
             // 3. Match local receives against arrived messages.
             did_work |= self.match_point_to_point();
 
-            // 4. Run a node-level collective once every local rank joined.
-            did_work |= self.try_execute_collective()?;
+            // 4. Start node-level collectives whose local assembly is
+            //    complete (one independently per communicator).
+            did_work |= self.try_execute_collectives()?;
 
-            // 5. Retire completed nonblocking sends.
+            // 5. Advance in-flight subgroup exchanges.
+            did_work |= self.progress_subgroup_exchanges()?;
+
+            // 6. Retire completed nonblocking sends.
             self.reap_isends()?;
 
-            // 6. Shut down when the process is quiescent.
+            // 7. Shut down when the process is quiescent.
             if self.local_done
                 && self.pending_recvs.is_empty()
-                && self.active_collective.is_none()
+                && self.active.is_empty()
+                && self.exchanges.is_empty()
                 && self.outstanding_isends.is_empty()
             {
                 // Synchronise teardown across nodes so no peer is left
@@ -250,7 +411,7 @@ impl CommThread {
                 return Ok(());
             }
 
-            // 7. Idle: block briefly on the work queue so the thread does not
+            // 8. Idle: block briefly on the work queue so the thread does not
             //    spin (the comm thread's own sleep-based polling).
             if !did_work {
                 match self.work_rx.recv_timeout(Duration::from_micros(200)) {
@@ -273,10 +434,13 @@ impl CommThread {
                 // Every local kernel thread has returned, so nobody is left
                 // to join a half-assembled collective or to consume an
                 // unmatched receive; fail them now so shutdown cannot hang.
-                if let Some(assembly) = self.active_collective.take() {
+                for (_, assembly) in self.active.drain() {
                     for (_, _, reply_tx) in assembly.joined {
                         let _ = reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
                     }
+                }
+                for ex in self.exchanges.drain(..) {
+                    fail_joined(ex.joined, DcgnError::ShuttingDown);
                 }
                 for recv in self.pending_recvs.drain(..) {
                     let _ = recv.reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
@@ -348,7 +512,10 @@ impl CommThread {
     }
 
     /// Keep exactly one catch-all MPI receive posted; every completion is an
-    /// inter-node DCGN message destined for some local rank.
+    /// inter-node DCGN message destined for some local rank.  Subgroup
+    /// exchange frames carry tags at or above the internal base, which the
+    /// wildcard receive never matches, so they flow to their own posted
+    /// receives instead.
     fn progress_mpi(&mut self) -> Result<bool> {
         let mut did_work = false;
         loop {
@@ -428,25 +595,42 @@ impl CommThread {
     }
 
     // ------------------------------------------------------------------
-    // The generic collective engine: join → local-combine → substrate
-    // exchange → scatter-back.  All per-operation behaviour lives in
-    // COLLECTIVE_TABLE's exchange functions; everything in this section is
-    // shared by every collective.
+    // The generic collective engine: join → local-combine → exchange →
+    // scatter-back, independently per communicator.
     // ------------------------------------------------------------------
 
-    /// Phase 1 — join: classify the request, validate it, and add the rank's
-    /// contribution to the node's active assembly.
+    /// Phase 1 — join: classify the request, validate it against the named
+    /// communicator, and add the rank's contribution to that group's
+    /// assembly.
     fn join_collective(&mut self, req: Request) -> Result<()> {
         let name = req.kind.name();
-        let (id, contribution) = match classify_collective(req.kind) {
+        let src_rank = req.src_rank;
+        let (comm, id, contribution) = match classify_collective(req.kind) {
             Ok(parts) => parts,
             Err(e) => {
                 let _ = req.reply_tx.send(Reply::Error(e));
                 return Ok(());
             }
         };
+        let Some(group) = self.groups.get(&comm) else {
+            let _ = req
+                .reply_tx
+                .send(Reply::Error(DcgnError::InvalidArgument(format!(
+                    "unknown communicator {comm} on node {}",
+                    self.node
+                ))));
+            return Ok(());
+        };
+        if group.sub_of(src_rank).is_none() {
+            let _ = req
+                .reply_tx
+                .send(Reply::Error(DcgnError::InvalidArgument(format!(
+                    "rank {src_rank} is not a member of communicator {comm}"
+                ))));
+            return Ok(());
+        }
         if let Some(root) = id.root {
-            if root >= self.rank_map.total_ranks() {
+            if root >= group.members.len() {
                 let _ = req
                     .reply_tx
                     .send(Reply::Error(DcgnError::InvalidRank(root)));
@@ -454,25 +638,26 @@ impl CommThread {
             }
         }
         if let Contribution::Chunks(chunks) = &contribution {
-            if chunks.len() != self.rank_map.total_ranks() {
+            if chunks.len() != group.members.len() {
                 let _ = req
                     .reply_tx
                     .send(Reply::Error(DcgnError::InvalidArgument(format!(
                         "scatter root must supply {} chunks, got {}",
-                        self.rank_map.total_ranks(),
+                        group.members.len(),
                         chunks.len()
                     ))));
                 return Ok(());
             }
         }
-        match &mut self.active_collective {
-            None => {
-                self.active_collective = Some(CollectiveAssembly {
+        match self.active.entry(comm) {
+            Entry::Vacant(slot) => {
+                slot.insert(CollectiveAssembly {
                     id,
-                    joined: vec![(req.src_rank, contribution, req.reply_tx)],
+                    joined: vec![(src_rank, contribution, req.reply_tx)],
                 });
             }
-            Some(assembly) => {
+            Entry::Occupied(mut slot) => {
+                let assembly = slot.get_mut();
                 if assembly.id != id {
                     let _ = req
                         .reply_tx
@@ -482,40 +667,66 @@ impl CommThread {
                         }));
                     return Ok(());
                 }
-                assembly
-                    .joined
-                    .push((req.src_rank, contribution, req.reply_tx));
+                assembly.joined.push((src_rank, contribution, req.reply_tx));
             }
         }
         Ok(())
     }
 
-    /// Phases 2–4 — once every local rank has joined: run the table-driven
-    /// node-level exchange and scatter the per-rank results back.
-    fn try_execute_collective(&mut self) -> Result<bool> {
-        let ready = self
-            .active_collective
-            .as_ref()
-            .is_some_and(|a| a.joined.len() == self.local_participants());
-        if !ready {
+    /// Phases 2–4 — kick off every communicator whose local members have all
+    /// joined.  World collectives run the (blocking) substrate exchange of
+    /// the dispatch table; subgroup collectives start an asynchronous star
+    /// exchange so disjoint groups overlap.
+    fn try_execute_collectives(&mut self) -> Result<bool> {
+        let ready: Vec<CommId> = self
+            .active
+            .iter()
+            .filter(|(comm, assembly)| {
+                self.groups
+                    .get(comm)
+                    .is_some_and(|g| assembly.joined.len() == g.local_members)
+            })
+            .map(|(comm, _)| *comm)
+            .collect();
+        if ready.is_empty() {
             return Ok(false);
         }
-        let assembly = self.active_collective.take().expect("checked above");
+        for comm in ready {
+            let assembly = self.active.remove(&comm).expect("selected above");
+            let seq = {
+                let g = self.groups.get_mut(&comm).expect("joined groups exist");
+                g.seq += 1;
+                g.seq
+            };
+            if comm.is_world() {
+                self.execute_world_collective(assembly)?;
+            } else {
+                self.start_subgroup_exchange(comm, seq, assembly)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// World path: run the table-driven node-level substrate exchange and
+    /// scatter the per-rank results back.
+    fn execute_world_collective(&mut self, assembly: CollectiveAssembly) -> Result<()> {
         let results = match (spec_for(assembly.id.kind).exchange)(self, &assembly) {
             Ok(results) => results,
             Err(DcgnError::InvalidArgument(msg)) => {
                 // A malformed contribution (e.g. mismatched reduce lengths)
                 // fails every local joiner instead of killing the thread.
                 //
-                // Like MPI, a program whose ranks disagree across *nodes* is
-                // erroneous: this node skips the substrate exchange, so peer
-                // nodes that already entered theirs block until their own
-                // kernels time out (see ROADMAP: failure containment needs
-                // cancellable substrate collectives).
+                // Like MPI, a world collective whose ranks disagree across
+                // *nodes* is erroneous: this node skips the substrate
+                // exchange, so peer nodes that already entered theirs block
+                // until their own kernels time out (see ROADMAP: failure
+                // containment needs cancellable substrate collectives).
+                // Subgroup collectives do better — their exchange echoes
+                // errors to every participating node.
                 for (_, _, reply_tx) in assembly.joined {
                     let _ = reply_tx.send(Reply::Error(DcgnError::InvalidArgument(msg.clone())));
                 }
-                return Ok(true);
+                return Ok(());
             }
             Err(e) => return Err(e),
         };
@@ -537,10 +748,11 @@ impl CommThread {
             }
             let _ = reply_tx.send(Reply::CollectiveDone(result));
         }
-        Ok(true)
+        Ok(())
     }
 
-    // -- Table rows: the node-level exchange of each collective. ----------
+    // -- Table rows: the node-level substrate exchange of each world
+    //    collective. ------------------------------------------------------
 
     fn exchange_barrier(&mut self, _assembly: &CollectiveAssembly) -> Result<ResultSet> {
         // All local ranks have joined; one node-level barrier finishes it.
@@ -669,10 +881,501 @@ impl CommThread {
         ))))
     }
 
+    /// World `comm_split`: allgather every rank's `(color, key)` through the
+    /// substrate, then let every node deterministically compute (and
+    /// register) the same child groups and hand each local rank its encoded
+    /// membership.
+    fn exchange_split(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
+        let blob = encode_rank_frames(
+            assembly
+                .joined
+                .iter()
+                .map(|(rank, c, _)| (*rank, c.as_bytes())),
+        );
+        let all_blobs = self.comm.allgatherv(&blob)?;
+        let total = self.rank_map.total_ranks();
+        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); total];
+        for blob in all_blobs {
+            decode_rank_frames_into(&blob, &mut per_rank);
+        }
+        let table = parse_color_table(&per_rank)?;
+        let mut infos = self.apply_split(CommId::WORLD, &table);
+        Ok(ResultSet::PerRank(
+            (0..total)
+                .map(|rank| infos.remove(&rank).map(CollectiveResult::Bytes))
+                .collect(),
+        ))
+    }
+
     fn node_of_root(&self, root: usize) -> Result<usize> {
         self.rank_map
             .node_of(root)
             .ok_or(DcgnError::InvalidRank(root))
+    }
+
+    // ------------------------------------------------------------------
+    // Subgroup exchanges: an asynchronous star around the group's leader
+    // node, incrementally progressed so disjoint communicators overlap.
+    // ------------------------------------------------------------------
+
+    /// Start the cross-node exchange of a completed subgroup assembly.
+    fn start_subgroup_exchange(
+        &mut self,
+        comm: CommId,
+        seq: u64,
+        assembly: CollectiveAssembly,
+    ) -> Result<()> {
+        let group = self.groups.get(&comm).expect("validated at join").clone();
+        let id = assembly.id;
+        let own_up = frame_up(self.build_subgroup_up(&assembly, &group));
+        let joined: Vec<(usize, Sender<Reply>)> = assembly
+            .joined
+            .into_iter()
+            .map(|(rank, _, reply_tx)| (rank, reply_tx))
+            .collect();
+        let leader = group.nodes[0];
+        let mut ex = if self.node == leader {
+            let up_tag = subgroup_tag(comm.raw(), seq, PHASE_UP);
+            let mut pending = Vec::new();
+            for &node in &group.nodes {
+                if node != self.node {
+                    pending.push((node, self.comm.irecv(Some(node), Some(up_tag))?));
+                }
+            }
+            SubgroupExchange {
+                comm,
+                id,
+                seq,
+                joined,
+                own_up,
+                phase: ExchangePhase::AwaitUps {
+                    pending,
+                    collected: Vec::new(),
+                },
+            }
+        } else {
+            let up_req =
+                self.comm
+                    .isend(leader, subgroup_tag(comm.raw(), seq, PHASE_UP), own_up)?;
+            self.outstanding_isends.push(up_req);
+            let down_req = self.comm.irecv(
+                Some(leader),
+                Some(subgroup_tag(comm.raw(), seq, PHASE_DOWN)),
+            )?;
+            SubgroupExchange {
+                comm,
+                id,
+                seq,
+                joined,
+                own_up: Vec::new(),
+                phase: ExchangePhase::AwaitDown(down_req),
+            }
+        };
+        // Single-node groups (and already-arrived frames) complete at once.
+        if !self.advance_exchange(&mut ex)? {
+            self.exchanges.push(ex);
+        }
+        Ok(())
+    }
+
+    /// Advance every in-flight exchange a step; completed ones deliver their
+    /// replies and are dropped.
+    fn progress_subgroup_exchanges(&mut self) -> Result<bool> {
+        if self.exchanges.is_empty() {
+            return Ok(false);
+        }
+        let mut did_work = false;
+        let exchanges = std::mem::take(&mut self.exchanges);
+        for mut ex in exchanges {
+            if self.advance_exchange(&mut ex)? {
+                did_work = true;
+            } else {
+                self.exchanges.push(ex);
+            }
+        }
+        Ok(did_work)
+    }
+
+    /// Poll one exchange's outstanding substrate requests; returns true once
+    /// it has completed (results delivered to every local joiner).
+    fn advance_exchange(&mut self, ex: &mut SubgroupExchange) -> Result<bool> {
+        match &mut ex.phase {
+            ExchangePhase::AwaitUps { pending, collected } => {
+                let mut i = 0;
+                while i < pending.len() {
+                    let (node, req) = pending[i];
+                    if self.comm.test(req)? {
+                        let (frame, _) = self.comm.take_recv(req).ok_or_else(|| {
+                            DcgnError::Internal("subgroup up-frame vanished".into())
+                        })?;
+                        collected.push((node, frame));
+                        pending.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !pending.is_empty() {
+                    return Ok(false);
+                }
+                self.finish_leader(ex)?;
+                Ok(true)
+            }
+            ExchangePhase::AwaitDown(req) => {
+                let req = *req;
+                if !self.comm.test(req)? {
+                    return Ok(false);
+                }
+                let (frame, _) = self
+                    .comm
+                    .take_recv(req)
+                    .ok_or_else(|| DcgnError::Internal("subgroup down-frame vanished".into()))?;
+                let joined = std::mem::take(&mut ex.joined);
+                match parse_frame(&frame) {
+                    Err(msg) => fail_joined(joined, DcgnError::InvalidArgument(msg)),
+                    Ok(payload) => {
+                        let group = self
+                            .groups
+                            .get(&ex.comm)
+                            .expect("group outlives its exchanges")
+                            .clone();
+                        self.deliver_subgroup(ex.comm, ex.id, joined, &group, payload)?;
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Leader: all up-frames (and our own) are in — combine them, ship each
+    /// participating node its down-frame, and deliver local results.
+    fn finish_leader(&mut self, ex: &mut SubgroupExchange) -> Result<()> {
+        let collected = match &mut ex.phase {
+            ExchangePhase::AwaitUps { collected, .. } => std::mem::take(collected),
+            ExchangePhase::AwaitDown(_) => unreachable!("leader state"),
+        };
+        let joined = std::mem::take(&mut ex.joined);
+        let group = self
+            .groups
+            .get(&ex.comm)
+            .expect("group outlives its exchanges")
+            .clone();
+        let down_tag = subgroup_tag(ex.comm.raw(), ex.seq, PHASE_DOWN);
+
+        // Unwrap status frames; the first error (local or remote) fails the
+        // whole subgroup — and *only* this subgroup, because the error is
+        // echoed to every participating node instead of leaving them blocked.
+        let mut payloads: HashMap<usize, Vec<u8>> = HashMap::new();
+        let mut error: Option<String> = None;
+        for (node, frame) in
+            std::iter::once((self.node, std::mem::take(&mut ex.own_up))).chain(collected)
+        {
+            match parse_frame(&frame) {
+                Ok(payload) => {
+                    payloads.insert(node, payload.to_vec());
+                }
+                Err(msg) => {
+                    error.get_or_insert(msg);
+                }
+            }
+        }
+        let downs = match error {
+            Some(msg) => Err(msg),
+            None => self.combine_subgroup(ex.id, &group, &payloads),
+        };
+        match downs {
+            Err(msg) => {
+                for &node in &group.nodes {
+                    if node != self.node {
+                        let req = self.comm.isend(node, down_tag, frame_error(&msg))?;
+                        self.outstanding_isends.push(req);
+                    }
+                }
+                fail_joined(joined, DcgnError::InvalidArgument(msg));
+                Ok(())
+            }
+            Ok(mut downs) => {
+                for &node in &group.nodes {
+                    if node != self.node {
+                        let payload = downs.remove(&node).unwrap_or_default();
+                        let req = self.comm.isend(node, down_tag, frame_up(Ok(payload)))?;
+                        self.outstanding_isends.push(req);
+                    }
+                }
+                let own = downs.remove(&self.node).unwrap_or_default();
+                self.deliver_subgroup(ex.comm, ex.id, joined, &group, &own)
+            }
+        }
+    }
+
+    /// Combine the per-node up-payloads of a subgroup collective into the
+    /// per-node down-payloads.  `Err` carries a diagnostic that fails every
+    /// member of the subgroup (on every node).
+    fn combine_subgroup(
+        &self,
+        id: CollectiveId,
+        group: &CommGroup,
+        payloads: &HashMap<usize, Vec<u8>>,
+    ) -> std::result::Result<HashMap<usize, Vec<u8>>, String> {
+        let size = group.members.len();
+        let root_node = |root: Option<usize>| {
+            let root = root.expect("rooted collective");
+            self.rank_map
+                .node_of(group.members[root])
+                .expect("members have nodes")
+        };
+        let merged = || {
+            let mut table: Vec<Vec<u8>> = vec![Vec::new(); size];
+            for payload in payloads.values() {
+                decode_rank_frames_into(payload, &mut table);
+            }
+            table
+        };
+        let uniform = |payload: Vec<u8>| {
+            group
+                .nodes
+                .iter()
+                .map(|&n| (n, payload.clone()))
+                .collect::<HashMap<_, _>>()
+        };
+        let empty_except = |node: usize, payload: Vec<u8>| {
+            let mut downs: HashMap<usize, Vec<u8>> =
+                group.nodes.iter().map(|&n| (n, Vec::new())).collect();
+            downs.insert(node, payload);
+            downs
+        };
+        Ok(match id.kind {
+            CollectiveKind::Barrier => uniform(Vec::new()),
+            CollectiveKind::Broadcast => {
+                let node = root_node(id.root);
+                uniform(payloads.get(&node).cloned().unwrap_or_default())
+            }
+            CollectiveKind::Allgather | CollectiveKind::Split => {
+                let table = merged();
+                uniform(encode_rank_frames(
+                    table.iter().enumerate().map(|(s, d)| (s, d.as_slice())),
+                ))
+            }
+            CollectiveKind::Gather => {
+                let table = merged();
+                let blob =
+                    encode_rank_frames(table.iter().enumerate().map(|(s, d)| (s, d.as_slice())));
+                empty_except(root_node(id.root), blob)
+            }
+            CollectiveKind::Scatter => {
+                let node = root_node(id.root);
+                let mut table: Vec<Vec<u8>> = vec![Vec::new(); size];
+                decode_rank_frames_into(
+                    payloads.get(&node).map_or(&[][..], |p| p.as_slice()),
+                    &mut table,
+                );
+                group
+                    .nodes
+                    .iter()
+                    .map(|&n| {
+                        let frames = group.members.iter().enumerate().filter_map(|(s, &m)| {
+                            (self.rank_map.node_of(m) == Some(n))
+                                .then_some((s, table[s].as_slice()))
+                        });
+                        (n, encode_rank_frames(frames))
+                    })
+                    .collect()
+            }
+            CollectiveKind::Reduce | CollectiveKind::Allreduce => {
+                let op = id.op.expect("reduction carries an operator");
+                let mut acc: Option<Vec<f64>> = None;
+                // Fold in node order, so the result is deterministic.
+                for &node in &group.nodes {
+                    let values =
+                        bytes_to_f64s(payloads.get(&node).map_or(&[][..], |p| p.as_slice()));
+                    match &mut acc {
+                        None => acc = Some(values),
+                        Some(acc) => {
+                            if acc.len() != values.len() {
+                                return Err(format!(
+                                    "reduce length mismatch across subgroup nodes: \
+                                     node {node} contributed {} values, expected {}",
+                                    values.len(),
+                                    acc.len()
+                                ));
+                            }
+                            op.apply(acc, &values);
+                        }
+                    }
+                }
+                let result = f64s_to_bytes(&acc.unwrap_or_default());
+                if id.kind == CollectiveKind::Reduce {
+                    empty_except(root_node(id.root), result)
+                } else {
+                    uniform(result)
+                }
+            }
+        })
+    }
+
+    /// Turn this node's down-payload into per-member results and reply to
+    /// every local joiner.
+    fn deliver_subgroup(
+        &mut self,
+        comm: CommId,
+        id: CollectiveId,
+        joined: Vec<(usize, Sender<Reply>)>,
+        group: &CommGroup,
+        payload: &[u8],
+    ) -> Result<()> {
+        let size = group.members.len();
+        let root_global = id.root.map(|root| group.members[root]);
+        // Chunked payloads decode once into a sub-rank-indexed table.
+        let table: Vec<Vec<u8>> = match id.kind {
+            CollectiveKind::Gather
+            | CollectiveKind::Allgather
+            | CollectiveKind::Scatter
+            | CollectiveKind::Split => {
+                let mut table = vec![Vec::new(); size];
+                decode_rank_frames_into(payload, &mut table);
+                table
+            }
+            _ => Vec::new(),
+        };
+        // Splits additionally register the child groups on this node and
+        // produce each member's encoded membership.
+        let mut split_infos = if id.kind == CollectiveKind::Split {
+            let colors = table
+                .iter()
+                .map(|entry| decode_color_key(entry))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| DcgnError::Internal("malformed comm_split contribution".into()))?;
+            self.apply_split(comm, &colors)
+        } else {
+            HashMap::new()
+        };
+        let source = match id.kind {
+            CollectiveKind::Broadcast | CollectiveKind::Scatter => root_global,
+            _ => None,
+        };
+        for (rank, reply_tx) in joined {
+            let sub = group.sub_of(rank).expect("membership validated at join");
+            let result = match id.kind {
+                CollectiveKind::Barrier => CollectiveResult::Unit,
+                CollectiveKind::Broadcast | CollectiveKind::Allreduce => {
+                    CollectiveResult::Bytes(payload.to_vec())
+                }
+                CollectiveKind::Reduce => {
+                    if Some(rank) == root_global {
+                        CollectiveResult::Bytes(payload.to_vec())
+                    } else {
+                        CollectiveResult::Unit
+                    }
+                }
+                CollectiveKind::Gather => {
+                    if Some(rank) == root_global {
+                        CollectiveResult::Chunks(table.clone())
+                    } else {
+                        CollectiveResult::Unit
+                    }
+                }
+                CollectiveKind::Allgather => CollectiveResult::Chunks(table.clone()),
+                CollectiveKind::Scatter => CollectiveResult::Bytes(table[sub].clone()),
+                CollectiveKind::Split => CollectiveResult::Bytes(
+                    split_infos
+                        .remove(&rank)
+                        .expect("every member belongs to one color class"),
+                ),
+            };
+            if !matches!(result, CollectiveResult::Unit) && Some(rank) != source {
+                self.cost.intra_node.charge(result_payload_len(&result));
+            }
+            let _ = reply_tx.send(Reply::CollectiveDone(result));
+        }
+        Ok(())
+    }
+
+    /// This node's local contribution to a subgroup exchange (the payload it
+    /// would send toward the leader).  `Err` carries a local validation
+    /// failure, which the protocol echoes to the whole subgroup.
+    fn build_subgroup_up(
+        &self,
+        assembly: &CollectiveAssembly,
+        group: &CommGroup,
+    ) -> std::result::Result<Vec<u8>, String> {
+        let sub_of = |rank: usize| group.sub_of(rank).expect("membership validated at join");
+        let root_global = assembly.id.root.map(|root| group.members[root]);
+        Ok(match assembly.id.kind {
+            CollectiveKind::Barrier => Vec::new(),
+            CollectiveKind::Broadcast => assembly
+                .joined
+                .iter()
+                .find(|(rank, _, _)| Some(*rank) == root_global)
+                .map(|(_, c, _)| c.as_bytes().to_vec())
+                .unwrap_or_default(),
+            CollectiveKind::Gather | CollectiveKind::Allgather | CollectiveKind::Split => {
+                encode_rank_frames(
+                    assembly
+                        .joined
+                        .iter()
+                        .map(|(rank, c, _)| (sub_of(*rank), c.as_bytes())),
+                )
+            }
+            CollectiveKind::Scatter => assembly
+                .joined
+                .iter()
+                .find_map(|(rank, c, _)| match (rank, c) {
+                    (r, Contribution::Chunks(chunks)) if Some(*r) == root_global => {
+                        Some(encode_rank_frames(
+                            chunks.iter().enumerate().map(|(s, d)| (s, d.as_slice())),
+                        ))
+                    }
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            CollectiveKind::Reduce | CollectiveKind::Allreduce => {
+                let op = assembly.id.op.expect("reduction carries an operator");
+                f64s_to_bytes(&combine_local_f64(assembly, op).map_err(|e| e.to_string())?)
+            }
+        })
+    }
+
+    /// Register the child groups of a split (those with a resident member)
+    /// and encode each local member's new membership.  `colors[s]` is the
+    /// `(color, key)` pair of parent sub-rank `s`.
+    fn apply_split(&mut self, parent: CommId, colors: &[(u32, u32)]) -> HashMap<usize, Vec<u8>> {
+        let (parent_members, split_seq) = {
+            let g = self.groups.get_mut(&parent).expect("parent registered");
+            g.splits += 1;
+            (g.members.clone(), g.splits)
+        };
+        let mut infos = HashMap::new();
+        for (color, members) in group::split_groups(&parent_members, colors) {
+            let child = parent.child(split_seq, color);
+            let local_members = members
+                .iter()
+                .filter(|&&m| self.rank_map.node_of(m) == Some(self.node))
+                .count();
+            if local_members == 0 {
+                continue;
+            }
+            let mut nodes: Vec<usize> = members
+                .iter()
+                .filter_map(|&m| self.rank_map.node_of(m))
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            for (sub, &member) in members.iter().enumerate() {
+                if self.rank_map.node_of(member) == Some(self.node) {
+                    infos.insert(member, group::encode_comm_info(child, sub, &members));
+                }
+            }
+            self.groups.insert(
+                child,
+                CommGroup {
+                    members,
+                    nodes,
+                    local_members,
+                    seq: 0,
+                    splits: 0,
+                },
+            );
+        }
+        infos
     }
 }
 
@@ -686,39 +1389,60 @@ impl CollectiveKind {
             CollectiveKind::Allgather => "allgather",
             CollectiveKind::Reduce => "reduce",
             CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Split => "comm_split",
         }
     }
 }
 
-/// Map a collective request onto its identity and this rank's contribution.
-/// Point-to-point kinds are a caller bug.
-fn classify_collective(kind: RequestKind) -> Result<(CollectiveId, Contribution)> {
+/// Map a collective request onto its communicator, identity and this rank's
+/// contribution.  Point-to-point kinds are a caller bug.
+fn classify_collective(kind: RequestKind) -> Result<(CommId, CollectiveId, Contribution)> {
     let id = |kind, root, op| CollectiveId { kind, root, op };
     Ok(match kind {
-        RequestKind::Barrier => (id(CollectiveKind::Barrier, None, None), Contribution::None),
-        RequestKind::Broadcast { root, data } => (
+        RequestKind::Barrier { comm } => (
+            comm,
+            id(CollectiveKind::Barrier, None, None),
+            Contribution::None,
+        ),
+        RequestKind::Broadcast { comm, root, data } => (
+            comm,
             id(CollectiveKind::Broadcast, Some(root), None),
             data.map_or(Contribution::None, Contribution::Bytes),
         ),
-        RequestKind::Gather { root, data } => (
+        RequestKind::Gather { comm, root, data } => (
+            comm,
             id(CollectiveKind::Gather, Some(root), None),
             Contribution::Bytes(data),
         ),
-        RequestKind::Scatter { root, chunks } => (
+        RequestKind::Scatter { comm, root, chunks } => (
+            comm,
             id(CollectiveKind::Scatter, Some(root), None),
             chunks.map_or(Contribution::None, Contribution::Chunks),
         ),
-        RequestKind::Allgather { data } => (
+        RequestKind::Allgather { comm, data } => (
+            comm,
             id(CollectiveKind::Allgather, None, None),
             Contribution::Bytes(data),
         ),
-        RequestKind::Reduce { root, data, op } => (
+        RequestKind::Reduce {
+            comm,
+            root,
+            data,
+            op,
+        } => (
+            comm,
             id(CollectiveKind::Reduce, Some(root), Some(op)),
             Contribution::Bytes(f64s_to_bytes(&data)),
         ),
-        RequestKind::Allreduce { data, op } => (
+        RequestKind::Allreduce { comm, data, op } => (
+            comm,
             id(CollectiveKind::Allreduce, None, Some(op)),
             Contribution::Bytes(f64s_to_bytes(&data)),
+        ),
+        RequestKind::Split { comm, color, key } => (
+            comm,
+            id(CollectiveKind::Split, None, None),
+            Contribution::Bytes(encode_color_key(color, key)),
         ),
         RequestKind::Send { .. } | RequestKind::Recv { .. } => {
             return Err(DcgnError::Internal(
@@ -726,6 +1450,15 @@ fn classify_collective(kind: RequestKind) -> Result<(CollectiveId, Contribution)
             ))
         }
     })
+}
+
+/// Parse the rank-indexed `(color, key)` table of a world split.
+fn parse_color_table(per_rank: &[Vec<u8>]) -> Result<Vec<(u32, u32)>> {
+    per_rank
+        .iter()
+        .map(|entry| decode_color_key(entry))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| DcgnError::Internal("malformed comm_split contribution".into()))
 }
 
 /// Local-combine for reduce/allreduce: fold every joined rank's vector into
@@ -762,6 +1495,7 @@ fn result_payload_len(result: &CollectiveResult) -> usize {
 
 /// Encode `(rank, bytes)` pairs as `[rank u32][len u32][bytes]…` — the wire
 /// framing every chunked collective uses to move per-rank data between nodes.
+/// Subgroup exchanges index frames by sub-rank instead of global rank.
 fn encode_rank_frames<'a>(frames: impl Iterator<Item = (usize, &'a [u8])>) -> Vec<u8> {
     let mut blob = Vec::new();
     for (rank, data) in frames {
@@ -795,7 +1529,7 @@ mod tests {
     /// the assertions below) whenever a `CollectiveKind` is added, turning a
     /// missing `COLLECTIVE_TABLE` row from a runtime panic into a test
     /// failure.
-    const ALL_KINDS: [CollectiveKind; 7] = [
+    const ALL_KINDS: [CollectiveKind; 8] = [
         CollectiveKind::Barrier,
         CollectiveKind::Broadcast,
         CollectiveKind::Gather,
@@ -803,6 +1537,7 @@ mod tests {
         CollectiveKind::Allgather,
         CollectiveKind::Reduce,
         CollectiveKind::Allreduce,
+        CollectiveKind::Split,
     ];
 
     #[test]
@@ -817,7 +1552,8 @@ mod tests {
                 | CollectiveKind::Scatter
                 | CollectiveKind::Allgather
                 | CollectiveKind::Reduce
-                | CollectiveKind::Allreduce => {}
+                | CollectiveKind::Allreduce
+                | CollectiveKind::Split => {}
             }
             assert_eq!(spec_for(kind).kind, kind);
         }
@@ -848,5 +1584,31 @@ mod tests {
         bad.extend_from_slice(&[5; 10]);
         decode_rank_frames_into(&bad, &mut per_rank);
         assert!(per_rank.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn subgroup_frames_roundtrip_status_and_payload() {
+        assert_eq!(parse_frame(&frame_up(Ok(vec![7, 8]))), Ok(&[7u8, 8][..]));
+        assert_eq!(
+            parse_frame(&frame_up(Err("boom".into()))),
+            Err("boom".to_string())
+        );
+        assert_eq!(parse_frame(&frame_error("bad")), Err("bad".to_string()));
+        assert!(parse_frame(&[]).is_err());
+    }
+
+    #[test]
+    fn color_key_encoding_roundtrips() {
+        assert_eq!(decode_color_key(&encode_color_key(3, 9)), Some((3, 9)));
+        assert_eq!(
+            decode_color_key(&encode_color_key(u32::MAX, 0)),
+            Some((u32::MAX, 0))
+        );
+        assert_eq!(decode_color_key(&[1, 2, 3]), None);
+        assert!(parse_color_table(&[encode_color_key(1, 2), vec![0; 3]]).is_err());
+        assert_eq!(
+            parse_color_table(&[encode_color_key(1, 2)]).unwrap(),
+            vec![(1, 2)]
+        );
     }
 }

@@ -12,6 +12,7 @@ use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
+use crate::group::{self, Comm, CommId};
 use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
 use crate::rank::RankMap;
 
@@ -22,6 +23,9 @@ pub struct CpuCtx {
     work_tx: Sender<CommCommand>,
     cost: CostModel,
     request_timeout: Duration,
+    /// Built once so the world-collective wrappers don't allocate a member
+    /// table per call.
+    world: Comm,
 }
 
 impl CpuCtx {
@@ -32,12 +36,14 @@ impl CpuCtx {
         cost: CostModel,
         request_timeout: Duration,
     ) -> Self {
+        let world = Comm::world(rank, rank_map.total_ranks());
         CpuCtx {
             rank,
             rank_map,
             work_tx,
             cost,
             request_timeout,
+            world,
         }
     }
 
@@ -206,7 +212,10 @@ impl CpuCtx {
 
     // ------------------------------------------------------------------
     // Collectives — every operation is one relay into the comm thread's
-    // generic collective engine plus a shape-check of the result.
+    // generic collective engine plus a shape-check of the result.  The
+    // plain methods run over the world; the `*_in` variants take a
+    // communicator created with [`CpuCtx::comm_split`], with roots and
+    // chunk indexing expressed in that communicator's sub-rank space.
     // ------------------------------------------------------------------
 
     /// Relay a collective request and return this rank's share of the result.
@@ -229,9 +238,52 @@ impl CpuCtx {
         }
     }
 
+    /// This rank's handle onto the world communicator.
+    pub fn world_comm(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// Collectively split the world into subgroups: ranks supplying the same
+    /// `color` form a new communicator, ordered by `(key, rank)` — the
+    /// `MPI_Comm_split` analogue.  Every rank must call it.
+    pub fn comm_split(&self, color: u32, key: u32) -> Result<Comm> {
+        self.comm_split_in(&self.world, color, key)
+    }
+
+    /// Split an existing communicator further.  Every member of `comm` must
+    /// call it; the new group orders ranks by `(key, rank in comm)`.
+    pub fn comm_split_in(&self, comm: &Comm, color: u32, key: u32) -> Result<Comm> {
+        let result = self.collective(
+            RequestKind::Split {
+                comm: comm.id(),
+                color,
+                key,
+            },
+            "comm_split",
+        )?;
+        group::decode_comm_info(&Self::expect_bytes(result, "comm_split")?)
+    }
+
+    fn check_comm_root(&self, comm: &Comm, root: usize) -> Result<()> {
+        if root >= comm.size() {
+            Err(DcgnError::InvalidRank(root))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Barrier across every DCGN rank (CPU threads and GPU slots alike).
     pub fn barrier(&self) -> Result<()> {
-        self.collective(RequestKind::Barrier, "barrier")?;
+        self.barrier_in_id(CommId::WORLD)
+    }
+
+    /// Barrier across the members of `comm`.
+    pub fn barrier_in(&self, comm: &Comm) -> Result<()> {
+        self.barrier_in_id(comm.id())
+    }
+
+    fn barrier_in_id(&self, comm: CommId) -> Result<()> {
+        self.collective(RequestKind::Barrier { comm }, "barrier")?;
         Ok(())
     }
 
@@ -239,13 +291,20 @@ impl CpuCtx {
     /// return every rank's `data` holds the root's bytes.
     pub fn broadcast(&self, root: usize, data: &mut Vec<u8>) -> Result<()> {
         self.check_rank(root)?;
-        let payload = if self.rank == root {
+        self.broadcast_in(&self.world, root, data)
+    }
+
+    /// Broadcast within `comm` from sub-rank `root`.
+    pub fn broadcast_in(&self, comm: &Comm, root: usize, data: &mut Vec<u8>) -> Result<()> {
+        self.check_comm_root(comm, root)?;
+        let payload = if comm.rank() == root {
             Some(std::mem::take(data))
         } else {
             None
         };
         let result = self.collective(
             RequestKind::Broadcast {
+                comm: comm.id(),
                 root,
                 data: payload,
             },
@@ -259,8 +318,16 @@ impl CpuCtx {
     /// by rank at the root and `None` elsewhere.
     pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         self.check_rank(root)?;
+        self.gather_in(&self.world, root, data)
+    }
+
+    /// Gather within `comm` at sub-rank `root`; the root's chunk table is
+    /// indexed by sub-rank.
+    pub fn gather_in(&self, comm: &Comm, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        self.check_comm_root(comm, root)?;
         match self.collective(
             RequestKind::Gather {
+                comm: comm.id(),
                 root,
                 data: data.to_vec(),
             },
@@ -279,14 +346,26 @@ impl CpuCtx {
     /// Every rank (the root included) receives its own chunk.
     pub fn scatter(&self, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
         self.check_rank(root)?;
-        let payload = if self.rank == root {
+        self.scatter_in(&self.world, root, chunks)
+    }
+
+    /// Scatter within `comm` from sub-rank `root`; the root supplies one
+    /// chunk per member in sub-rank order.
+    pub fn scatter_in(
+        &self,
+        comm: &Comm,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> Result<Vec<u8>> {
+        self.check_comm_root(comm, root)?;
+        let payload = if comm.rank() == root {
             let chunks = chunks.ok_or_else(|| {
                 DcgnError::InvalidArgument("scatter root must supply chunks".into())
             })?;
-            if chunks.len() != self.size() {
+            if chunks.len() != comm.size() {
                 return Err(DcgnError::InvalidArgument(format!(
                     "scatter needs {} chunks, got {}",
-                    self.size(),
+                    comm.size(),
                     chunks.len()
                 )));
             }
@@ -296,6 +375,7 @@ impl CpuCtx {
         };
         let result = self.collective(
             RequestKind::Scatter {
+                comm: comm.id(),
                 root,
                 chunks: payload,
             },
@@ -307,8 +387,14 @@ impl CpuCtx {
     /// Allgather: contribute `data` and receive every rank's contribution,
     /// indexed by rank.
     pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        self.allgather_in(&self.world, data)
+    }
+
+    /// Allgather within `comm`; the result is indexed by sub-rank.
+    pub fn allgather_in(&self, comm: &Comm, data: &[u8]) -> Result<Vec<Vec<u8>>> {
         match self.collective(
             RequestKind::Allgather {
+                comm: comm.id(),
                 data: data.to_vec(),
             },
             "allgather",
@@ -325,8 +411,21 @@ impl CpuCtx {
     /// at the root and `None` elsewhere.
     pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Result<Option<Vec<f64>>> {
         self.check_rank(root)?;
+        self.reduce_in(&self.world, root, data, op)
+    }
+
+    /// Element-wise reduction within `comm` to sub-rank `root`.
+    pub fn reduce_in(
+        &self,
+        comm: &Comm,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        self.check_comm_root(comm, root)?;
         match self.collective(
             RequestKind::Reduce {
+                comm: comm.id(),
                 root,
                 data: data.to_vec(),
                 op,
@@ -343,8 +442,14 @@ impl CpuCtx {
 
     /// Element-wise reduction where every rank receives the result.
     pub fn allreduce(&self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        self.allreduce_in(&self.world, data, op)
+    }
+
+    /// Element-wise reduction within `comm` delivered to every member.
+    pub fn allreduce_in(&self, comm: &Comm, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
         let result = self.collective(
             RequestKind::Allreduce {
+                comm: comm.id(),
                 data: data.to_vec(),
                 op,
             },

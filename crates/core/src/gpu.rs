@@ -19,6 +19,7 @@ use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
+use crate::group::CommId;
 use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
 
 // ---------------------------------------------------------------------------
@@ -65,6 +66,9 @@ pub mod opcode {
     pub const REDUCE: u32 = 9;
     /// Element-wise `f64` reduction delivered to every rank.
     pub const ALLREDUCE: u32 = 10;
+    /// Collective communicator split (`MPI_Comm_split` analogue); the
+    /// reply's encoded membership lands in the slot's buffer.
+    pub const SPLIT: u32 = 11;
 }
 
 /// Wire encoding of [`ReduceOp`] in the mailbox `reduce_op` field.
@@ -100,15 +104,20 @@ pub const PEER_ANY: u32 = u32::MAX;
 // Field offsets within a mailbox entry.
 const OFF_STATUS: usize = 0;
 const OFF_OPCODE: usize = 4;
+/// P2P peer / collective root / split color.
 const OFF_PEER: usize = 8;
-const OFF_TAG: usize = 12;
+/// P2P tag; collectives reuse the word for the communicator's size.
+const OFF_AUX: usize = 12;
 const OFF_DATA_PTR: usize = 16;
 const OFF_LEN: usize = 24;
 const OFF_RESULT_LEN: usize = 32;
 const OFF_RESULT_SRC: usize = 40;
 const OFF_ERROR: usize = 44;
+/// `sendrecv_replace` source / collective sub-rank / split key.
 const OFF_PEER2: usize = 48;
 const OFF_REDUCE_OP: usize = 52;
+/// Raw [`CommId`] of the communicator a collective runs over (0 = world).
+const OFF_COMM: usize = 56;
 
 /// Error codes written into the `error` field of a mailbox entry.
 pub mod mailbox_error {
@@ -224,8 +233,9 @@ impl<'a> GpuCtx<'a> {
         op: u32,
         peer: u32,
         peer2: u32,
-        tag: u32,
+        aux: u32,
         reduce_op: u32,
+        comm: u64,
         data_ptr: DevicePtr,
         len: usize,
     ) -> (usize, usize, u32) {
@@ -240,8 +250,9 @@ impl<'a> GpuCtx<'a> {
         b.write_u32(entry.add(OFF_OPCODE), op);
         b.write_u32(entry.add(OFF_PEER), peer);
         b.write_u32(entry.add(OFF_PEER2), peer2);
-        b.write_u32(entry.add(OFF_TAG), tag);
+        b.write_u32(entry.add(OFF_AUX), aux);
         b.write_u32(entry.add(OFF_REDUCE_OP), reduce_op);
+        b.write_u64(entry.add(OFF_COMM), comm);
         b.write_u64(entry.add(OFF_DATA_PTR), data_ptr.offset() as u64);
         b.write_u64(entry.add(OFF_LEN), len as u64);
         b.write_u64(entry.add(OFF_RESULT_LEN), 0);
@@ -269,10 +280,20 @@ impl<'a> GpuCtx<'a> {
         }
     }
 
+    /// This slot's handle onto the world communicator.
+    pub fn world_comm(&self, slot: usize) -> GpuComm {
+        GpuComm {
+            id: CommId::WORLD.raw(),
+            rank: self.rank(slot),
+            size: self.layout.total_ranks,
+            table: DevicePtr::NULL,
+        }
+    }
+
     /// Send `len` bytes starting at device pointer `data` to DCGN rank `dst`
     /// using `slot` (the paper's `dcgn::gpu::send`).
     pub fn send(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) {
-        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, 0, data, len);
+        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, 0, 0, data, len);
         self.check(err, "send");
     }
 
@@ -280,7 +301,7 @@ impl<'a> GpuCtx<'a> {
     /// `src` using `slot` (the paper's `dcgn::gpu::recv`).  Returns the
     /// completion status.
     pub fn recv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, 0, data, len);
+        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
@@ -291,7 +312,7 @@ impl<'a> GpuCtx<'a> {
 
     /// Receive from any rank.
     pub fn recv_any(&self, slot: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, 0, data, len);
+        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
@@ -302,7 +323,22 @@ impl<'a> GpuCtx<'a> {
 
     /// Barrier across every DCGN rank, entered by this slot.
     pub fn barrier(&self, slot: usize) {
-        let (_, _, err) = self.transact(slot, opcode::BARRIER, 0, 0, 0, 0, DevicePtr::NULL, 0);
+        self.barrier_in(slot, &self.world_comm(slot));
+    }
+
+    /// Barrier across the members of `comm`, entered by this slot.
+    pub fn barrier_in(&self, slot: usize, comm: &GpuComm) {
+        let (_, _, err) = self.transact(
+            slot,
+            opcode::BARRIER,
+            0,
+            comm.rank as u32,
+            comm.size as u32,
+            0,
+            comm.id,
+            DevicePtr::NULL,
+            0,
+        );
         self.check(err, "barrier");
     }
 
@@ -311,7 +347,29 @@ impl<'a> GpuCtx<'a> {
     /// root's bytes into `data` (at most `len` bytes).  Returns the number of
     /// bytes broadcast.
     pub fn broadcast(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(slot, opcode::BROADCAST, root as u32, 0, 0, 0, data, len);
+        self.broadcast_in(slot, &self.world_comm(slot), root, data, len)
+    }
+
+    /// Broadcast within `comm` from sub-rank `root`.
+    pub fn broadcast_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        root: usize,
+        data: DevicePtr,
+        len: usize,
+    ) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::BROADCAST,
+            root as u32,
+            comm.rank as u32,
+            comm.size as u32,
+            0,
+            comm.id,
+            data,
+            len,
+        );
         self.check(err, "broadcast");
         got
     }
@@ -324,7 +382,30 @@ impl<'a> GpuCtx<'a> {
     /// buffers are untouched.  Returns the total bytes gathered at the root
     /// and `0` elsewhere.
     pub fn gather(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(slot, opcode::GATHER, root as u32, 0, 0, 0, data, len);
+        self.gather_in(slot, &self.world_comm(slot), root, data, len)
+    }
+
+    /// Gather within `comm` at sub-rank `root` (in-place over a
+    /// `comm.size × len` buffer indexed by sub-rank).
+    pub fn gather_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        root: usize,
+        data: DevicePtr,
+        len: usize,
+    ) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::GATHER,
+            root as u32,
+            comm.rank as u32,
+            comm.size as u32,
+            0,
+            comm.id,
+            data,
+            len,
+        );
         self.check(err, "gather");
         got
     }
@@ -336,7 +417,30 @@ impl<'a> GpuCtx<'a> {
     /// chunk is copied down to its buffer start as well).  Returns the chunk
     /// size received.
     pub fn scatter(&self, slot: usize, root: usize, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(slot, opcode::SCATTER, root as u32, 0, 0, 0, data, len);
+        self.scatter_in(slot, &self.world_comm(slot), root, data, len)
+    }
+
+    /// Scatter within `comm` from sub-rank `root` (in-place over a
+    /// `comm.size × len` buffer indexed by sub-rank).
+    pub fn scatter_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        root: usize,
+        data: DevicePtr,
+        len: usize,
+    ) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::SCATTER,
+            root as u32,
+            comm.rank as u32,
+            comm.size as u32,
+            0,
+            comm.id,
+            data,
+            len,
+        );
         self.check(err, "scatter");
         got
     }
@@ -346,7 +450,23 @@ impl<'a> GpuCtx<'a> {
     /// return *every* participant's buffer holds all `size() × len` bytes.
     /// Returns the total bytes gathered.
     pub fn allgather(&self, slot: usize, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(slot, opcode::ALLGATHER, 0, 0, 0, 0, data, len);
+        self.allgather_in(slot, &self.world_comm(slot), data, len)
+    }
+
+    /// Allgather within `comm` (in-place over a `comm.size × len` buffer
+    /// indexed by sub-rank).
+    pub fn allgather_in(&self, slot: usize, comm: &GpuComm, data: DevicePtr, len: usize) -> usize {
+        let (got, _, err) = self.transact(
+            slot,
+            opcode::ALLGATHER,
+            0,
+            comm.rank as u32,
+            comm.size as u32,
+            0,
+            comm.id,
+            data,
+            len,
+        );
         self.check(err, "allgather");
         got
     }
@@ -363,13 +483,27 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         count: usize,
     ) -> usize {
+        self.reduce_in(slot, &self.world_comm(slot), root, op, data, count)
+    }
+
+    /// Element-wise reduction within `comm` to sub-rank `root`.
+    pub fn reduce_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        root: usize,
+        op: ReduceOp,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
         let (got, _, err) = self.transact(
             slot,
             opcode::REDUCE,
             root as u32,
-            0,
-            0,
+            comm.rank as u32,
+            comm.size as u32,
             encode_reduce_op(op),
+            comm.id,
             data,
             count * 8,
         );
@@ -381,18 +515,94 @@ impl<'a> GpuCtx<'a> {
     /// receiving the reduced vector in place.  Returns the result size in
     /// bytes.
     pub fn allreduce(&self, slot: usize, op: ReduceOp, data: DevicePtr, count: usize) -> usize {
+        self.allreduce_in(slot, &self.world_comm(slot), op, data, count)
+    }
+
+    /// Element-wise reduction within `comm` delivered to every member.
+    pub fn allreduce_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        op: ReduceOp,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
         let (got, _, err) = self.transact(
             slot,
             opcode::ALLREDUCE,
             0,
-            0,
-            0,
+            comm.rank as u32,
+            comm.size as u32,
             encode_reduce_op(op),
+            comm.id,
             data,
             count * 8,
         );
         self.check(err, "allreduce");
         got
+    }
+
+    /// Collectively split the world into subgroups (`MPI_Comm_split`): slots
+    /// supplying the same `color` form a new communicator ordered by
+    /// `(key, rank)`.  The host writes the encoded membership —
+    /// `[id u64][sub-rank u32][size u32][member u32 × size]` — into `table`
+    /// (at most `table_len` bytes), which must stay allocated for as long as
+    /// the returned handle's member lookups are used.
+    pub fn split(
+        &self,
+        slot: usize,
+        color: u32,
+        key: u32,
+        table: DevicePtr,
+        table_len: usize,
+    ) -> GpuComm {
+        self.split_in(slot, &self.world_comm(slot), color, key, table, table_len)
+    }
+
+    /// Split an existing communicator further; every member must call it.
+    pub fn split_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        color: u32,
+        key: u32,
+        table: DevicePtr,
+        table_len: usize,
+    ) -> GpuComm {
+        let (_, _, err) = self.transact(
+            slot,
+            opcode::SPLIT,
+            color,
+            key,
+            0,
+            0,
+            comm.id,
+            table,
+            table_len,
+        );
+        self.check(err, "comm_split");
+        let b = self.block;
+        GpuComm {
+            id: b.read_u64(table),
+            rank: b.read_u32(table.add(8)) as usize,
+            size: b.read_u32(table.add(12)) as usize,
+            table,
+        }
+    }
+
+    /// Global DCGN rank of `sub_rank` within `comm` (read from the member
+    /// table the split left in device memory).  World handles have no table
+    /// in device memory; their mapping is the identity.
+    pub fn comm_member(&self, comm: &GpuComm, sub_rank: usize) -> usize {
+        assert!(
+            sub_rank < comm.size,
+            "sub-rank {sub_rank} out of range ({} members)",
+            comm.size
+        );
+        if comm.id == CommId::WORLD.raw() {
+            return sub_rank;
+        }
+        self.block.read_u32(comm.table.add(16 + 4 * sub_rank)) as usize
     }
 
     /// Send the `len` bytes at `data` to `dst` and replace them with the
@@ -414,6 +624,7 @@ impl<'a> GpuCtx<'a> {
             src as u32,
             0,
             0,
+            0,
             data,
             len,
         );
@@ -424,6 +635,22 @@ impl<'a> GpuCtx<'a> {
             len: got,
         }
     }
+}
+
+/// A GPU slot's handle onto a communicator created with [`GpuCtx::split`]:
+/// the group id, this slot's sub-rank, the group size, and the device
+/// address of the member table (sub-rank → global rank, readable with
+/// [`GpuCtx::comm_member`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuComm {
+    /// Raw communicator id ([`CommId::raw`]).
+    pub id: u64,
+    /// This slot's position within the group.
+    pub rank: usize,
+    /// Number of ranks in the group.
+    pub size: usize,
+    /// Device address of the encoded membership (the split's `table`).
+    pub table: DevicePtr,
 }
 
 /// Host-side context handed to the GPU setup and teardown hooks of
@@ -586,12 +813,16 @@ impl GpuKernelThread {
         let op = read_u32(OFF_OPCODE);
         let peer = read_u32(OFF_PEER);
         let peer2 = read_u32(OFF_PEER2);
-        let tag = read_u32(OFF_TAG);
+        let aux = read_u32(OFF_AUX);
         let reduce_op = read_u32(OFF_REDUCE_OP);
+        let comm = CommId::from_raw(read_u64(OFF_COMM));
         let data_ptr = DevicePtr::NULL.add(read_u64(OFF_DATA_PTR) as usize);
         let len = read_u64(OFF_LEN) as usize;
-        let my_rank = self.layout.slot_rank_base + slot;
-        let total_ranks = self.layout.total_ranks;
+        // Collectives carry the slot's position and the group size in the
+        // `peer2`/`aux` words (equal to the global rank and total rank count
+        // for world operations); `peer` is the root's sub-rank.
+        let sub = peer2 as usize;
+        let group_size = aux as usize;
 
         // Write-back bookkeeping; the chunked in-place collectives override
         // these below.
@@ -609,7 +840,7 @@ impl GpuKernelThread {
                     slot,
                     RequestKind::Send {
                         dst: peer as usize,
-                        tag,
+                        tag: aux,
                         data,
                     },
                 )?);
@@ -623,16 +854,16 @@ impl GpuKernelThread {
                         } else {
                             Some(peer as usize)
                         },
-                        tag,
+                        tag: aux,
                     },
                 )?);
             }
             opcode::BARRIER => {
-                reply_rxs.push(self.relay_request(slot, RequestKind::Barrier)?);
+                reply_rxs.push(self.relay_request(slot, RequestKind::Barrier { comm })?);
             }
             opcode::BROADCAST => {
                 let root = peer as usize;
-                let data = if my_rank == root {
+                let data = if sub == root {
                     // The root's device buffer already holds the payload, so
                     // the completion does not need to copy it back down.
                     skip_writeback = true;
@@ -640,19 +871,19 @@ impl GpuKernelThread {
                 } else {
                     None
                 };
-                reply_rxs.push(self.relay_request(slot, RequestKind::Broadcast { root, data })?);
+                reply_rxs
+                    .push(self.relay_request(slot, RequestKind::Broadcast { comm, root, data })?);
             }
             opcode::GATHER => {
                 // In-place convention: this slot's contribution sits at its
-                // rank's offset inside a `total_ranks × len` buffer.
-                let data = self
-                    .device
-                    .memcpy_dtoh_vec(data_ptr.add(my_rank * len), len)?;
+                // sub-rank's offset inside a `group_size × len` buffer.
+                let data = self.device.memcpy_dtoh_vec(data_ptr.add(sub * len), len)?;
                 unit_len = len;
-                max_len = len * total_ranks;
+                max_len = len * group_size;
                 reply_rxs.push(self.relay_request(
                     slot,
                     RequestKind::Gather {
+                        comm,
                         root: peer as usize,
                         data,
                     },
@@ -660,26 +891,25 @@ impl GpuKernelThread {
             }
             opcode::SCATTER => {
                 let root = peer as usize;
-                let chunks = if my_rank == root {
-                    // The root stages one `len`-byte chunk per rank.
-                    let staged = self.device.memcpy_dtoh_vec(data_ptr, len * total_ranks)?;
+                let chunks = if sub == root {
+                    // The root stages one `len`-byte chunk per member.
+                    let staged = self.device.memcpy_dtoh_vec(data_ptr, len * group_size)?;
                     Some(
-                        (0..total_ranks)
+                        (0..group_size)
                             .map(|r| staged[r * len..(r + 1) * len].to_vec())
                             .collect::<Vec<_>>(),
                     )
                 } else {
                     None
                 };
-                reply_rxs.push(self.relay_request(slot, RequestKind::Scatter { root, chunks })?);
+                reply_rxs
+                    .push(self.relay_request(slot, RequestKind::Scatter { comm, root, chunks })?);
             }
             opcode::ALLGATHER => {
-                let data = self
-                    .device
-                    .memcpy_dtoh_vec(data_ptr.add(my_rank * len), len)?;
+                let data = self.device.memcpy_dtoh_vec(data_ptr.add(sub * len), len)?;
                 unit_len = len;
-                max_len = len * total_ranks;
-                reply_rxs.push(self.relay_request(slot, RequestKind::Allgather { data })?);
+                max_len = len * group_size;
+                reply_rxs.push(self.relay_request(slot, RequestKind::Allgather { comm, data })?);
             }
             opcode::REDUCE | opcode::ALLREDUCE => {
                 let op_kind = decode_reduce_op(reduce_op).ok_or_else(|| {
@@ -691,14 +921,31 @@ impl GpuKernelThread {
                 let data = bytes_to_f64s(&bytes);
                 let kind = if op == opcode::REDUCE {
                     RequestKind::Reduce {
+                        comm,
                         root: peer as usize,
                         data,
                         op: op_kind,
                     }
                 } else {
-                    RequestKind::Allreduce { data, op: op_kind }
+                    RequestKind::Allreduce {
+                        comm,
+                        data,
+                        op: op_kind,
+                    }
                 };
                 reply_rxs.push(self.relay_request(slot, kind)?);
+            }
+            opcode::SPLIT => {
+                // The split's reply (the encoded membership) is written back
+                // into the slot's table buffer like any Bytes result.
+                reply_rxs.push(self.relay_request(
+                    slot,
+                    RequestKind::Split {
+                        comm,
+                        color: peer,
+                        key: peer2,
+                    },
+                )?);
             }
             opcode::SENDRECV_REPLACE => {
                 // Two requests relayed together: the outbound copy of the
@@ -708,7 +955,7 @@ impl GpuKernelThread {
                     slot,
                     RequestKind::Send {
                         dst: peer as usize,
-                        tag,
+                        tag: aux,
                         data,
                     },
                 )?);
@@ -720,7 +967,7 @@ impl GpuKernelThread {
                         } else {
                             Some(peer2 as usize)
                         },
-                        tag,
+                        tag: aux,
                     },
                 )?);
             }
@@ -880,6 +1127,7 @@ mod tests {
     fn mailbox_entry_is_large_enough_for_all_fields() {
         assert!(OFF_ERROR + 4 <= MAILBOX_ENTRY_BYTES);
         assert!(OFF_REDUCE_OP + 4 <= MAILBOX_ENTRY_BYTES);
+        assert!(OFF_COMM + 8 <= MAILBOX_ENTRY_BYTES);
     }
 
     #[test]

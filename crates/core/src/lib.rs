@@ -29,6 +29,13 @@
 //!   `dcgn_rmpi`'s collectives, and per-rank results are *scattered back*.
 //!   Adding a collective means adding a dispatch-table row, not a new
 //!   per-operation state machine.
+//! * **Communicator groups** ([`group::Comm`] / [`group::CommId`]): the
+//!   `MPI_Comm_split` analogue.  `comm_split(color, key)` — itself a
+//!   collective riding the engine — partitions a communicator into subgroups
+//!   ordered by `(key, parent rank)`.  The comm thread keys assemblies by
+//!   communicator id, so *disjoint groups execute collectives concurrently*,
+//!   and subgroup exchanges are tagged with their communicator so their
+//!   substrate traffic can never collide.
 //!
 //! ## Collective quick reference
 //!
@@ -85,6 +92,7 @@ pub mod config;
 pub mod cpu;
 pub mod error;
 pub mod gpu;
+pub mod group;
 pub mod message;
 pub mod rank;
 pub mod runtime;
@@ -94,7 +102,8 @@ mod comm_thread;
 pub use config::{DcgnConfig, NodeConfig};
 pub use cpu::CpuCtx;
 pub use error::{DcgnError, Result};
-pub use gpu::{GpuCtx, GpuPollStats, GpuSetupCtx};
+pub use gpu::{GpuComm, GpuCtx, GpuPollStats, GpuSetupCtx};
+pub use group::{Comm, CommId};
 pub use message::CommStatus;
 pub use rank::{RankKind, RankMap};
 pub use runtime::{LaunchReport, Runtime};

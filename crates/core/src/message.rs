@@ -6,6 +6,7 @@ use crossbeam::channel::Sender;
 use dcgn_rmpi::ReduceOp;
 
 use crate::error::DcgnError;
+use crate::group::CommId;
 
 /// Completion information returned by DCGN receives (the analogue of the
 /// paper's `dcgn::CommStatus`).
@@ -54,35 +55,59 @@ pub(crate) enum Reply {
 }
 
 /// The kinds of communication request a kernel (CPU or GPU slot) can issue.
+///
+/// Every collective carries the [`CommId`] of the communicator it runs over;
+/// `root` arguments and the indexing of chunked results are expressed in
+/// that communicator's sub-rank space (which coincides with global DCGN
+/// ranks for [`CommId::WORLD`]).
 #[derive(Debug)]
 pub(crate) enum RequestKind {
     /// Point-to-point send.
     Send { dst: usize, tag: u32, data: Vec<u8> },
     /// Point-to-point receive.
     Recv { src: Option<usize>, tag: u32 },
-    /// Barrier across all DCGN ranks.
-    Barrier,
-    /// Broadcast from `root`; `data` is `Some` only at the root.
-    Broadcast { root: usize, data: Option<Vec<u8>> },
-    /// Gather to `root`; every rank contributes `data`.
-    Gather { root: usize, data: Vec<u8> },
-    /// Scatter from `root`; `chunks` is `Some` (one chunk per rank) only at
-    /// the root.  Every rank receives its own chunk.
+    /// Barrier across the communicator's ranks.
+    Barrier { comm: CommId },
+    /// Broadcast from sub-rank `root`; `data` is `Some` only at the root.
+    Broadcast {
+        comm: CommId,
+        root: usize,
+        data: Option<Vec<u8>>,
+    },
+    /// Gather to sub-rank `root`; every rank contributes `data`.
+    Gather {
+        comm: CommId,
+        root: usize,
+        data: Vec<u8>,
+    },
+    /// Scatter from sub-rank `root`; `chunks` is `Some` (one chunk per
+    /// member, in sub-rank order) only at the root.  Every rank receives its
+    /// own chunk.
     Scatter {
+        comm: CommId,
         root: usize,
         chunks: Option<Vec<Vec<u8>>>,
     },
-    /// Allgather: every rank contributes `data` and receives every rank's
-    /// contribution indexed by rank.
-    Allgather { data: Vec<u8> },
-    /// Element-wise reduction of `f64` vectors to `root`.
+    /// Allgather: every rank contributes `data` and receives every member's
+    /// contribution indexed by sub-rank.
+    Allgather { comm: CommId, data: Vec<u8> },
+    /// Element-wise reduction of `f64` vectors to sub-rank `root`.
     Reduce {
+        comm: CommId,
         root: usize,
         data: Vec<f64>,
         op: ReduceOp,
     },
     /// Element-wise reduction delivered to every rank.
-    Allreduce { data: Vec<f64>, op: ReduceOp },
+    Allreduce {
+        comm: CommId,
+        data: Vec<f64>,
+        op: ReduceOp,
+    },
+    /// Collectively split the communicator into color classes ordered by
+    /// `(key, parent sub-rank)` — the `MPI_Comm_split` analogue.  The reply
+    /// carries the joining rank's encoded [`crate::group::Comm`].
+    Split { comm: CommId, color: u32, key: u32 },
 }
 
 impl RequestKind {
@@ -91,13 +116,14 @@ impl RequestKind {
         match self {
             RequestKind::Send { .. } => "send",
             RequestKind::Recv { .. } => "recv",
-            RequestKind::Barrier => "barrier",
+            RequestKind::Barrier { .. } => "barrier",
             RequestKind::Broadcast { .. } => "broadcast",
             RequestKind::Gather { .. } => "gather",
             RequestKind::Scatter { .. } => "scatter",
             RequestKind::Allgather { .. } => "allgather",
             RequestKind::Reduce { .. } => "reduce",
             RequestKind::Allreduce { .. } => "allreduce",
+            RequestKind::Split { .. } => "comm_split",
         }
     }
 
@@ -201,10 +227,12 @@ mod tests {
             "send"
         );
         assert!(!RequestKind::Recv { src: None, tag: 0 }.is_collective());
+        let world = CommId::WORLD;
         let collectives = [
-            (RequestKind::Barrier, "barrier"),
+            (RequestKind::Barrier { comm: world }, "barrier"),
             (
                 RequestKind::Broadcast {
+                    comm: world,
                     root: 0,
                     data: None,
                 },
@@ -212,6 +240,7 @@ mod tests {
             ),
             (
                 RequestKind::Gather {
+                    comm: world,
                     root: 0,
                     data: vec![],
                 },
@@ -219,14 +248,22 @@ mod tests {
             ),
             (
                 RequestKind::Scatter {
+                    comm: world,
                     root: 0,
                     chunks: None,
                 },
                 "scatter",
             ),
-            (RequestKind::Allgather { data: vec![] }, "allgather"),
+            (
+                RequestKind::Allgather {
+                    comm: world,
+                    data: vec![],
+                },
+                "allgather",
+            ),
             (
                 RequestKind::Reduce {
+                    comm: world,
                     root: 0,
                     data: vec![],
                     op: ReduceOp::Sum,
@@ -235,10 +272,19 @@ mod tests {
             ),
             (
                 RequestKind::Allreduce {
+                    comm: world,
                     data: vec![],
                     op: ReduceOp::Max,
                 },
                 "allreduce",
+            ),
+            (
+                RequestKind::Split {
+                    comm: world,
+                    color: 0,
+                    key: 0,
+                },
+                "comm_split",
             ),
         ];
         for (kind, name) in collectives {

@@ -53,6 +53,92 @@ fn mismatched_collectives_are_detected() {
 }
 
 #[test]
+fn subgroup_reduce_mismatch_fails_only_that_subgroup() {
+    // Odd ranks run an allreduce with disagreeing vector lengths inside
+    // their own communicator: both odd ranks must observe the error, the
+    // even ranks' concurrent subgroup collective must succeed, and world
+    // collectives must still work afterwards.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 4, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(10));
+    runtime
+        .launch_cpu_only(|ctx| {
+            let rank = ctx.rank();
+            let comm = ctx.comm_split((rank % 2) as u32, 0).unwrap();
+            if rank % 2 == 1 {
+                // Rank 1 contributes 3 values, rank 3 contributes 5.
+                let data = vec![1.0; if rank == 1 { 3 } else { 5 }];
+                let err = ctx
+                    .allreduce_in(&comm, &data, dcgn::ReduceOp::Sum)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, DcgnError::InvalidArgument(_)),
+                    "want InvalidArgument, got {err:?}"
+                );
+            } else {
+                let sum = ctx
+                    .allreduce_in(&comm, &[1.0], dcgn::ReduceOp::Sum)
+                    .unwrap();
+                assert_eq!(sum, vec![2.0]);
+            }
+            // The failure is contained: the world is unaffected.
+            let sum = ctx.allreduce(&[1.0], dcgn::ReduceOp::Sum).unwrap();
+            assert_eq!(sum, vec![4.0]);
+            ctx.barrier().unwrap();
+        })
+        .unwrap();
+}
+
+#[test]
+fn cross_node_subgroup_mismatch_is_contained() {
+    // The mismatching subgroup spans two nodes, so no single node can see
+    // the mismatch locally: the leader detects it during the combine and
+    // echoes the error to every participating node — unlike erroneous world
+    // collectives, nobody hangs in the substrate.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(10));
+    runtime
+        .launch_cpu_only(|ctx| {
+            let rank = ctx.rank();
+            // Parity groups: {0, 2} and {1, 3} each span both nodes.
+            let comm = ctx.comm_split((rank % 2) as u32, 0).unwrap();
+            if rank % 2 == 1 {
+                let data = vec![1.0; if rank == 1 { 3 } else { 5 }];
+                let err = ctx
+                    .allreduce_in(&comm, &data, dcgn::ReduceOp::Sum)
+                    .unwrap_err();
+                assert!(matches!(err, DcgnError::InvalidArgument(_)));
+            } else {
+                let sum = ctx
+                    .allreduce_in(&comm, &[2.0], dcgn::ReduceOp::Sum)
+                    .unwrap();
+                assert_eq!(sum, vec![4.0]);
+            }
+            ctx.barrier().unwrap();
+        })
+        .unwrap();
+}
+
+#[test]
+fn collective_on_unknown_communicator_is_rejected() {
+    // A handle this node's comm thread has never registered must fail the
+    // request instead of assembling forever.  Constructing one without a
+    // split is only possible by splitting inside a *different* launch, so
+    // fake it with a sub-rank root that is out of range instead: roots are
+    // validated against the communicator's size, not the world's.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 4, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(10));
+    runtime
+        .launch_cpu_only(|ctx| {
+            let comm = ctx.comm_split((ctx.rank() % 2) as u32, 0).unwrap();
+            assert_eq!(comm.size(), 2);
+            let err = ctx.reduce_in(&comm, 2, &[1.0], dcgn::ReduceOp::Sum);
+            assert!(matches!(err, Err(DcgnError::InvalidRank(2))));
+            ctx.barrier().unwrap();
+        })
+        .unwrap();
+}
+
+#[test]
 fn receive_that_never_matches_times_out() {
     let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 0, 0)).unwrap();
     runtime.set_request_timeout(Duration::from_millis(300));

@@ -4,8 +4,10 @@
 //!
 //! The build environment has no crates-registry access, so the real crate
 //! cannot be fetched.  This stub runs each benchmark for the configured
-//! sample count and prints mean/min/max timings — no statistical analysis,
-//! HTML reports or outlier detection.
+//! sample count and prints median ± MAD (median absolute deviation) plus
+//! min/max timings.  The median/MAD pair is robust to scheduler outliers, so
+//! `cargo bench` output is comparable run-to-run — no HTML reports or
+//! bootstrap analysis.
 
 #![warn(missing_docs)]
 
@@ -138,6 +140,25 @@ impl Bencher {
     }
 }
 
+/// Median and median-absolute-deviation of a sample set.  The midpoint of
+/// the two central elements is used for even counts.  Panics on an empty
+/// slice.
+pub fn median_and_mad(samples: &[Duration]) -> (Duration, Duration) {
+    fn median_of(mut xs: Vec<Duration>) -> Duration {
+        xs.sort_unstable();
+        let mid = xs.len() / 2;
+        if xs.len() % 2 == 1 {
+            xs[mid]
+        } else {
+            (xs[mid - 1] + xs[mid]) / 2
+        }
+    }
+    assert!(!samples.is_empty(), "median of an empty sample set");
+    let median = median_of(samples.to_vec());
+    let deviations = samples.iter().map(|&s| s.abs_diff(median)).collect();
+    (median, median_of(deviations))
+}
+
 fn run_bench<F>(label: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -153,12 +174,11 @@ where
         println!("  {label}: no samples recorded");
         return;
     }
-    let total: Duration = bencher.samples.iter().sum();
-    let mean = total / bencher.samples.len() as u32;
+    let (median, mad) = median_and_mad(&bencher.samples);
     let min = bencher.samples.iter().min().expect("non-empty");
     let max = bencher.samples.iter().max().expect("non-empty");
     println!(
-        "  {label}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        "  {label}: median {median:?} ± {mad:?} MAD (min {min:?} max {max:?}, {} samples)",
         bencher.samples.len()
     );
 }
@@ -187,6 +207,25 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust_statistics() {
+        let ms = Duration::from_millis;
+        // Odd count: exact middle; MAD of [1,0,1,9] deviations.
+        let (median, mad) = median_and_mad(&[ms(4), ms(5), ms(6), ms(14), ms(3)]);
+        assert_eq!(median, ms(5));
+        assert_eq!(mad, ms(1));
+        // Even count: midpoint of the central pair.
+        let (median, mad) = median_and_mad(&[ms(2), ms(4), ms(6), ms(8)]);
+        assert_eq!(median, ms(5));
+        assert_eq!(mad, ms(2));
+        // A single wild outlier barely moves either statistic.
+        let (median, mad) = median_and_mad(&[ms(5), ms(5), ms(5), ms(5000)]);
+        assert_eq!(median, ms(5));
+        assert_eq!(mad, Duration::ZERO);
+        // Single sample.
+        assert_eq!(median_and_mad(&[ms(7)]), (ms(7), Duration::ZERO));
+    }
 
     #[test]
     fn bench_runs_closure_expected_number_of_times() {
