@@ -6,11 +6,12 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcgn::CostModel;
 use dcgn_apps::{cannon, mandelbrot, nbody};
+use dcgn_bench::bench_samples;
 
 fn bench_apps(c: &mut Criterion) {
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("section5_apps");
-    group.sample_size(10);
+    group.sample_size(bench_samples(10));
     group.measurement_time(Duration::from_secs(5));
     group.warm_up_time(Duration::from_millis(500));
 

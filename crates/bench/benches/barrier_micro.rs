@@ -5,12 +5,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
-use dcgn_bench::{dcgn_barrier_time, mpi_barrier_time};
+use dcgn_bench::{bench_samples, dcgn_barrier_time, mpi_barrier_time};
 
 fn bench_barriers(c: &mut Criterion) {
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("table1_barrier");
-    group.sample_size(10);
+    group.sample_size(bench_samples(10));
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
 

@@ -6,12 +6,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
-use dcgn_bench::dcgn_comm_split_time;
+use dcgn_bench::{bench_samples, dcgn_comm_split_time};
 
 fn bench_comm_split(c: &mut Criterion) {
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("comm_split_micro");
-    group.sample_size(10);
+    group.sample_size(bench_samples(10));
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
 

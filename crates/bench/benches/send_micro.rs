@@ -7,12 +7,12 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
-use dcgn_bench::{dcgn_send_time, mpi_send_time, EndpointKind};
+use dcgn_bench::{bench_samples, dcgn_send_time, mpi_send_time, EndpointKind};
 
 fn bench_sends(c: &mut Criterion) {
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("figure6_send");
-    group.sample_size(10);
+    group.sample_size(bench_samples(10));
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
 

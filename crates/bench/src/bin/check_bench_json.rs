@@ -1,0 +1,53 @@
+//! CI gate for the machine-readable benchmark report: fails (exit 1) when
+//! `BENCH_pr3.json` is missing, malformed, empty, or carries implausible
+//! statistics.
+//!
+//! `cargo run -p dcgn_bench --bin check_bench_json [-- path]`
+//! (defaults to `$DCGN_BENCH_JSON`, then `BENCH_pr3.json` at the workspace
+//! root — the same resolution the report writer uses.)
+
+use std::process::exit;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(criterion::default_report_path);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    let records = match criterion::parse_report(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("FAIL: {} is malformed: {e}", path.display());
+            exit(1);
+        }
+    };
+    if records.is_empty() {
+        eprintln!("FAIL: {} contains no benchmark records", path.display());
+        exit(1);
+    }
+    let mut bad = 0;
+    for r in &records {
+        let plausible =
+            r.samples > 0 && r.min_ns <= r.median_ns && r.median_ns <= r.max_ns && r.median_ns > 0;
+        if !plausible {
+            eprintln!("FAIL: implausible statistics for {:?}: {r:?}", r.name);
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        exit(1);
+    }
+    println!("OK: {} lists {} benchmarks", path.display(), records.len());
+    for r in &records {
+        println!(
+            "  {}: median {} ns ± {} ns MAD ({} samples)",
+            r.name, r.median_ns, r.mad_ns, r.samples
+        );
+    }
+}

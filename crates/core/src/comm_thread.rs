@@ -17,7 +17,7 @@
 //! service loop.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,12 +28,20 @@ use dcgn_rmpi::{
 };
 use dcgn_simtime::CostModel;
 
+use crate::buffer::Payload;
 use crate::error::{DcgnError, Result};
 use crate::group::{self, CommId};
 use crate::message::{
-    decode_p2p, encode_p2p, CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind,
+    decode_p2p, frame_p2p, CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind,
 };
 use crate::rank::RankMap;
+
+/// Fallback bound on the idle wait.  Correctness does not depend on it: the
+/// fabric's delivery notifier rings the work queue whenever an inter-node
+/// message lands, so the comm thread is woken *by event* for both local
+/// requests and substrate traffic.  The timeout only caps how stale the loop
+/// can get if a wake is somehow missed.
+const IDLE_FALLBACK: Duration = Duration::from_millis(1);
 
 /// A DCGN point-to-point message that arrived from another node (or was
 /// sourced locally) and has not yet been matched by a local receive.
@@ -41,11 +49,13 @@ struct IncomingMsg {
     src: usize,
     dst: usize,
     tag: u32,
-    data: Vec<u8>,
+    data: Payload,
     /// Reply channel of the local sender, for intra-node sends whose
     /// completion is tied to the matching receive (paper §6.2: "Local sends
     /// finish upon matching with a local receive").
     local_sender: Option<Sender<Reply>>,
+    /// Arrival stamp, for FIFO matching across buckets.
+    seq: u64,
 }
 
 /// A local receive request that has not yet been matched.
@@ -54,6 +64,145 @@ struct PendingRecv {
     src: Option<usize>,
     tag: u32,
     reply_tx: Sender<Reply>,
+    /// Posting stamp, for FIFO matching across buckets.
+    seq: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Indexed point-to-point matching.
+// ---------------------------------------------------------------------------
+
+/// Hash-indexed message matcher replacing the old O(pending × incoming)
+/// scan.  Unmatched messages are bucketed by `(dst, src, tag)` and unmatched
+/// receives by `(dst, src-filter, tag)`, so a match is a constant number of
+/// bucket probes; wildcard (`src = None`) receives fall back to comparing
+/// the head of each candidate source bucket.  Sequence stamps keep the
+/// MPI-style FIFO guarantees: per (src, tag) messages match in arrival
+/// order, and competing receives match in posting order.
+#[derive(Default)]
+struct Matcher {
+    next_seq: u64,
+    /// Unmatched messages, keyed by (dst, src, tag); FIFO within a bucket.
+    incoming: HashMap<(usize, usize, u32), VecDeque<IncomingMsg>>,
+    /// Which source buckets are non-empty for a (dst, tag) pair — the
+    /// wildcard receive's fallback index.
+    incoming_srcs: HashMap<(usize, u32), BTreeSet<usize>>,
+    /// Unmatched receives, keyed by (dst, src-filter, tag).
+    recvs: HashMap<(usize, Option<usize>, u32), VecDeque<PendingRecv>>,
+    recv_count: usize,
+}
+
+impl Matcher {
+    fn stamp(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Number of receives still waiting for a message.
+    fn pending_recvs(&self) -> usize {
+        self.recv_count
+    }
+
+    /// Queue a message that matched no receive.
+    fn push_msg(&mut self, msg: IncomingMsg) {
+        self.incoming_srcs
+            .entry((msg.dst, msg.tag))
+            .or_default()
+            .insert(msg.src);
+        self.incoming
+            .entry((msg.dst, msg.src, msg.tag))
+            .or_default()
+            .push_back(msg);
+    }
+
+    /// Queue a receive that matched no message.
+    fn push_recv(&mut self, recv: PendingRecv) {
+        self.recv_count += 1;
+        self.recvs
+            .entry((recv.dst_rank, recv.src, recv.tag))
+            .or_default()
+            .push_back(recv);
+    }
+
+    /// Pop the oldest queued message a new receive can match.
+    fn take_msg_for(&mut self, recv: &PendingRecv) -> Option<IncomingMsg> {
+        let src = match recv.src {
+            Some(src) => src,
+            None => {
+                // Wildcard fallback: the earliest-arrived head among every
+                // non-empty source bucket for this (dst, tag).
+                let srcs = self.incoming_srcs.get(&(recv.dst_rank, recv.tag))?;
+                *srcs.iter().min_by_key(|&&src| {
+                    self.incoming
+                        .get(&(recv.dst_rank, src, recv.tag))
+                        .and_then(VecDeque::front)
+                        .map_or(u64::MAX, |m| m.seq)
+                })?
+            }
+        };
+        self.pop_msg((recv.dst_rank, src, recv.tag))
+    }
+
+    fn pop_msg(&mut self, key: (usize, usize, u32)) -> Option<IncomingMsg> {
+        let bucket = self.incoming.get_mut(&key)?;
+        let msg = bucket.pop_front()?;
+        if bucket.is_empty() {
+            self.incoming.remove(&key);
+            if let Some(srcs) = self.incoming_srcs.get_mut(&(key.0, key.2)) {
+                srcs.remove(&key.1);
+                if srcs.is_empty() {
+                    self.incoming_srcs.remove(&(key.0, key.2));
+                }
+            }
+        }
+        Some(msg)
+    }
+
+    /// Pop the earliest-posted receive a new message can match: the exact
+    /// `(dst, Some(src), tag)` bucket competes with the wildcard
+    /// `(dst, None, tag)` bucket on posting order.
+    fn take_recv_for(&mut self, dst: usize, src: usize, tag: u32) -> Option<PendingRecv> {
+        let exact = (dst, Some(src), tag);
+        let wild = (dst, None, tag);
+        let exact_seq = self
+            .recvs
+            .get(&exact)
+            .and_then(VecDeque::front)
+            .map(|r| r.seq);
+        let wild_seq = self
+            .recvs
+            .get(&wild)
+            .and_then(VecDeque::front)
+            .map(|r| r.seq);
+        let key = match (exact_seq, wild_seq) {
+            (None, None) => return None,
+            (Some(_), None) => exact,
+            (None, Some(_)) => wild,
+            (Some(e), Some(w)) => {
+                if e < w {
+                    exact
+                } else {
+                    wild
+                }
+            }
+        };
+        let bucket = self.recvs.get_mut(&key)?;
+        let recv = bucket.pop_front()?;
+        if bucket.is_empty() {
+            self.recvs.remove(&key);
+        }
+        self.recv_count -= 1;
+        Some(recv)
+    }
+
+    /// Drain every queued receive (shutdown path).
+    fn drain_recvs(&mut self) -> Vec<PendingRecv> {
+        self.recv_count = 0;
+        self.recvs
+            .drain()
+            .flat_map(|(_, bucket)| bucket.into_iter())
+            .collect()
+    }
 }
 
 /// Which collective operation an assembly is executing.  One discriminant per
@@ -92,15 +241,15 @@ enum Contribution {
     None,
     /// A flat payload (broadcast root, gather/allgather data, reduce vectors
     /// encoded as little-endian `f64`s, a split's `(color, key)` pair).
-    Bytes(Vec<u8>),
+    Bytes(Payload),
     /// Per-member chunks supplied by a scatter root, in sub-rank order.
-    Chunks(Vec<Vec<u8>>),
+    Chunks(Vec<Payload>),
 }
 
 impl Contribution {
     fn as_bytes(&self) -> &[u8] {
         match self {
-            Contribution::Bytes(b) => b,
+            Contribution::Bytes(b) => b.as_slice(),
             _ => &[],
         }
     }
@@ -129,6 +278,9 @@ struct CommGroup {
     seq: u64,
     /// Splits executed on this communicator (salts child communicator ids).
     splits: u64,
+    /// Local members that have called `comm_free`; the group is evicted from
+    /// the registry when every local member has released its handle.
+    freed: HashSet<usize>,
 }
 
 impl CommGroup {
@@ -321,8 +473,8 @@ pub(crate) struct CommThread {
     cost: CostModel,
 
     catchall: Option<MpiRequest>,
-    incoming: VecDeque<IncomingMsg>,
-    pending_recvs: Vec<PendingRecv>,
+    /// Indexed point-to-point matcher (messages and receives).
+    matcher: Matcher,
     outstanding_isends: Vec<MpiRequest>,
     /// Communicator groups known to this node (world plus every split
     /// product with a resident member).
@@ -341,8 +493,15 @@ impl CommThread {
         rank_map: Arc<RankMap>,
         comm: Communicator,
         work_rx: Receiver<CommCommand>,
+        work_tx: Sender<CommCommand>,
         cost: CostModel,
     ) -> Self {
+        // Ring our own work queue whenever the fabric queues a delivery for
+        // this node, so the idle wait below is woken by event for substrate
+        // traffic exactly like it is for local kernel requests.
+        comm.set_wake_notifier(Arc::new(move || {
+            let _ = work_tx.send(CommCommand::Wake);
+        }));
         let world_nodes: Vec<usize> = (0..rank_map.num_nodes())
             .filter(|&n| rank_map.ranks_on_node_count(n) > 0)
             .collect();
@@ -352,6 +511,7 @@ impl CommThread {
             local_members: rank_map.ranks_on_node_count(node),
             seq: 0,
             splits: 0,
+            freed: HashSet::new(),
         };
         CommThread {
             node,
@@ -360,8 +520,7 @@ impl CommThread {
             work_rx,
             cost,
             catchall: None,
-            incoming: VecDeque::new(),
-            pending_recvs: Vec::new(),
+            matcher: Matcher::default(),
             outstanding_isends: Vec::new(),
             groups: HashMap::from([(CommId::WORLD, world)]),
             active: HashMap::new(),
@@ -382,25 +541,24 @@ impl CommThread {
                 did_work = true;
             }
 
-            // 2. Progress the MPI substrate: harvest inter-node messages.
+            // 2. Progress the MPI substrate: harvest inter-node messages
+            //    (each is matched against queued receives on arrival, so
+            //    there is no separate matching pass).
             did_work |= self.progress_mpi()?;
 
-            // 3. Match local receives against arrived messages.
-            did_work |= self.match_point_to_point();
-
-            // 4. Start node-level collectives whose local assembly is
+            // 3. Start node-level collectives whose local assembly is
             //    complete (one independently per communicator).
             did_work |= self.try_execute_collectives()?;
 
-            // 5. Advance in-flight subgroup exchanges.
+            // 4. Advance in-flight subgroup exchanges.
             did_work |= self.progress_subgroup_exchanges()?;
 
-            // 6. Retire completed nonblocking sends.
+            // 5. Retire completed nonblocking sends.
             self.reap_isends()?;
 
-            // 7. Shut down when the process is quiescent.
+            // 6. Shut down when the process is quiescent.
             if self.local_done
-                && self.pending_recvs.is_empty()
+                && self.matcher.pending_recvs() == 0
                 && self.active.is_empty()
                 && self.exchanges.is_empty()
                 && self.outstanding_isends.is_empty()
@@ -411,10 +569,12 @@ impl CommThread {
                 return Ok(());
             }
 
-            // 8. Idle: block briefly on the work queue so the thread does not
-            //    spin (the comm thread's own sleep-based polling).
+            // 7. Idle: block on the work queue.  Local kernel requests land
+            //    here directly and fabric deliveries ring it via the wake
+            //    notifier, so this is an event wait; the timeout is only a
+            //    safety net.
             if !did_work {
-                match self.work_rx.recv_timeout(Duration::from_micros(200)) {
+                match self.work_rx.recv_timeout(IDLE_FALLBACK) {
                     Ok(cmd) => self.handle_command(cmd)?,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -429,6 +589,7 @@ impl CommThread {
 
     fn handle_command(&mut self, cmd: CommCommand) -> Result<()> {
         match cmd {
+            CommCommand::Wake => Ok(()),
             CommCommand::LocalKernelsDone => {
                 self.local_done = true;
                 // Every local kernel thread has returned, so nobody is left
@@ -442,18 +603,28 @@ impl CommThread {
                 for ex in self.exchanges.drain(..) {
                     fail_joined(ex.joined, DcgnError::ShuttingDown);
                 }
-                for recv in self.pending_recvs.drain(..) {
+                for recv in self.matcher.drain_recvs() {
                     let _ = recv.reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
                 }
                 Ok(())
             }
-            CommCommand::Request(req) => self.handle_request(req),
+            // Receiving a command costs one hop through the thread-safe
+            // queue — a whole GPU-sweep batch pays it once, not per request.
+            CommCommand::Request(req) => {
+                self.cost.charge_queue_hop();
+                self.dispatch_request(req)
+            }
+            CommCommand::Batch(reqs) => {
+                self.cost.charge_queue_hop();
+                for req in reqs {
+                    self.dispatch_request(req)?;
+                }
+                Ok(())
+            }
         }
     }
 
-    fn handle_request(&mut self, req: Request) -> Result<()> {
-        // Receiving a request costs one hop through the thread-safe queue.
-        self.cost.charge_queue_hop();
+    fn dispatch_request(&mut self, req: Request) -> Result<()> {
         if req.kind.is_collective() {
             return self.join_collective(req);
         }
@@ -462,13 +633,21 @@ impl CommThread {
                 self.handle_send(req.src_rank, dst, tag, data, req.reply_tx)
             }
             RequestKind::Recv { src, tag } => {
-                self.pending_recvs.push(PendingRecv {
+                let recv = PendingRecv {
                     dst_rank: req.src_rank,
                     src,
                     tag,
                     reply_tx: req.reply_tx,
-                });
+                    seq: self.matcher.stamp(),
+                };
+                match self.matcher.take_msg_for(&recv) {
+                    Some(msg) => self.deliver_match(msg, recv),
+                    None => self.matcher.push_recv(recv),
+                }
                 Ok(())
+            }
+            RequestKind::CommFree { comm } => {
+                self.handle_comm_free(req.src_rank, comm, req.reply_tx)
             }
             _ => unreachable!("collectives handled above"),
         }
@@ -479,7 +658,7 @@ impl CommThread {
         src: usize,
         dst: usize,
         tag: u32,
-        data: Vec<u8>,
+        data: Payload,
         reply_tx: Sender<Reply>,
     ) -> Result<()> {
         let Some(dst_node) = self.rank_map.node_of(dst) else {
@@ -490,24 +669,104 @@ impl CommThread {
             // Intra-node: no MPI involvement.  The message is held until a
             // local receive matches it; the sender's completion is deferred
             // until then (globally-synchronised intra-node semantics, §6.2).
-            self.incoming.push_back(IncomingMsg {
+            let msg = IncomingMsg {
                 src,
                 dst,
                 tag,
                 data,
                 local_sender: Some(reply_tx),
-            });
+                seq: self.matcher.stamp(),
+            };
+            self.route_incoming(msg);
         } else {
-            // Inter-node: encode the DCGN envelope and hand it to MPI.  The
-            // MPI tag is the destination DCGN rank, which keeps messages for
-            // different local ranks separable on the receiving node.
-            let wire = encode_p2p(src, dst, tag, &data);
+            // Inter-node: frame the DCGN envelope in the payload's reserved
+            // headroom (no body copy) and hand it to MPI.  The MPI tag is
+            // the destination DCGN rank, which keeps messages for different
+            // local ranks separable on the receiving node.
+            let wire = frame_p2p(src, dst, tag, data);
             let mpi_req = self.comm.isend(dst_node, dst as u32, wire)?;
             self.outstanding_isends.push(mpi_req);
             // Remote sends complete once the data is handed to the MPI layer
             // (buffered-send semantics).
             let _ = reply_tx.send(Reply::SendDone);
         }
+        Ok(())
+    }
+
+    /// Match a freshly arrived (or locally sourced) message immediately, or
+    /// queue it for a later receive.
+    fn route_incoming(&mut self, msg: IncomingMsg) {
+        match self.matcher.take_recv_for(msg.dst, msg.src, msg.tag) {
+            Some(recv) => self.deliver_match(msg, recv),
+            None => self.matcher.push_msg(msg),
+        }
+    }
+
+    /// Complete a matched (message, receive) pair: the receiver gets the
+    /// payload (a shared reference, not a copy) and an intra-node sender's
+    /// deferred completion fires.
+    fn deliver_match(&mut self, msg: IncomingMsg, recv: PendingRecv) {
+        // The local copy from the sender's buffer to the receiver's buffer
+        // (or staging buffer, for GPU-bound data).
+        self.cost.intra_node.charge(msg.data.len());
+        let status = CommStatus {
+            source: msg.src,
+            tag: msg.tag,
+            len: msg.data.len(),
+        };
+        let _ = recv.reply_tx.send(Reply::RecvDone {
+            data: msg.data,
+            status,
+        });
+        if let Some(sender) = msg.local_sender {
+            let _ = sender.send(Reply::SendDone);
+        }
+    }
+
+    /// Release one rank's handle on a communicator; evict the group once
+    /// every local member has freed it (the cross-node analogue needs no
+    /// coordination — each node evicts independently).
+    fn handle_comm_free(
+        &mut self,
+        src_rank: usize,
+        comm: CommId,
+        reply_tx: Sender<Reply>,
+    ) -> Result<()> {
+        let fail = |reply_tx: Sender<Reply>, msg: String| {
+            let _ = reply_tx.send(Reply::Error(DcgnError::InvalidArgument(msg)));
+            Ok(())
+        };
+        if comm.is_world() {
+            return fail(reply_tx, "the world communicator cannot be freed".into());
+        }
+        if self.active.contains_key(&comm) || self.exchanges.iter().any(|ex| ex.comm == comm) {
+            return fail(
+                reply_tx,
+                format!("communicator {comm} has a collective in progress"),
+            );
+        }
+        let Some(group) = self.groups.get_mut(&comm) else {
+            return fail(
+                reply_tx,
+                format!("unknown communicator {comm} on node {}", self.node),
+            );
+        };
+        if group.sub_of(src_rank).is_none() {
+            return fail(
+                reply_tx,
+                format!("rank {src_rank} is not a member of communicator {comm}"),
+            );
+        }
+        if !group.freed.insert(src_rank) {
+            return fail(
+                reply_tx,
+                format!("rank {src_rank} already freed communicator {comm}"),
+            );
+        }
+        if group.freed.len() == group.local_members {
+            self.groups.remove(&comm);
+        }
+        let _ = reply_tx.send(Reply::CollectiveDone(CollectiveResult::Unit));
         Ok(())
     }
 
@@ -531,53 +790,20 @@ impl CommThread {
                 .take_recv(req)
                 .ok_or_else(|| DcgnError::Internal("catch-all recv vanished".into()))?;
             self.catchall = None;
-            let (src, dst, tag, data) = decode_p2p(&wire)?;
-            self.incoming.push_back(IncomingMsg {
+            // The decoded body is a zero-copy view of the wire frame.
+            let (src, dst, tag, data) = decode_p2p(wire)?;
+            let msg = IncomingMsg {
                 src,
                 dst,
                 tag,
                 data,
                 local_sender: None,
-            });
+                seq: self.matcher.stamp(),
+            };
+            self.route_incoming(msg);
             did_work = true;
         }
         Ok(did_work)
-    }
-
-    /// Match pending local receives against arrived messages, FIFO per
-    /// arrival order.
-    fn match_point_to_point(&mut self) -> bool {
-        let mut did_work = false;
-        let mut i = 0;
-        while i < self.pending_recvs.len() {
-            let recv = &self.pending_recvs[i];
-            let found = self.incoming.iter().position(|m| {
-                m.dst == recv.dst_rank && recv.src.is_none_or(|s| s == m.src) && recv.tag == m.tag
-            });
-            if let Some(idx) = found {
-                let msg = self.incoming.remove(idx).expect("index valid");
-                let recv = self.pending_recvs.remove(i);
-                // The local copy from the sender's buffer to the receiver's
-                // buffer (or staging buffer, for GPU-bound data).
-                self.cost.intra_node.charge(msg.data.len());
-                let status = CommStatus {
-                    source: msg.src,
-                    tag: msg.tag,
-                    len: msg.data.len(),
-                };
-                let _ = recv.reply_tx.send(Reply::RecvDone {
-                    data: msg.data,
-                    status,
-                });
-                if let Some(sender) = msg.local_sender {
-                    let _ = sender.send(Reply::SendDone);
-                }
-                did_work = true;
-            } else {
-                i += 1;
-            }
-        }
-        did_work
     }
 
     fn reap_isends(&mut self) -> Result<()> {
@@ -626,6 +852,16 @@ impl CommThread {
                 .reply_tx
                 .send(Reply::Error(DcgnError::InvalidArgument(format!(
                     "rank {src_rank} is not a member of communicator {comm}"
+                ))));
+            return Ok(());
+        }
+        if group.freed.contains(&src_rank) {
+            // Use-after-free is an error immediately, not only once every
+            // local member has freed and the group is evicted.
+            let _ = req
+                .reply_tx
+                .send(Reply::Error(DcgnError::InvalidArgument(format!(
+                    "rank {src_rank} already freed communicator {comm}"
                 ))));
             return Ok(());
         }
@@ -772,7 +1008,9 @@ impl CommThread {
             .map(|(_, c, _)| c.as_bytes().to_vec())
             .unwrap_or_default();
         self.comm.bcast(root_node, &mut data)?;
-        Ok(ResultSet::Uniform(CollectiveResult::Bytes(data)))
+        Ok(ResultSet::Uniform(CollectiveResult::Bytes(
+            Payload::from_vec(data),
+        )))
     }
 
     fn exchange_gather(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
@@ -791,7 +1029,10 @@ impl CommThread {
                 for blob in blobs {
                     decode_rank_frames_into(&blob, &mut per_rank);
                 }
-                ResultSet::RootOnly(root, CollectiveResult::Chunks(per_rank))
+                ResultSet::RootOnly(
+                    root,
+                    CollectiveResult::Chunks(per_rank.into_iter().map(Payload::from_vec).collect()),
+                )
             }
             None => ResultSet::RootOnly(root, CollectiveResult::Unit),
         })
@@ -837,7 +1078,7 @@ impl CommThread {
                     self.rank_map
                         .node_of(rank)
                         .filter(|&n| n == self.node)
-                        .map(|_| CollectiveResult::Bytes(chunk))
+                        .map(|_| CollectiveResult::Bytes(Payload::from_vec(chunk)))
                 })
                 .collect(),
         ))
@@ -855,7 +1096,9 @@ impl CommThread {
         for blob in all_blobs {
             decode_rank_frames_into(&blob, &mut per_rank);
         }
-        Ok(ResultSet::Uniform(CollectiveResult::Chunks(per_rank)))
+        Ok(ResultSet::Uniform(CollectiveResult::Chunks(
+            per_rank.into_iter().map(Payload::from_vec).collect(),
+        )))
     }
 
     fn exchange_reduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
@@ -865,9 +1108,10 @@ impl CommThread {
         let partial = combine_local_f64(assembly, op)?;
         let reduced = self.comm.reduce_f64(root_node, &partial, op)?;
         Ok(match reduced {
-            Some(values) => {
-                ResultSet::RootOnly(root, CollectiveResult::Bytes(f64s_to_bytes(&values)))
-            }
+            Some(values) => ResultSet::RootOnly(
+                root,
+                CollectiveResult::Bytes(Payload::from_vec(f64s_to_bytes(&values))),
+            ),
             None => ResultSet::RootOnly(root, CollectiveResult::Unit),
         })
     }
@@ -876,9 +1120,9 @@ impl CommThread {
         let op = assembly.id.op.expect("allreduce carries an operator");
         let partial = combine_local_f64(assembly, op)?;
         let values = self.comm.allreduce_f64(&partial, op)?;
-        Ok(ResultSet::Uniform(CollectiveResult::Bytes(f64s_to_bytes(
-            &values,
-        ))))
+        Ok(ResultSet::Uniform(CollectiveResult::Bytes(
+            Payload::from_vec(f64s_to_bytes(&values)),
+        )))
     }
 
     /// World `comm_split`: allgather every rank's `(color, key)` through the
@@ -902,7 +1146,11 @@ impl CommThread {
         let mut infos = self.apply_split(CommId::WORLD, &table);
         Ok(ResultSet::PerRank(
             (0..total)
-                .map(|rank| infos.remove(&rank).map(CollectiveResult::Bytes))
+                .map(|rank| {
+                    infos
+                        .remove(&rank)
+                        .map(|info| CollectiveResult::Bytes(Payload::from_vec(info)))
+                })
                 .collect(),
         ))
     }
@@ -1030,15 +1278,19 @@ impl CommThread {
                     .take_recv(req)
                     .ok_or_else(|| DcgnError::Internal("subgroup down-frame vanished".into()))?;
                 let joined = std::mem::take(&mut ex.joined);
-                match parse_frame(&frame) {
+                // Wrap the wire frame once; the delivered body (and every
+                // chunk decoded from it) is a zero-copy view into it.
+                let frame = Payload::from_vec(frame);
+                match parse_frame(frame.as_slice()) {
                     Err(msg) => fail_joined(joined, DcgnError::InvalidArgument(msg)),
-                    Ok(payload) => {
+                    Ok(_) => {
+                        let body = frame.slice(1..frame.len());
                         let group = self
                             .groups
                             .get(&ex.comm)
                             .expect("group outlives its exchanges")
                             .clone();
-                        self.deliver_subgroup(ex.comm, ex.id, joined, &group, payload)?;
+                        self.deliver_subgroup(ex.comm, ex.id, joined, &group, body)?;
                     }
                 }
                 Ok(true)
@@ -1102,7 +1354,7 @@ impl CommThread {
                     }
                 }
                 let own = downs.remove(&self.node).unwrap_or_default();
-                self.deliver_subgroup(ex.comm, ex.id, joined, &group, &own)
+                self.deliver_subgroup(ex.comm, ex.id, joined, &group, Payload::from_vec(own))
             }
         }
     }
@@ -1213,27 +1465,25 @@ impl CommThread {
     }
 
     /// Turn this node's down-payload into per-member results and reply to
-    /// every local joiner.
+    /// every local joiner.  The payload is shared, so scattering it to N
+    /// local ranks clones references, not bytes.
     fn deliver_subgroup(
         &mut self,
         comm: CommId,
         id: CollectiveId,
         joined: Vec<(usize, Sender<Reply>)>,
         group: &CommGroup,
-        payload: &[u8],
+        payload: Payload,
     ) -> Result<()> {
         let size = group.members.len();
         let root_global = id.root.map(|root| group.members[root]);
-        // Chunked payloads decode once into a sub-rank-indexed table.
-        let table: Vec<Vec<u8>> = match id.kind {
+        // Chunked payloads decode once into a sub-rank-indexed table of
+        // zero-copy views.
+        let table: Vec<Payload> = match id.kind {
             CollectiveKind::Gather
             | CollectiveKind::Allgather
             | CollectiveKind::Scatter
-            | CollectiveKind::Split => {
-                let mut table = vec![Vec::new(); size];
-                decode_rank_frames_into(payload, &mut table);
-                table
-            }
+            | CollectiveKind::Split => decode_rank_frames_payload(&payload, size),
             _ => Vec::new(),
         };
         // Splits additionally register the child groups on this node and
@@ -1241,7 +1491,7 @@ impl CommThread {
         let mut split_infos = if id.kind == CollectiveKind::Split {
             let colors = table
                 .iter()
-                .map(|entry| decode_color_key(entry))
+                .map(|entry| decode_color_key(entry.as_slice()))
                 .collect::<Option<Vec<_>>>()
                 .ok_or_else(|| DcgnError::Internal("malformed comm_split contribution".into()))?;
             self.apply_split(comm, &colors)
@@ -1257,11 +1507,11 @@ impl CommThread {
             let result = match id.kind {
                 CollectiveKind::Barrier => CollectiveResult::Unit,
                 CollectiveKind::Broadcast | CollectiveKind::Allreduce => {
-                    CollectiveResult::Bytes(payload.to_vec())
+                    CollectiveResult::Bytes(payload.clone())
                 }
                 CollectiveKind::Reduce => {
                     if Some(rank) == root_global {
-                        CollectiveResult::Bytes(payload.to_vec())
+                        CollectiveResult::Bytes(payload.clone())
                     } else {
                         CollectiveResult::Unit
                     }
@@ -1275,11 +1525,11 @@ impl CommThread {
                 }
                 CollectiveKind::Allgather => CollectiveResult::Chunks(table.clone()),
                 CollectiveKind::Scatter => CollectiveResult::Bytes(table[sub].clone()),
-                CollectiveKind::Split => CollectiveResult::Bytes(
+                CollectiveKind::Split => CollectiveResult::Bytes(Payload::from_vec(
                     split_infos
                         .remove(&rank)
                         .expect("every member belongs to one color class"),
-                ),
+                )),
             };
             if !matches!(result, CollectiveResult::Unit) && Some(rank) != source {
                 self.cost.intra_node.charge(result_payload_len(&result));
@@ -1372,6 +1622,7 @@ impl CommThread {
                     local_members,
                     seq: 0,
                     splits: 0,
+                    freed: HashSet::new(),
                 },
             );
         }
@@ -1432,21 +1683,21 @@ fn classify_collective(kind: RequestKind) -> Result<(CommId, CollectiveId, Contr
         } => (
             comm,
             id(CollectiveKind::Reduce, Some(root), Some(op)),
-            Contribution::Bytes(f64s_to_bytes(&data)),
+            Contribution::Bytes(Payload::from_vec(f64s_to_bytes(&data))),
         ),
         RequestKind::Allreduce { comm, data, op } => (
             comm,
             id(CollectiveKind::Allreduce, None, Some(op)),
-            Contribution::Bytes(f64s_to_bytes(&data)),
+            Contribution::Bytes(Payload::from_vec(f64s_to_bytes(&data))),
         ),
         RequestKind::Split { comm, color, key } => (
             comm,
             id(CollectiveKind::Split, None, None),
-            Contribution::Bytes(encode_color_key(color, key)),
+            Contribution::Bytes(Payload::from_vec(encode_color_key(color, key))),
         ),
-        RequestKind::Send { .. } | RequestKind::Recv { .. } => {
+        RequestKind::Send { .. } | RequestKind::Recv { .. } | RequestKind::CommFree { .. } => {
             return Err(DcgnError::Internal(
-                "point-to-point request routed to the collective engine".into(),
+                "non-collective request routed to the collective engine".into(),
             ))
         }
     })
@@ -1489,7 +1740,7 @@ fn result_payload_len(result: &CollectiveResult) -> usize {
     match result {
         CollectiveResult::Unit => 0,
         CollectiveResult::Bytes(b) => b.len(),
-        CollectiveResult::Chunks(chunks) => chunks.iter().map(Vec::len).sum(),
+        CollectiveResult::Chunks(chunks) => chunks.iter().map(Payload::len).sum(),
     }
 }
 
@@ -1508,17 +1759,42 @@ fn encode_rank_frames<'a>(frames: impl Iterator<Item = (usize, &'a [u8])>) -> Ve
 
 /// Decode rank frames into a rank-indexed table, ignoring malformed or
 /// out-of-range entries.
-fn decode_rank_frames_into(blob: &[u8], per_rank: &mut [Vec<u8>]) {
+/// Walk `[rank u32][len u32][bytes]…` frames, yielding each frame's rank
+/// and the byte range of its payload within `blob`.  Iteration stops at a
+/// truncated tail; rank filtering is the consumer's job (table sizes
+/// differ between global-rank and sub-rank uses).
+fn rank_frames(blob: &[u8]) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> + '_ {
     let mut off = 0;
-    while off + 8 <= blob.len() {
+    std::iter::from_fn(move || {
+        if off + 8 > blob.len() {
+            return None;
+        }
         let rank = u32::from_le_bytes(blob[off..off + 4].try_into().expect("4 bytes")) as usize;
         let len = u32::from_le_bytes(blob[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
-        off += 8;
-        if rank < per_rank.len() && off + len <= blob.len() {
-            per_rank[rank] = blob[off..off + len].to_vec();
+        let start = off + 8;
+        off = start + len;
+        (off <= blob.len()).then(|| (rank, start..start + len))
+    })
+}
+
+fn decode_rank_frames_into(blob: &[u8], per_rank: &mut [Vec<u8>]) {
+    for (rank, range) in rank_frames(blob) {
+        if rank < per_rank.len() {
+            per_rank[rank] = blob[range].to_vec();
         }
-        off += len;
     }
+}
+
+/// Decode rank frames into a table of zero-copy views sharing `blob`'s
+/// allocation (used when the decoded chunks are delivered, not re-merged).
+fn decode_rank_frames_payload(blob: &Payload, size: usize) -> Vec<Payload> {
+    let mut per_rank = vec![Payload::empty(); size];
+    for (rank, range) in rank_frames(blob.as_slice()) {
+        if rank < per_rank.len() {
+            per_rank[rank] = blob.slice(range);
+        }
+    }
+    per_rank
 }
 
 #[cfg(test)]
@@ -1584,6 +1860,130 @@ mod tests {
         bad.extend_from_slice(&[5; 10]);
         decode_rank_frames_into(&bad, &mut per_rank);
         assert!(per_rank.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn rank_frames_decode_to_zero_copy_views() {
+        let frames: Vec<(usize, Vec<u8>)> = vec![(0, vec![1, 2]), (3, vec![9; 30])];
+        let blob = Payload::from_vec(encode_rank_frames(
+            frames.iter().map(|(r, d)| (*r, d.as_slice())),
+        ));
+        let table = decode_rank_frames_payload(&blob, 4);
+        assert_eq!(table[0].as_slice(), &[1, 2]);
+        assert!(table[1].is_empty());
+        assert!(table[2].is_empty());
+        assert_eq!(table[3].as_slice(), &[9; 30]);
+        // The views alias the blob's allocation, not fresh copies.
+        let blob_range =
+            blob.as_slice().as_ptr() as usize..blob.as_slice().as_ptr() as usize + blob.len();
+        assert!(blob_range.contains(&(table[3].as_slice().as_ptr() as usize)));
+    }
+
+    fn test_recv(
+        dst: usize,
+        src: Option<usize>,
+        tag: u32,
+        seq: u64,
+    ) -> (PendingRecv, Receiver<Reply>) {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        (
+            PendingRecv {
+                dst_rank: dst,
+                src,
+                tag,
+                reply_tx,
+                seq,
+            },
+            reply_rx,
+        )
+    }
+
+    fn test_msg(dst: usize, src: usize, tag: u32, seq: u64, byte: u8) -> IncomingMsg {
+        IncomingMsg {
+            src,
+            dst,
+            tag,
+            data: Payload::copy_from_slice(&[byte]),
+            local_sender: None,
+            seq,
+        }
+    }
+
+    #[test]
+    fn matcher_is_fifo_per_source_and_tag() {
+        let mut m = Matcher::default();
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 7, seq, 0xA));
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 7, seq, 0xB));
+        let (recv, _rx) = test_recv(0, Some(1), 7, m.stamp());
+        assert_eq!(m.take_msg_for(&recv).unwrap().data.as_slice(), &[0xA]);
+        assert_eq!(m.take_msg_for(&recv).unwrap().data.as_slice(), &[0xB]);
+        assert!(m.take_msg_for(&recv).is_none());
+    }
+
+    #[test]
+    fn matcher_wildcard_takes_earliest_arrival_across_sources() {
+        let mut m = Matcher::default();
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 2, 0, seq, 0xC));
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 0, seq, 0xD));
+        let (wild, _rx) = test_recv(0, None, 0, m.stamp());
+        // Source 2's message arrived first, so the wildcard gets it despite
+        // source 1 sorting lower.
+        assert_eq!(m.take_msg_for(&wild).unwrap().src, 2);
+        assert_eq!(m.take_msg_for(&wild).unwrap().src, 1);
+    }
+
+    #[test]
+    fn matcher_ignores_wrong_dst_tag_and_src() {
+        let mut m = Matcher::default();
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 7, seq, 0xE));
+        let (wrong_tag, _a) = test_recv(0, Some(1), 8, m.stamp());
+        let (wrong_dst, _b) = test_recv(1, Some(1), 7, m.stamp());
+        let (wrong_src, _c) = test_recv(0, Some(2), 7, m.stamp());
+        assert!(m.take_msg_for(&wrong_tag).is_none());
+        assert!(m.take_msg_for(&wrong_dst).is_none());
+        assert!(m.take_msg_for(&wrong_src).is_none());
+        assert!(m.take_recv_for(0, 1, 8).is_none());
+    }
+
+    #[test]
+    fn matcher_prefers_earlier_posted_recv_between_exact_and_wildcard() {
+        let mut m = Matcher::default();
+        let (wild, _a) = test_recv(0, None, 0, m.stamp());
+        m.push_recv(wild);
+        let (exact, _b) = test_recv(0, Some(3), 0, m.stamp());
+        m.push_recv(exact);
+        assert_eq!(m.pending_recvs(), 2);
+        // The wildcard was posted first, so it wins the first message.
+        assert!(m.take_recv_for(0, 3, 0).unwrap().src.is_none());
+        assert_eq!(m.take_recv_for(0, 3, 0).unwrap().src, Some(3));
+        assert_eq!(m.pending_recvs(), 0);
+        // Reversed posting order: the exact receive wins.
+        let (exact, _c) = test_recv(0, Some(3), 0, m.stamp());
+        m.push_recv(exact);
+        let (wild, _d) = test_recv(0, None, 0, m.stamp());
+        m.push_recv(wild);
+        assert_eq!(m.take_recv_for(0, 3, 0).unwrap().src, Some(3));
+        assert!(m.take_recv_for(0, 3, 0).unwrap().src.is_none());
+    }
+
+    #[test]
+    fn matcher_drain_empties_everything() {
+        let mut m = Matcher::default();
+        let rxs: Vec<_> = (0..3)
+            .map(|i| {
+                let (recv, rx) = test_recv(i, None, 0, m.stamp());
+                m.push_recv(recv);
+                rx
+            })
+            .collect();
+        assert_eq!(m.drain_recvs().len(), 3);
+        assert_eq!(m.pending_recvs(), 0);
+        drop(rxs);
     }
 
     #[test]

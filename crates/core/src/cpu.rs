@@ -11,6 +11,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
+use crate::buffer::Payload;
 use crate::error::{DcgnError, Result};
 use crate::group::{self, Comm, CommId};
 use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
@@ -121,6 +122,16 @@ impl CpuCtx {
         self.send_tagged(dst, 0, data)
     }
 
+    /// Stage user bytes for a send: remote destinations get framing headroom
+    /// so the wire header is written in place instead of copying the body.
+    fn stage_send(&self, dst: usize, data: &[u8]) -> Payload {
+        if self.rank_map.node_of(dst) == Some(self.node()) {
+            Payload::copy_from_slice(data)
+        } else {
+            Payload::copy_with_headroom(data)
+        }
+    }
+
     /// Send with an explicit tag (extension over the paper's API).
     pub fn send_tagged(&self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
         self.check_rank(dst)?;
@@ -128,7 +139,7 @@ impl CpuCtx {
             RequestKind::Send {
                 dst,
                 tag,
-                data: data.to_vec(),
+                data: self.stage_send(dst, data),
             },
             "send",
         )? {
@@ -158,7 +169,7 @@ impl CpuCtx {
             self.check_rank(s)?;
         }
         match self.post_and_wait(RequestKind::Recv { src, tag }, "recv")? {
-            Reply::RecvDone { data, status } => Ok((data, status)),
+            Reply::RecvDone { data, status } => Ok((data.into_vec(), status)),
             Reply::Error(e) => Err(e),
             other => Err(DcgnError::Internal(format!(
                 "unexpected reply to recv: {other:?}"
@@ -181,7 +192,7 @@ impl CpuCtx {
         let send_rx = self.post(RequestKind::Send {
             dst,
             tag: 0,
-            data: buf.clone(),
+            data: self.stage_send(dst, buf),
         })?;
         let recv_rx = self.post(RequestKind::Recv {
             src: Some(src),
@@ -200,7 +211,7 @@ impl CpuCtx {
         }
         match recv_reply {
             Reply::RecvDone { data, status } => {
-                *buf = data;
+                *buf = data.into_vec();
                 Ok(status)
             }
             Reply::Error(e) => Err(e),
@@ -229,7 +240,7 @@ impl CpuCtx {
         }
     }
 
-    fn expect_bytes(result: CollectiveResult, what: &'static str) -> Result<Vec<u8>> {
+    fn expect_bytes(result: CollectiveResult, what: &'static str) -> Result<Payload> {
         match result {
             CollectiveResult::Bytes(b) => Ok(b),
             other => Err(DcgnError::Internal(format!(
@@ -261,7 +272,17 @@ impl CpuCtx {
             },
             "comm_split",
         )?;
-        group::decode_comm_info(&Self::expect_bytes(result, "comm_split")?)
+        group::decode_comm_info(Self::expect_bytes(result, "comm_split")?.as_slice())
+    }
+
+    /// Release this rank's handle on a communicator created with
+    /// [`CpuCtx::comm_split`].  Once every member resident on this node has
+    /// freed the group, the communication thread evicts it from its
+    /// registry; later collectives naming it fail with an unknown-
+    /// communicator error.  The world communicator cannot be freed.
+    pub fn comm_free(&self, comm: &Comm) -> Result<()> {
+        self.collective(RequestKind::CommFree { comm: comm.id() }, "comm_free")?;
+        Ok(())
     }
 
     fn check_comm_root(&self, comm: &Comm, root: usize) -> Result<()> {
@@ -298,7 +319,7 @@ impl CpuCtx {
     pub fn broadcast_in(&self, comm: &Comm, root: usize, data: &mut Vec<u8>) -> Result<()> {
         self.check_comm_root(comm, root)?;
         let payload = if comm.rank() == root {
-            Some(std::mem::take(data))
+            Some(Payload::from_vec(std::mem::take(data)))
         } else {
             None
         };
@@ -310,7 +331,7 @@ impl CpuCtx {
             },
             "broadcast",
         )?;
-        *data = Self::expect_bytes(result, "broadcast")?;
+        *data = Self::expect_bytes(result, "broadcast")?.into_vec();
         Ok(())
     }
 
@@ -329,11 +350,13 @@ impl CpuCtx {
             RequestKind::Gather {
                 comm: comm.id(),
                 root,
-                data: data.to_vec(),
+                data: Payload::copy_from_slice(data),
             },
             "gather",
         )? {
-            CollectiveResult::Chunks(chunks) => Ok(Some(chunks)),
+            CollectiveResult::Chunks(chunks) => {
+                Ok(Some(chunks.into_iter().map(Payload::into_vec).collect()))
+            }
             CollectiveResult::Unit => Ok(None),
             other => Err(DcgnError::Internal(format!(
                 "unexpected gather result shape: {other:?}"
@@ -369,7 +392,12 @@ impl CpuCtx {
                     chunks.len()
                 )));
             }
-            Some(chunks.to_vec())
+            Some(
+                chunks
+                    .iter()
+                    .map(|c| Payload::copy_from_slice(c))
+                    .collect::<Vec<_>>(),
+            )
         } else {
             None
         };
@@ -381,7 +409,7 @@ impl CpuCtx {
             },
             "scatter",
         )?;
-        Self::expect_bytes(result, "scatter")
+        Ok(Self::expect_bytes(result, "scatter")?.into_vec())
     }
 
     /// Allgather: contribute `data` and receive every rank's contribution,
@@ -395,11 +423,13 @@ impl CpuCtx {
         match self.collective(
             RequestKind::Allgather {
                 comm: comm.id(),
-                data: data.to_vec(),
+                data: Payload::copy_from_slice(data),
             },
             "allgather",
         )? {
-            CollectiveResult::Chunks(chunks) => Ok(chunks),
+            CollectiveResult::Chunks(chunks) => {
+                Ok(chunks.into_iter().map(Payload::into_vec).collect())
+            }
             other => Err(DcgnError::Internal(format!(
                 "unexpected allgather result shape: {other:?}"
             ))),
@@ -432,7 +462,7 @@ impl CpuCtx {
             },
             "reduce",
         )? {
-            CollectiveResult::Bytes(bytes) => Ok(Some(bytes_to_f64s(&bytes))),
+            CollectiveResult::Bytes(bytes) => Ok(Some(bytes_to_f64s(bytes.as_slice()))),
             CollectiveResult::Unit => Ok(None),
             other => Err(DcgnError::Internal(format!(
                 "unexpected reduce result shape: {other:?}"
@@ -455,7 +485,9 @@ impl CpuCtx {
             },
             "allreduce",
         )?;
-        Ok(bytes_to_f64s(&Self::expect_bytes(result, "allreduce")?))
+        Ok(bytes_to_f64s(
+            Self::expect_bytes(result, "allreduce")?.as_slice(),
+        ))
     }
 }
 

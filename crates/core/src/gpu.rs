@@ -8,6 +8,14 @@
 //! thread.  When the memory is noticed, the request is obtained via
 //! `cudaMemcpyAsync`, handled, and the appropriate memory is set on the GPU
 //! to flag the GPU kernel, telling it to continue execution."
+//!
+//! The mailbox region is laid out struct-of-arrays: all per-slot status
+//! words form one contiguous column at the front, followed by the per-slot
+//! request bodies.  A polling sweep therefore issues **one** batched PCI-e
+//! read of the status column (instead of one small read per slot), one
+//! scattered fetch of every `REQUESTED` body, and relays the whole harvest
+//! to the communication thread as a single [`CommCommand::Batch`] paying one
+//! queue hop.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,16 +26,38 @@ use dcgn_dpm::{BlockCtx, Device, DevicePtr, KernelHandle};
 use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
 use dcgn_simtime::CostModel;
 
+use crate::buffer::{Payload, PayloadBuf};
 use crate::error::{DcgnError, Result};
 use crate::group::CommId;
 use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
+use crate::rank::RankMap;
 
 // ---------------------------------------------------------------------------
-// Mailbox layout
+// Mailbox layout (struct-of-arrays)
 // ---------------------------------------------------------------------------
 
-/// Bytes reserved in device memory for each slot's mailbox entry.
-pub const MAILBOX_ENTRY_BYTES: usize = 64;
+/// Bytes of one slot's status word.  The status words of all slots are
+/// contiguous at the front of the mailbox region, so the host polls them
+/// with a single batched read.
+pub const MAILBOX_STATUS_BYTES: usize = 4;
+
+/// Bytes of one slot's request body, stored after the status column.
+pub const MAILBOX_BODY_BYTES: usize = 64;
+
+/// Total bytes of the mailbox region for `slots` slots.
+pub fn mailbox_region_bytes(slots: usize) -> usize {
+    slots * (MAILBOX_STATUS_BYTES + MAILBOX_BODY_BYTES)
+}
+
+/// Offset of `slot`'s status word within the mailbox region.
+fn status_offset(slot: usize) -> usize {
+    slot * MAILBOX_STATUS_BYTES
+}
+
+/// Offset of `slot`'s request body within the mailbox region.
+fn body_offset(slots: usize, slot: usize) -> usize {
+    slots * MAILBOX_STATUS_BYTES + slot * MAILBOX_BODY_BYTES
+}
 
 /// Mailbox status values (`status` word of an entry).
 pub mod status {
@@ -69,6 +99,10 @@ pub mod opcode {
     /// Collective communicator split (`MPI_Comm_split` analogue); the
     /// reply's encoded membership lands in the slot's buffer.
     pub const SPLIT: u32 = 11;
+    /// Release this slot's handle on a communicator (`MPI_Comm_free`
+    /// analogue); the comm thread evicts the group once every local member
+    /// has freed it.
+    pub const FREE: u32 = 12;
 }
 
 /// Wire encoding of [`ReduceOp`] in the mailbox `reduce_op` field.
@@ -101,23 +135,24 @@ fn decode_reduce_op(code: u32) -> Option<ReduceOp> {
 /// Peer value meaning "any source".
 pub const PEER_ANY: u32 = u32::MAX;
 
-// Field offsets within a mailbox entry.
-const OFF_STATUS: usize = 0;
-const OFF_OPCODE: usize = 4;
+// Field offsets within a slot's request body.  The result block
+// (`RESULT_LEN`/`RESULT_SRC`/`ERROR`) is contiguous so the host writes a
+// completion in one transfer.
+const BODY_OPCODE: usize = 0;
 /// P2P peer / collective root / split color.
-const OFF_PEER: usize = 8;
-/// P2P tag; collectives reuse the word for the communicator's size.
-const OFF_AUX: usize = 12;
-const OFF_DATA_PTR: usize = 16;
-const OFF_LEN: usize = 24;
-const OFF_RESULT_LEN: usize = 32;
-const OFF_RESULT_SRC: usize = 40;
-const OFF_ERROR: usize = 44;
+const BODY_PEER: usize = 4;
 /// `sendrecv_replace` source / collective sub-rank / split key.
-const OFF_PEER2: usize = 48;
-const OFF_REDUCE_OP: usize = 52;
+const BODY_PEER2: usize = 8;
+/// P2P tag; collectives reuse the word for the communicator's size.
+const BODY_AUX: usize = 12;
+const BODY_REDUCE_OP: usize = 16;
+const BODY_DATA_PTR: usize = 24;
+const BODY_LEN: usize = 32;
 /// Raw [`CommId`] of the communicator a collective runs over (0 = world).
-const OFF_COMM: usize = 56;
+const BODY_COMM: usize = 40;
+const BODY_RESULT_LEN: usize = 48;
+const BODY_RESULT_SRC: usize = 56;
+const BODY_ERROR: usize = 60;
 
 /// Error codes written into the `error` field of a mailbox entry.
 pub mod mailbox_error {
@@ -214,13 +249,19 @@ impl<'a> GpuCtx<'a> {
         self.block.block_id() % self.layout.slots
     }
 
-    fn entry(&self, slot: usize) -> DevicePtr {
+    fn status_ptr(&self, slot: usize) -> DevicePtr {
         assert!(
             slot < self.layout.slots,
             "slot {slot} out of range ({} slots configured)",
             self.layout.slots
         );
-        self.layout.mailbox_base.add(slot * MAILBOX_ENTRY_BYTES)
+        self.layout.mailbox_base.add(status_offset(slot))
+    }
+
+    fn body_ptr(&self, slot: usize) -> DevicePtr {
+        self.layout
+            .mailbox_base
+            .add(body_offset(self.layout.slots, slot))
     }
 
     /// Claim a slot's mailbox (serialises concurrent blocks sharing a slot),
@@ -239,34 +280,35 @@ impl<'a> GpuCtx<'a> {
         data_ptr: DevicePtr,
         len: usize,
     ) -> (usize, usize, u32) {
-        let entry = self.entry(slot);
+        let status_ptr = self.status_ptr(slot);
+        let body_ptr = self.body_ptr(slot);
         let b = self.block;
         // Claim the mailbox.
-        while b.atomic_cas_u32(entry.add(OFF_STATUS), status::EMPTY, status::CLAIMED)
-            != status::EMPTY
-        {
+        while b.atomic_cas_u32(status_ptr, status::EMPTY, status::CLAIMED) != status::EMPTY {
             b.nap();
         }
-        b.write_u32(entry.add(OFF_OPCODE), op);
-        b.write_u32(entry.add(OFF_PEER), peer);
-        b.write_u32(entry.add(OFF_PEER2), peer2);
-        b.write_u32(entry.add(OFF_AUX), aux);
-        b.write_u32(entry.add(OFF_REDUCE_OP), reduce_op);
-        b.write_u64(entry.add(OFF_COMM), comm);
-        b.write_u64(entry.add(OFF_DATA_PTR), data_ptr.offset() as u64);
-        b.write_u64(entry.add(OFF_LEN), len as u64);
-        b.write_u64(entry.add(OFF_RESULT_LEN), 0);
-        b.write_u32(entry.add(OFF_RESULT_SRC), 0);
-        b.write_u32(entry.add(OFF_ERROR), mailbox_error::OK);
+        // Fill the request body in one device-memory write (device-side, so
+        // no PCI-e cost), clearing the result block.
+        let mut body = [0u8; MAILBOX_BODY_BYTES];
+        body[BODY_OPCODE..BODY_OPCODE + 4].copy_from_slice(&op.to_le_bytes());
+        body[BODY_PEER..BODY_PEER + 4].copy_from_slice(&peer.to_le_bytes());
+        body[BODY_PEER2..BODY_PEER2 + 4].copy_from_slice(&peer2.to_le_bytes());
+        body[BODY_AUX..BODY_AUX + 4].copy_from_slice(&aux.to_le_bytes());
+        body[BODY_REDUCE_OP..BODY_REDUCE_OP + 4].copy_from_slice(&reduce_op.to_le_bytes());
+        body[BODY_DATA_PTR..BODY_DATA_PTR + 8]
+            .copy_from_slice(&(data_ptr.offset() as u64).to_le_bytes());
+        body[BODY_LEN..BODY_LEN + 8].copy_from_slice(&(len as u64).to_le_bytes());
+        body[BODY_COMM..BODY_COMM + 8].copy_from_slice(&comm.to_le_bytes());
+        b.write(body_ptr, &body);
         // Publish the request; the host's polling loop will notice it.
-        b.write_u32(entry.add(OFF_STATUS), status::REQUESTED);
+        b.write_u32(status_ptr, status::REQUESTED);
         // Wait for the host to complete it.
-        b.wait_for_u32(entry.add(OFF_STATUS), status::COMPLETE);
-        let result_len = b.read_u64(entry.add(OFF_RESULT_LEN)) as usize;
-        let result_src = b.read_u32(entry.add(OFF_RESULT_SRC)) as usize;
-        let error = b.read_u32(entry.add(OFF_ERROR));
+        b.wait_for_u32(status_ptr, status::COMPLETE);
+        let result_len = b.read_u64(body_ptr.add(BODY_RESULT_LEN)) as usize;
+        let result_src = b.read_u32(body_ptr.add(BODY_RESULT_SRC)) as usize;
+        let error = b.read_u32(body_ptr.add(BODY_ERROR));
         // Release the mailbox for the next request on this slot.
-        b.write_u32(entry.add(OFF_STATUS), status::EMPTY);
+        b.write_u32(status_ptr, status::EMPTY);
         (result_len, result_src, error)
     }
 
@@ -590,6 +632,17 @@ impl<'a> GpuCtx<'a> {
         }
     }
 
+    /// Release this slot's handle on a communicator created with
+    /// [`GpuCtx::split`] (`MPI_Comm_free` analogue).  Every local member
+    /// must free the group before the host evicts it from its registry; the
+    /// handle (and its device-side member table) must not be used
+    /// afterwards.  The world communicator cannot be freed.
+    pub fn comm_free(&self, slot: usize, comm: &GpuComm) {
+        let (_, _, err) =
+            self.transact(slot, opcode::FREE, 0, 0, 0, 0, comm.id, DevicePtr::NULL, 0);
+        self.check(err, "comm_free");
+    }
+
     /// Global DCGN rank of `sub_rank` within `comm` (read from the member
     /// table the split left in device memory).  World handles have no table
     /// in device memory; their mapping is the identity.
@@ -716,6 +769,16 @@ pub struct GpuPollStats {
     pub polls: u64,
     /// Number of communication requests relayed.
     pub requests: u64,
+    /// Batched PCI-e reads of the status column (at most one per sweep; the
+    /// old per-slot polling issued `slots` reads instead).
+    pub batched_status_reads: u64,
+    /// Batched PCI-e fetches of `REQUESTED` bodies (one covers every slot
+    /// harvested in the sweep).
+    pub batched_entry_reads: u64,
+    /// Sweeps whose preceding sleep ran at a backed-off (longer than base)
+    /// interval — nonzero only when [`dcgn_simtime::CostModel::poll_backoff`]
+    /// is enabled and the GPU went idle.
+    pub backoff_sleeps: u64,
     /// Wall-clock time spent actively polling/copying (not sleeping).
     pub busy: Duration,
     /// Total wall-clock lifetime of the polling loop.
@@ -765,6 +828,25 @@ impl PendingSlotOp {
         }
         self.reply_rxs.is_empty()
     }
+
+    /// Block until every outstanding reply has arrived or `deadline` passes.
+    /// A real block (condition-variable wait, no CPU burn); whatever arrived
+    /// is collected, the rest is picked up by a later poll.
+    fn wait_until(&mut self, deadline: Instant) {
+        while let Some(rx) = self.reply_rxs.first() {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                return;
+            }
+            match rx.recv_timeout(timeout) {
+                Ok(reply) => {
+                    self.replies.push(reply);
+                    self.reply_rxs.swap_remove(0);
+                }
+                Err(_) => return,
+            }
+        }
+    }
 }
 
 /// The host-side driver of one GPU: launches the kernel, polls the mailbox
@@ -775,49 +857,97 @@ pub(crate) struct GpuKernelThread {
     pub layout: GpuLayout,
     pub work_tx: Sender<CommCommand>,
     pub cost: CostModel,
+    /// Used to decide whether a device-sourced send needs framing headroom
+    /// (inter-node destinations) when staging its payload.
+    pub rank_map: Arc<RankMap>,
+}
+
+/// Counters accumulated across the polling loop's sweeps.
+#[derive(Debug, Default)]
+struct SweepCounters {
+    polls: u64,
+    requests: u64,
+    batched_status_reads: u64,
+    batched_entry_reads: u64,
+    backoff_sleeps: u64,
 }
 
 impl GpuKernelThread {
-    /// Allocate and zero the mailbox array for `slots` slots on `device`.
+    /// Allocate and zero the struct-of-arrays mailbox region for `slots`
+    /// slots on `device`.
     pub fn allocate_mailboxes(device: &Device, slots: usize) -> Result<DevicePtr> {
-        let bytes = slots * MAILBOX_ENTRY_BYTES;
+        let bytes = mailbox_region_bytes(slots);
         let ptr = device.malloc(bytes)?;
         device.memcpy_htod(ptr, &vec![0u8; bytes])?;
         Ok(ptr)
     }
 
-    fn relay_request(&self, slot: usize, kind: RequestKind) -> Result<Receiver<Reply>> {
+    /// Queue a request into the sweep's batch (shipped to the comm thread as
+    /// one [`CommCommand::Batch`]) and return its reply channel.
+    fn stage_request(
+        &self,
+        slot: usize,
+        kind: RequestKind,
+        batch: &mut Vec<Request>,
+    ) -> Receiver<Reply> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.cost.charge_queue_hop();
-        self.work_tx
-            .send(CommCommand::Request(Request {
-                src_rank: self.layout.slot_rank_base + slot,
-                kind,
-                reply_tx,
-            }))
-            .map_err(|_| DcgnError::ShuttingDown)?;
-        Ok(reply_rx)
+        batch.push(Request {
+            src_rank: self.layout.slot_rank_base + slot,
+            kind,
+            reply_tx,
+        });
+        reply_rx
     }
 
-    fn entry_ptr(&self, slot: usize) -> DevicePtr {
-        self.layout.mailbox_base.add(slot * MAILBOX_ENTRY_BYTES)
+    fn status_ptr(&self, slot: usize) -> DevicePtr {
+        self.layout.mailbox_base.add(status_offset(slot))
     }
 
-    /// Decode a mailbox entry that is in `REQUESTED` state and relay it to
-    /// the communication thread.  Returns the pending-op bookkeeping.
-    fn pick_up_request(&self, slot: usize, entry_bytes: &[u8]) -> Result<PendingSlotOp> {
+    fn body_ptr(&self, slot: usize) -> DevicePtr {
+        self.layout
+            .mailbox_base
+            .add(body_offset(self.layout.slots, slot))
+    }
+
+    /// Pull `len` device bytes into a pooled payload.  Payloads bound for a
+    /// remote node are staged with framing headroom, so the comm thread's
+    /// wire framing reuses the buffer instead of copying the body again.
+    fn pull_payload(&self, ptr: DevicePtr, len: usize, remote: bool) -> Result<Payload> {
+        let mut buf = if remote {
+            PayloadBuf::with_headroom(len)
+        } else {
+            PayloadBuf::with_capacity(len)
+        };
+        self.device.memcpy_dtoh(buf.body_mut(len), ptr)?;
+        Ok(buf.freeze())
+    }
+
+    /// True when `dst` lives on another node (its payload will be framed for
+    /// the wire).
+    fn is_remote(&self, dst: usize) -> bool {
+        self.rank_map.node_of(dst) != Some(self.layout.node)
+    }
+
+    /// Decode a slot body that is in `REQUESTED` state and stage its
+    /// request(s) into the sweep batch.  Returns the pending-op bookkeeping.
+    fn decode_request(
+        &self,
+        slot: usize,
+        body: &[u8],
+        batch: &mut Vec<Request>,
+    ) -> Result<PendingSlotOp> {
         let read_u32 =
-            |off: usize| u32::from_le_bytes(entry_bytes[off..off + 4].try_into().expect("4 bytes"));
+            |off: usize| u32::from_le_bytes(body[off..off + 4].try_into().expect("4 bytes"));
         let read_u64 =
-            |off: usize| u64::from_le_bytes(entry_bytes[off..off + 8].try_into().expect("8 bytes"));
-        let op = read_u32(OFF_OPCODE);
-        let peer = read_u32(OFF_PEER);
-        let peer2 = read_u32(OFF_PEER2);
-        let aux = read_u32(OFF_AUX);
-        let reduce_op = read_u32(OFF_REDUCE_OP);
-        let comm = CommId::from_raw(read_u64(OFF_COMM));
-        let data_ptr = DevicePtr::NULL.add(read_u64(OFF_DATA_PTR) as usize);
-        let len = read_u64(OFF_LEN) as usize;
+            |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
+        let op = read_u32(BODY_OPCODE);
+        let peer = read_u32(BODY_PEER);
+        let peer2 = read_u32(BODY_PEER2);
+        let aux = read_u32(BODY_AUX);
+        let reduce_op = read_u32(BODY_REDUCE_OP);
+        let comm = CommId::from_raw(read_u64(BODY_COMM));
+        let data_ptr = DevicePtr::NULL.add(read_u64(BODY_DATA_PTR) as usize);
+        let len = read_u64(BODY_LEN) as usize;
         // Collectives carry the slot's position and the group size in the
         // `peer2`/`aux` words (equal to the global rank and total rank count
         // for world operations); `peer` is the root's sub-rank.
@@ -834,19 +964,24 @@ impl GpuKernelThread {
         match op {
             opcode::SEND => {
                 // The payload must be pulled from device memory over PCI-e
-                // before it can be handed to the communication thread.
-                let data = self.device.memcpy_dtoh_vec(data_ptr, len)?;
-                reply_rxs.push(self.relay_request(
+                // before it can be handed to the communication thread; it
+                // lands in a pooled buffer (with wire headroom when the
+                // destination is remote) and is never copied again on the
+                // host.
+                let dst = peer as usize;
+                let data = self.pull_payload(data_ptr, len, self.is_remote(dst))?;
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Send {
-                        dst: peer as usize,
+                        dst,
                         tag: aux,
                         data,
                     },
-                )?);
+                    batch,
+                ));
             }
             opcode::RECV => {
-                reply_rxs.push(self.relay_request(
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Recv {
                         src: if peer == PEER_ANY {
@@ -856,10 +991,11 @@ impl GpuKernelThread {
                         },
                         tag: aux,
                     },
-                )?);
+                    batch,
+                ));
             }
             opcode::BARRIER => {
-                reply_rxs.push(self.relay_request(slot, RequestKind::Barrier { comm })?);
+                reply_rxs.push(self.stage_request(slot, RequestKind::Barrier { comm }, batch));
             }
             opcode::BROADCAST => {
                 let root = peer as usize;
@@ -867,49 +1003,61 @@ impl GpuKernelThread {
                     // The root's device buffer already holds the payload, so
                     // the completion does not need to copy it back down.
                     skip_writeback = true;
-                    Some(self.device.memcpy_dtoh_vec(data_ptr, len)?)
+                    Some(self.pull_payload(data_ptr, len, false)?)
                 } else {
                     None
                 };
-                reply_rxs
-                    .push(self.relay_request(slot, RequestKind::Broadcast { comm, root, data })?);
+                reply_rxs.push(self.stage_request(
+                    slot,
+                    RequestKind::Broadcast { comm, root, data },
+                    batch,
+                ));
             }
             opcode::GATHER => {
                 // In-place convention: this slot's contribution sits at its
                 // sub-rank's offset inside a `group_size × len` buffer.
-                let data = self.device.memcpy_dtoh_vec(data_ptr.add(sub * len), len)?;
+                let data = self.pull_payload(data_ptr.add(sub * len), len, false)?;
                 unit_len = len;
                 max_len = len * group_size;
-                reply_rxs.push(self.relay_request(
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Gather {
                         comm,
                         root: peer as usize,
                         data,
                     },
-                )?);
+                    batch,
+                ));
             }
             opcode::SCATTER => {
                 let root = peer as usize;
                 let chunks = if sub == root {
-                    // The root stages one `len`-byte chunk per member.
-                    let staged = self.device.memcpy_dtoh_vec(data_ptr, len * group_size)?;
+                    // The root stages one `len`-byte chunk per member; the
+                    // chunks are zero-copy views of one pulled buffer.
+                    let staged = self.pull_payload(data_ptr, len * group_size, false)?;
                     Some(
                         (0..group_size)
-                            .map(|r| staged[r * len..(r + 1) * len].to_vec())
+                            .map(|r| staged.slice(r * len..(r + 1) * len))
                             .collect::<Vec<_>>(),
                     )
                 } else {
                     None
                 };
-                reply_rxs
-                    .push(self.relay_request(slot, RequestKind::Scatter { comm, root, chunks })?);
+                reply_rxs.push(self.stage_request(
+                    slot,
+                    RequestKind::Scatter { comm, root, chunks },
+                    batch,
+                ));
             }
             opcode::ALLGATHER => {
-                let data = self.device.memcpy_dtoh_vec(data_ptr.add(sub * len), len)?;
+                let data = self.pull_payload(data_ptr.add(sub * len), len, false)?;
                 unit_len = len;
                 max_len = len * group_size;
-                reply_rxs.push(self.relay_request(slot, RequestKind::Allgather { comm, data })?);
+                reply_rxs.push(self.stage_request(
+                    slot,
+                    RequestKind::Allgather { comm, data },
+                    batch,
+                ));
             }
             opcode::REDUCE | opcode::ALLREDUCE => {
                 let op_kind = decode_reduce_op(reduce_op).ok_or_else(|| {
@@ -933,33 +1081,39 @@ impl GpuKernelThread {
                         op: op_kind,
                     }
                 };
-                reply_rxs.push(self.relay_request(slot, kind)?);
+                reply_rxs.push(self.stage_request(slot, kind, batch));
             }
             opcode::SPLIT => {
                 // The split's reply (the encoded membership) is written back
                 // into the slot's table buffer like any Bytes result.
-                reply_rxs.push(self.relay_request(
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Split {
                         comm,
                         color: peer,
                         key: peer2,
                     },
-                )?);
+                    batch,
+                ));
+            }
+            opcode::FREE => {
+                reply_rxs.push(self.stage_request(slot, RequestKind::CommFree { comm }, batch));
             }
             opcode::SENDRECV_REPLACE => {
                 // Two requests relayed together: the outbound copy of the
                 // buffer and the inbound replacement.
-                let data = self.device.memcpy_dtoh_vec(data_ptr, len)?;
-                reply_rxs.push(self.relay_request(
+                let dst = peer as usize;
+                let data = self.pull_payload(data_ptr, len, self.is_remote(dst))?;
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Send {
-                        dst: peer as usize,
+                        dst,
                         tag: aux,
                         data,
                     },
-                )?);
-                reply_rxs.push(self.relay_request(
+                    batch,
+                ));
+                reply_rxs.push(self.stage_request(
                     slot,
                     RequestKind::Recv {
                         src: if peer2 == PEER_ANY {
@@ -969,7 +1123,8 @@ impl GpuKernelThread {
                         },
                         tag: aux,
                     },
-                )?);
+                    batch,
+                ));
             }
             other => {
                 return Err(DcgnError::Internal(format!(
@@ -990,7 +1145,7 @@ impl GpuKernelThread {
     /// Write the collected replies of a completed slot operation back into
     /// device memory and flip the mailbox to `COMPLETE`.
     fn complete_request(&self, slot: usize, pending: &mut PendingSlotOp) -> Result<()> {
-        let entry = self.entry_ptr(slot);
+        let body = self.body_ptr(slot);
         let mut error = mailbox_error::OK;
         let mut result_len = 0u64;
         let mut result_src = 0u32;
@@ -1001,7 +1156,10 @@ impl GpuKernelThread {
                     if data.len() > pending.max_len {
                         error = mailbox_error::TRUNCATED;
                     } else {
-                        self.device.memcpy_htod(pending.data_ptr, &data)?;
+                        // The payload goes straight from the shared buffer
+                        // (for inter-node messages, the wire frame itself)
+                        // to device memory — no intermediate host copy.
+                        self.device.memcpy_htod(pending.data_ptr, data.as_slice())?;
                         result_len = data.len() as u64;
                         result_src = status.source as u32;
                     }
@@ -1017,7 +1175,7 @@ impl GpuKernelThread {
                     } else if data.len() > pending.max_len {
                         error = mailbox_error::TRUNCATED;
                     } else {
-                        self.device.memcpy_htod(pending.data_ptr, &data)?;
+                        self.device.memcpy_htod(pending.data_ptr, data.as_slice())?;
                     }
                 }
                 Reply::CollectiveDone(CollectiveResult::Chunks(chunks)) => {
@@ -1030,7 +1188,7 @@ impl GpuKernelThread {
                     } else {
                         let mut flat = Vec::with_capacity(chunks.len() * pending.unit_len);
                         for chunk in &chunks {
-                            flat.extend_from_slice(chunk);
+                            flat.extend_from_slice(chunk.as_slice());
                         }
                         self.device.memcpy_htod(pending.data_ptr, &flat)?;
                         result_len = flat.len() as u64;
@@ -1046,17 +1204,82 @@ impl GpuKernelThread {
                 }
             }
         }
-        // Write results, then flip status to COMPLETE (separate word writes,
-        // like the real implementation's flag protocol).
+        // Write the contiguous result block, then flip status to COMPLETE
+        // (separate word write, like the real implementation's flag
+        // protocol).
         let mut results = [0u8; 16];
         results[0..8].copy_from_slice(&result_len.to_le_bytes());
         results[8..12].copy_from_slice(&result_src.to_le_bytes());
         results[12..16].copy_from_slice(&error.to_le_bytes());
         self.device
-            .memcpy_htod(entry.add(OFF_RESULT_LEN), &results)?;
+            .memcpy_htod(body.add(BODY_RESULT_LEN), &results)?;
         self.device
-            .write_u32(entry.add(OFF_STATUS), status::COMPLETE)?;
+            .write_u32(self.status_ptr(slot), status::COMPLETE)?;
         Ok(())
+    }
+
+    /// One polling sweep: complete finished slot operations, then harvest
+    /// every newly `REQUESTED` slot with one batched status-column read plus
+    /// one scattered body fetch, relaying the harvest as a single
+    /// [`CommCommand::Batch`].  Returns true when the sweep did any work.
+    fn sweep(
+        &self,
+        pending: &mut HashMap<usize, PendingSlotOp>,
+        counters: &mut SweepCounters,
+    ) -> Result<bool> {
+        let mut did_work = false;
+
+        // Completions: requests whose replies have all arrived from the
+        // comm thread get written back to device memory.
+        let done: Vec<usize> = pending
+            .iter_mut()
+            .filter_map(|(&slot, op)| op.poll().then_some(slot))
+            .collect();
+        for slot in done {
+            self.cost.charge_queue_hop();
+            let mut op = pending.remove(&slot).expect("selected above");
+            self.complete_request(slot, &mut op)?;
+            did_work = true;
+        }
+
+        // New requests: one batched PCI-e read covers every slot's status
+        // word.  Skipped entirely while every slot is already in flight.
+        if pending.len() < self.layout.slots {
+            let statuses = self
+                .device
+                .read_u32s(self.layout.mailbox_base, self.layout.slots)?;
+            counters.batched_status_reads += 1;
+            let requested: Vec<usize> = statuses
+                .iter()
+                .enumerate()
+                .filter(|&(slot, &st)| st == status::REQUESTED && !pending.contains_key(&slot))
+                .map(|(slot, _)| slot)
+                .collect();
+            if !requested.is_empty() {
+                // One scattered fetch pulls every requested body together.
+                let ranges: Vec<(DevicePtr, usize)> = requested
+                    .iter()
+                    .map(|&slot| (self.body_ptr(slot), MAILBOX_BODY_BYTES))
+                    .collect();
+                let bodies = self.device.memcpy_dtoh_scattered(&ranges)?;
+                counters.batched_entry_reads += 1;
+                let mut batch = Vec::new();
+                for (&slot, body) in requested.iter().zip(&bodies) {
+                    self.device
+                        .write_u32(self.status_ptr(slot), status::IN_PROGRESS)?;
+                    let op = self.decode_request(slot, body, &mut batch)?;
+                    pending.insert(slot, op);
+                    counters.requests += 1;
+                }
+                // The whole harvest crosses the work queue as one command.
+                self.cost.charge_queue_hop();
+                self.work_tx
+                    .send(CommCommand::Batch(batch))
+                    .map_err(|_| DcgnError::ShuttingDown)?;
+                did_work = true;
+            }
+        }
+        Ok(did_work)
     }
 
     /// Run the sleep-based polling loop until the kernel has retired and all
@@ -1064,70 +1287,100 @@ impl GpuKernelThread {
     pub fn run(&self, handle: &KernelHandle) -> Result<GpuPollStats> {
         let started = Instant::now();
         let mut busy = Duration::ZERO;
-        let mut polls = 0u64;
-        let mut requests = 0u64;
+        let mut counters = SweepCounters::default();
         let mut pending: HashMap<usize, PendingSlotOp> = HashMap::new();
+        let base = self.cost.poll_interval;
+        let mut interval = base;
 
         loop {
-            // Sleep-based polling: the CPU deliberately yields between
-            // sweeps, trading latency for host CPU load (§3.2.3).
-            dcgn_simtime::precise_sleep(self.cost.poll_interval);
-            let sweep_start = Instant::now();
-            polls += 1;
-            let mut saw_request = false;
-
-            for slot in 0..self.layout.slots {
-                if let Some(op) = pending.get_mut(&slot) {
-                    // A request from this slot is with the comm thread; check
-                    // whether every part of it has completed.
-                    if op.poll() {
-                        self.cost.charge_queue_hop();
-                        let mut op = pending.remove(&slot).expect("just found");
-                        self.complete_request(slot, &mut op)?;
-                    }
-                    continue;
+            if pending.is_empty() {
+                // Sleep-based polling: the CPU deliberately yields between
+                // sweeps, trading request-discovery latency for host CPU
+                // load (§3.2.3).  With backoff enabled, empty sweeps stretch
+                // the sleep toward the configured cap; any work snaps it
+                // back to the base interval.
+                if interval > base {
+                    counters.backoff_sleeps += 1;
                 }
-                let entry = self.entry_ptr(slot);
-                // Poll the status word (one small PCI-e read per slot).
-                let st = self.device.read_u32(entry.add(OFF_STATUS))?;
-                if st == status::REQUESTED {
-                    saw_request = true;
-                    requests += 1;
-                    // Pull the whole entry, mark it in-progress, relay it.
-                    let bytes = self.device.memcpy_dtoh_vec(entry, MAILBOX_ENTRY_BYTES)?;
-                    self.device
-                        .write_u32(entry.add(OFF_STATUS), status::IN_PROGRESS)?;
-                    let op = self.pick_up_request(slot, &bytes)?;
-                    pending.insert(slot, op);
+                dcgn_simtime::precise_sleep(interval);
+            } else {
+                // Requests are in flight with the comm thread: block on a
+                // reply channel (a true wait, not a spin) so completions are
+                // written back as soon as replies land — the real GPU-kernel
+                // thread handles a picked-up request synchronously — while
+                // still sweeping for newly published requests at least once
+                // per base interval.
+                let deadline = Instant::now() + base;
+                if let Some(op) = pending.values_mut().next() {
+                    op.wait_until(deadline);
                 }
             }
+            let sweep_start = Instant::now();
+            counters.polls += 1;
+            let did_work = self.sweep(&mut pending, &mut counters)?;
             busy += sweep_start.elapsed();
+            // Backoff applies only to the idle discovery sleep; while
+            // requests are in flight the cadence stays at the base interval.
+            interval = if pending.is_empty() {
+                next_poll_interval(&self.cost, interval, did_work)
+            } else {
+                base
+            };
 
-            if handle.is_done() && pending.is_empty() && !saw_request {
+            if handle.is_done() && pending.is_empty() && !did_work {
                 break;
             }
         }
         Ok(GpuPollStats {
             node: self.layout.node,
             gpu_index: self.layout.gpu_index,
-            polls,
-            requests,
+            polls: counters.polls,
+            requests: counters.requests,
+            batched_status_reads: counters.batched_status_reads,
+            batched_entry_reads: counters.batched_entry_reads,
+            backoff_sleeps: counters.backoff_sleeps,
             busy,
             wall: started.elapsed(),
         })
     }
 }
 
+/// Next sleep interval of the polling loop: reset to the base after a sweep
+/// that did work, otherwise multiply by the configured backoff (when above
+/// 1.0) up to the configured cap.
+fn next_poll_interval(cost: &CostModel, current: Duration, did_work: bool) -> Duration {
+    let base = cost.poll_interval;
+    if did_work || cost.poll_backoff <= 1.0 {
+        return base;
+    }
+    let cap = cost.poll_max_interval.max(base);
+    current.mul_f64(cost.poll_backoff).min(cap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DcgnConfig;
 
     #[test]
     #[allow(clippy::assertions_on_constants)] // compile-time layout guard
-    fn mailbox_entry_is_large_enough_for_all_fields() {
-        assert!(OFF_ERROR + 4 <= MAILBOX_ENTRY_BYTES);
-        assert!(OFF_REDUCE_OP + 4 <= MAILBOX_ENTRY_BYTES);
-        assert!(OFF_COMM + 8 <= MAILBOX_ENTRY_BYTES);
+    fn mailbox_body_is_large_enough_for_all_fields() {
+        assert!(BODY_ERROR + 4 <= MAILBOX_BODY_BYTES);
+        assert!(BODY_RESULT_SRC + 4 <= MAILBOX_BODY_BYTES);
+        assert!(BODY_RESULT_LEN + 8 <= MAILBOX_BODY_BYTES);
+        assert!(BODY_COMM + 8 <= MAILBOX_BODY_BYTES);
+        // The result block written back by the host is one contiguous span.
+        assert!(BODY_RESULT_SRC == BODY_RESULT_LEN + 8);
+        assert!(BODY_ERROR == BODY_RESULT_SRC + 4);
+    }
+
+    #[test]
+    fn status_column_is_contiguous_and_bodies_follow() {
+        assert_eq!(status_offset(0), 0);
+        assert_eq!(status_offset(3), 12);
+        assert_eq!(body_offset(4, 0), 16);
+        assert_eq!(body_offset(4, 2), 16 + 2 * MAILBOX_BODY_BYTES);
+        assert_eq!(mailbox_region_bytes(4), 16 + 4 * MAILBOX_BODY_BYTES);
     }
 
     #[test]
@@ -1145,6 +1398,9 @@ mod tests {
             gpu_index: 0,
             polls: 10,
             requests: 2,
+            batched_status_reads: 10,
+            batched_entry_reads: 2,
+            backoff_sleeps: 0,
             busy: Duration::from_millis(25),
             wall: Duration::from_millis(100),
         };
@@ -1161,8 +1417,124 @@ mod tests {
         let device = Device::new_default(0);
         let ptr = GpuKernelThread::allocate_mailboxes(&device, 4).unwrap();
         let bytes = device
-            .memcpy_dtoh_vec(ptr, 4 * MAILBOX_ENTRY_BYTES)
+            .memcpy_dtoh_vec(ptr, mailbox_region_bytes(4))
             .unwrap();
         assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn poll_interval_backs_off_and_snaps_back() {
+        let base = Duration::from_micros(100);
+        let mut cost = CostModel::zero().with_poll_interval(base);
+        // Disabled backoff: interval never moves.
+        assert_eq!(next_poll_interval(&cost, base, false), base);
+        cost = cost.with_poll_backoff(2.0, Duration::from_micros(350));
+        let i1 = next_poll_interval(&cost, base, false);
+        assert_eq!(i1, Duration::from_micros(200));
+        let i2 = next_poll_interval(&cost, i1, false);
+        assert_eq!(i2, Duration::from_micros(350), "capped at the max");
+        assert_eq!(next_poll_interval(&cost, i2, true), base, "work resets");
+    }
+
+    /// Build a host-side GPU-kernel thread wired to a plain channel, with
+    /// every mailbox zeroed.
+    fn test_gpu_thread(
+        slots: usize,
+    ) -> (GpuKernelThread, crossbeam::channel::Receiver<CommCommand>) {
+        let device = Device::new_default(0);
+        let mailbox_base = GpuKernelThread::allocate_mailboxes(&device, slots).unwrap();
+        let rank_map = Arc::new(RankMap::new(&DcgnConfig::homogeneous(1, 0, 1, slots)));
+        let (work_tx, work_rx) = crossbeam::channel::unbounded();
+        (
+            GpuKernelThread {
+                device,
+                layout: GpuLayout {
+                    node: 0,
+                    gpu_index: 0,
+                    slots,
+                    slot_rank_base: 0,
+                    total_ranks: slots,
+                    mailbox_base,
+                },
+                work_tx,
+                cost: CostModel::zero(),
+                rank_map,
+            },
+            work_rx,
+        )
+    }
+
+    /// Publish a barrier request on `slot` the way a device block would.
+    fn publish_barrier(gpu: &GpuKernelThread, slot: usize) {
+        let mut body = [0u8; MAILBOX_BODY_BYTES];
+        body[BODY_OPCODE..BODY_OPCODE + 4].copy_from_slice(&opcode::BARRIER.to_le_bytes());
+        body[BODY_PEER2..BODY_PEER2 + 4].copy_from_slice(&(slot as u32).to_le_bytes());
+        body[BODY_AUX..BODY_AUX + 4].copy_from_slice(&(gpu.layout.slots as u32).to_le_bytes());
+        gpu.device.memcpy_htod(gpu.body_ptr(slot), &body).unwrap();
+        gpu.device
+            .write_u32(gpu.status_ptr(slot), status::REQUESTED)
+            .unwrap();
+    }
+
+    #[test]
+    fn one_sweep_harvests_n_slots_with_one_status_read_and_one_batch() {
+        let slots = 4;
+        let (gpu, work_rx) = test_gpu_thread(slots);
+        for slot in 0..slots {
+            publish_barrier(&gpu, slot);
+        }
+
+        let mut pending = HashMap::new();
+        let mut counters = SweepCounters::default();
+        let reads_before = gpu.device.dtoh_transfer_count();
+        gpu.sweep(&mut pending, &mut counters).unwrap();
+
+        // Exactly one status-column read plus one scattered body fetch —
+        // not one PCI-e round trip per slot.
+        assert_eq!(
+            gpu.device.dtoh_transfer_count(),
+            reads_before + 2,
+            "a sweep over {slots} requested slots must issue exactly 2 device reads"
+        );
+        assert_eq!(counters.batched_status_reads, 1);
+        assert_eq!(counters.batched_entry_reads, 1);
+        assert_eq!(counters.requests, slots as u64);
+        assert_eq!(pending.len(), slots);
+
+        // The whole harvest crossed the work queue as a single Batch.
+        let reqs = match work_rx.try_recv().unwrap() {
+            CommCommand::Batch(reqs) => reqs,
+            other => panic!("expected one Batch command, got {other:?}"),
+        };
+        assert_eq!(reqs.len(), slots);
+        assert!(work_rx.try_recv().is_err(), "no further queue traffic");
+
+        // Completing the replies flips every slot to COMPLETE on the next
+        // sweep.
+        for req in reqs {
+            req.reply_tx
+                .send(Reply::CollectiveDone(CollectiveResult::Unit))
+                .unwrap();
+        }
+        gpu.sweep(&mut pending, &mut counters).unwrap();
+        assert!(pending.is_empty());
+        for slot in 0..slots {
+            assert_eq!(
+                gpu.device.read_u32(gpu.status_ptr(slot)).unwrap(),
+                status::COMPLETE
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sweep_reads_the_status_column_once_and_sends_nothing() {
+        let (gpu, work_rx) = test_gpu_thread(3);
+        let mut pending = HashMap::new();
+        let mut counters = SweepCounters::default();
+        let reads_before = gpu.device.dtoh_transfer_count();
+        assert!(!gpu.sweep(&mut pending, &mut counters).unwrap());
+        assert_eq!(gpu.device.dtoh_transfer_count(), reads_before + 1);
+        assert_eq!(counters.batched_entry_reads, 0);
+        assert!(work_rx.try_recv().is_err());
     }
 }

@@ -88,6 +88,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod config;
 pub mod cpu;
 pub mod error;
@@ -99,6 +100,7 @@ pub mod runtime;
 
 mod comm_thread;
 
+pub use buffer::{Payload, PayloadBuf};
 pub use config::{DcgnConfig, NodeConfig};
 pub use cpu::CpuCtx;
 pub use error::{DcgnError, Result};

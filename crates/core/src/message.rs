@@ -1,10 +1,17 @@
 //! Internal request/reply plumbing between kernel threads and the
 //! communication thread, and the wire format of DCGN point-to-point messages
 //! exchanged between nodes.
+//!
+//! All variable-size bodies travel as pooled [`Payload`]s: layer hops move a
+//! reference instead of memcpy'ing a fresh `Vec`, and the point-to-point
+//! framing ([`frame_p2p`]/[`decode_p2p`]) reuses the payload's reserved
+//! headroom so the body bytes are written once and never copied again on
+//! their way to the wire.
 
 use crossbeam::channel::Sender;
 use dcgn_rmpi::ReduceOp;
 
+use crate::buffer::{Payload, PAYLOAD_HEADROOM};
 use crate::error::DcgnError;
 use crate::group::CommId;
 
@@ -22,6 +29,8 @@ pub struct CommStatus {
 
 /// Per-rank outcome of a collective operation, produced by the comm thread's
 /// generic collective engine and scattered back to every joined rank.
+/// Payload-carrying results are cheap to clone (shared buffers), so
+/// scattering one result to N local ranks no longer copies it N times.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum CollectiveResult {
     /// No payload for this rank (barrier; non-root ranks of rooted
@@ -29,9 +38,9 @@ pub(crate) enum CollectiveResult {
     Unit,
     /// A flat payload: the root's bytes (broadcast), this rank's chunk
     /// (scatter) or the reduced vector (reduce at root / allreduce).
-    Bytes(Vec<u8>),
+    Bytes(Payload),
     /// Per-rank chunks indexed by global rank (gather at root, allgather).
-    Chunks(Vec<Vec<u8>>),
+    Chunks(Vec<Payload>),
 }
 
 /// Reply sent back to the requesting kernel thread when its communication
@@ -43,7 +52,7 @@ pub(crate) enum Reply {
     /// A receive completed with the given payload.
     RecvDone {
         /// Payload bytes.
-        data: Vec<u8>,
+        data: Payload,
         /// Completion metadata.
         status: CommStatus,
     },
@@ -63,7 +72,7 @@ pub(crate) enum Reply {
 #[derive(Debug)]
 pub(crate) enum RequestKind {
     /// Point-to-point send.
-    Send { dst: usize, tag: u32, data: Vec<u8> },
+    Send { dst: usize, tag: u32, data: Payload },
     /// Point-to-point receive.
     Recv { src: Option<usize>, tag: u32 },
     /// Barrier across the communicator's ranks.
@@ -72,13 +81,13 @@ pub(crate) enum RequestKind {
     Broadcast {
         comm: CommId,
         root: usize,
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
     },
     /// Gather to sub-rank `root`; every rank contributes `data`.
     Gather {
         comm: CommId,
         root: usize,
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Scatter from sub-rank `root`; `chunks` is `Some` (one chunk per
     /// member, in sub-rank order) only at the root.  Every rank receives its
@@ -86,11 +95,11 @@ pub(crate) enum RequestKind {
     Scatter {
         comm: CommId,
         root: usize,
-        chunks: Option<Vec<Vec<u8>>>,
+        chunks: Option<Vec<Payload>>,
     },
     /// Allgather: every rank contributes `data` and receives every member's
     /// contribution indexed by sub-rank.
-    Allgather { comm: CommId, data: Vec<u8> },
+    Allgather { comm: CommId, data: Payload },
     /// Element-wise reduction of `f64` vectors to sub-rank `root`.
     Reduce {
         comm: CommId,
@@ -108,6 +117,10 @@ pub(crate) enum RequestKind {
     /// `(key, parent sub-rank)` — the `MPI_Comm_split` analogue.  The reply
     /// carries the joining rank's encoded [`crate::group::Comm`].
     Split { comm: CommId, color: u32, key: u32 },
+    /// Release this rank's handle on a communicator.  Once every local
+    /// member has freed it, the comm thread evicts the group from its
+    /// registry, so split-heavy programs stop growing the table.
+    CommFree { comm: CommId },
 }
 
 impl RequestKind {
@@ -124,13 +137,18 @@ impl RequestKind {
             RequestKind::Reduce { .. } => "reduce",
             RequestKind::Allreduce { .. } => "allreduce",
             RequestKind::Split { .. } => "comm_split",
+            RequestKind::CommFree { .. } => "comm_free",
         }
     }
 
     /// True for collective requests (which must be joined by every rank on
-    /// the node before the node-level operation runs).
+    /// the node before the node-level operation runs).  `comm_free` releases
+    /// a handle without a node-level exchange, so it is not one.
     pub(crate) fn is_collective(&self) -> bool {
-        !matches!(self, RequestKind::Send { .. } | RequestKind::Recv { .. })
+        !matches!(
+            self,
+            RequestKind::Send { .. } | RequestKind::Recv { .. } | RequestKind::CommFree { .. }
+        )
     }
 }
 
@@ -150,6 +168,12 @@ pub(crate) struct Request {
 pub(crate) enum CommCommand {
     /// A communication request from a local kernel.
     Request(Request),
+    /// Every request a GPU-kernel thread harvested in one polling sweep,
+    /// relayed together so the whole sweep pays a single queue hop.
+    Batch(Vec<Request>),
+    /// Wake the comm thread's idle wait (sent by the fabric's delivery
+    /// notifier when an inter-node message lands); carries no work itself.
+    Wake,
     /// All kernel threads of this process have finished; drain and shut down.
     LocalKernelsDone,
 }
@@ -162,20 +186,24 @@ pub(crate) enum CommCommand {
 /// `[src u32][dst u32][tag u32][reserved u32]`.
 pub(crate) const P2P_HEADER_BYTES: usize = 16;
 
-/// Encode a DCGN point-to-point message for transport through the node-level
-/// MPI substrate.
-pub(crate) fn encode_p2p(src: usize, dst: usize, tag: u32, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(P2P_HEADER_BYTES + payload.len());
-    out.extend_from_slice(&(src as u32).to_le_bytes());
-    out.extend_from_slice(&(dst as u32).to_le_bytes());
-    out.extend_from_slice(&tag.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+// The pooled-buffer headroom is sized for exactly this header, so framing a
+// send writes the header in place instead of copying the body.
+const _: () = assert!(P2P_HEADER_BYTES == PAYLOAD_HEADROOM);
+
+/// Frame a DCGN point-to-point payload for transport through the node-level
+/// MPI substrate.  Consumes the payload; when it was staged with headroom
+/// (the normal case for inter-node sends) the body is not copied.
+pub(crate) fn frame_p2p(src: usize, dst: usize, tag: u32, payload: Payload) -> Vec<u8> {
+    let mut header = [0u8; P2P_HEADER_BYTES];
+    header[0..4].copy_from_slice(&(src as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&(dst as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&tag.to_le_bytes());
+    payload.into_framed(&header)
 }
 
-/// Decode an inter-node DCGN point-to-point message.
-pub(crate) fn decode_p2p(wire: &[u8]) -> Result<(usize, usize, u32, Vec<u8>), DcgnError> {
+/// Decode an inter-node DCGN point-to-point frame.  The returned body is a
+/// zero-copy view into the wire buffer.
+pub(crate) fn decode_p2p(wire: Vec<u8>) -> Result<(usize, usize, u32, Payload), DcgnError> {
     if wire.len() < P2P_HEADER_BYTES {
         return Err(DcgnError::Internal(format!(
             "short point-to-point frame: {} bytes",
@@ -185,7 +213,9 @@ pub(crate) fn decode_p2p(wire: &[u8]) -> Result<(usize, usize, u32, Vec<u8>), Dc
     let src = u32::from_le_bytes(wire[0..4].try_into().expect("4 bytes")) as usize;
     let dst = u32::from_le_bytes(wire[4..8].try_into().expect("4 bytes")) as usize;
     let tag = u32::from_le_bytes(wire[8..12].try_into().expect("4 bytes"));
-    Ok((src, dst, tag, wire[P2P_HEADER_BYTES..].to_vec()))
+    let frame = Payload::from_vec(wire);
+    let body = frame.slice(P2P_HEADER_BYTES..frame.len());
+    Ok((src, dst, tag, body))
 }
 
 #[cfg(test)]
@@ -195,24 +225,32 @@ mod tests {
     #[test]
     fn p2p_roundtrip() {
         let payload: Vec<u8> = (0..100u8).collect();
-        let wire = encode_p2p(3, 11, 42, &payload);
+        let wire = frame_p2p(3, 11, 42, Payload::copy_with_headroom(&payload));
         assert_eq!(wire.len(), P2P_HEADER_BYTES + 100);
-        let (src, dst, tag, data) = decode_p2p(&wire).unwrap();
+        let (src, dst, tag, data) = decode_p2p(wire).unwrap();
         assert_eq!((src, dst, tag), (3, 11, 42));
         assert_eq!(data, payload);
     }
 
     #[test]
+    fn framing_with_headroom_does_not_move_the_body() {
+        let payload = Payload::copy_with_headroom(&[0xCD; 64]);
+        let body_addr = payload.as_slice().as_ptr() as usize;
+        let wire = frame_p2p(1, 2, 3, payload);
+        assert_eq!(wire[P2P_HEADER_BYTES..].as_ptr() as usize, body_addr);
+    }
+
+    #[test]
     fn empty_payload_roundtrip() {
-        let wire = encode_p2p(0, 1, 0, &[]);
-        let (src, dst, tag, data) = decode_p2p(&wire).unwrap();
+        let wire = frame_p2p(0, 1, 0, Payload::empty());
+        let (src, dst, tag, data) = decode_p2p(wire).unwrap();
         assert_eq!((src, dst, tag), (0, 1, 0));
         assert!(data.is_empty());
     }
 
     #[test]
     fn short_frame_is_rejected() {
-        assert!(decode_p2p(&[0u8; 8]).is_err());
+        assert!(decode_p2p(vec![0u8; 8]).is_err());
     }
 
     #[test]
@@ -221,13 +259,15 @@ mod tests {
             RequestKind::Send {
                 dst: 0,
                 tag: 0,
-                data: vec![]
+                data: Payload::empty(),
             }
             .name(),
             "send"
         );
         assert!(!RequestKind::Recv { src: None, tag: 0 }.is_collective());
         let world = CommId::WORLD;
+        assert!(!RequestKind::CommFree { comm: world }.is_collective());
+        assert_eq!(RequestKind::CommFree { comm: world }.name(), "comm_free");
         let collectives = [
             (RequestKind::Barrier { comm: world }, "barrier"),
             (
@@ -242,7 +282,7 @@ mod tests {
                 RequestKind::Gather {
                     comm: world,
                     root: 0,
-                    data: vec![],
+                    data: Payload::empty(),
                 },
                 "gather",
             ),
@@ -257,7 +297,7 @@ mod tests {
             (
                 RequestKind::Allgather {
                     comm: world,
-                    data: vec![],
+                    data: Payload::empty(),
                 },
                 "allgather",
             ),

@@ -147,12 +147,12 @@ impl Runtime {
         let mut comm_threads = Vec::with_capacity(num_nodes);
         for (node, comm) in node_comms.into_iter().enumerate() {
             let (tx, rx) = unbounded();
-            work_txs.push(tx);
+            work_txs.push(tx.clone());
             let rank_map = Arc::clone(&rank_map);
             comm_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcgn-comm-node{node}"))
-                    .spawn(move || CommThread::new(node, rank_map, comm, rx, cost).run())
+                    .spawn(move || CommThread::new(node, rank_map, comm, rx, tx, cost).run())
                     .map_err(|e| DcgnError::Internal(format!("spawn comm thread: {e}")))?,
             );
         }
@@ -209,6 +209,7 @@ impl Runtime {
                     layout: layout.clone(),
                     work_tx: work_txs[node].clone(),
                     cost,
+                    rank_map: Arc::clone(&rank_map),
                 };
                 let setup = Arc::clone(&gpu_setup);
                 let kernel = Arc::clone(&gpu_kernel);

@@ -1,7 +1,7 @@
 //! The simulated device: multiprocessors, kernel launch, and the host-side
 //! memory transfer API.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -175,8 +175,15 @@ pub struct Device {
     pcie: Arc<VirtualBus>,
     cost: CostModel,
     sm_tx: Sender<SmMessage>,
+    /// Kept so multiprocessor workers can be spawned lazily per launch.
+    sm_rx: Receiver<SmMessage>,
     sm_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     shutdown: AtomicBool,
+    /// Device-to-host DMA operations issued by the host (each is one PCI-e
+    /// round trip, however many bytes it moves).
+    dtoh_transfers: AtomicU64,
+    /// Host-to-device DMA operations issued by the host.
+    htod_transfers: AtomicU64,
 }
 
 impl Device {
@@ -184,20 +191,33 @@ impl Device {
     pub fn new(id: usize, config: DeviceConfig, cost: CostModel) -> Arc<Self> {
         let memory = Arc::new(DeviceMemory::new(config.memory_bytes));
         let (sm_tx, sm_rx) = unbounded::<SmMessage>();
-        let device = Arc::new(Device {
+        // Multiprocessor workers are spawned lazily by `launch`: a kernel of
+        // B blocks needs at most min(B, num_multiprocessors) of them, and
+        // spawning the full complement up front made small launches pay for
+        // workers that never ran a block.
+        Arc::new(Device {
             id,
             pcie: Arc::new(VirtualBus::new(format!("pcie-dev{id}"), cost.pcie)),
             memory,
             cost,
             sm_tx,
+            sm_rx,
             sm_threads: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
+            dtoh_transfers: AtomicU64::new(0),
+            htod_transfers: AtomicU64::new(0),
             config,
-        });
-        let mut threads = Vec::new();
-        for sm in 0..device.config.num_multiprocessors {
-            let rx = sm_rx.clone();
-            let name = format!("dev{id}-sm{sm}");
+        })
+    }
+
+    /// Ensure at least `needed` multiprocessor workers are running (capped at
+    /// the configured multiprocessor count).
+    fn ensure_sm_workers(&self, needed: usize) {
+        let needed = needed.min(self.config.num_multiprocessors);
+        let mut threads = self.sm_threads.lock();
+        while threads.len() < needed {
+            let rx = self.sm_rx.clone();
+            let name = format!("dev{}-sm{}", self.id, threads.len());
             threads.push(
                 std::thread::Builder::new()
                     .name(name)
@@ -205,8 +225,6 @@ impl Device {
                     .expect("failed to spawn multiprocessor worker"),
             );
         }
-        *device.sm_threads.lock() = threads;
-        device
     }
 
     /// Create a device with default configuration and a zero-cost model
@@ -300,12 +318,14 @@ impl Device {
 
     /// Copy host memory to the device (blocking, pays the PCI-e cost).
     pub fn memcpy_htod(&self, dst: DevicePtr, src: &[u8]) -> Result<(), MemoryError> {
+        self.htod_transfers.fetch_add(1, Ordering::Relaxed);
         self.pcie.transfer(src.len());
         self.memory.write(dst, src)
     }
 
     /// Copy device memory to the host (blocking, pays the PCI-e cost).
     pub fn memcpy_dtoh(&self, dst: &mut [u8], src: DevicePtr) -> Result<(), MemoryError> {
+        self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
         self.pcie.transfer(dst.len());
         self.memory.read(src, dst)
     }
@@ -315,6 +335,47 @@ impl Device {
         let mut out = vec![0u8; len];
         self.memcpy_dtoh(&mut out, src)?;
         Ok(out)
+    }
+
+    /// Gather several disjoint device ranges to the host in **one** DMA
+    /// operation (the descriptor-list transfer real drivers build for
+    /// `cudaMemcpy2D`-style strided reads): the PCI-e link is crossed once
+    /// for the summed byte count instead of once per range.
+    pub fn memcpy_dtoh_scattered(
+        &self,
+        ranges: &[(DevicePtr, usize)],
+    ) -> Result<Vec<Vec<u8>>, MemoryError> {
+        self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        let total: usize = ranges.iter().map(|&(_, len)| len).sum();
+        self.pcie.transfer(total);
+        ranges
+            .iter()
+            .map(|&(ptr, len)| self.memory.read_vec(ptr, len))
+            .collect()
+    }
+
+    /// Read `count` consecutive little-endian `u32` words in one DMA
+    /// operation.  This is the batched status-column read the DCGN GPU-kernel
+    /// thread issues per polling sweep.
+    pub fn read_u32s(&self, ptr: DevicePtr, count: usize) -> Result<Vec<u32>, MemoryError> {
+        self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        self.pcie.transfer(count * 4);
+        let bytes = self.memory.read_vec(ptr, count * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Number of device-to-host DMA operations the host has issued (batched
+    /// reads count once, regardless of how many ranges or bytes they move).
+    pub fn dtoh_transfer_count(&self) -> u64 {
+        self.dtoh_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Number of host-to-device DMA operations the host has issued.
+    pub fn htod_transfer_count(&self) -> u64 {
+        self.htod_transfers.load(Ordering::Relaxed)
     }
 
     /// Device-to-device copy (no PCI-e crossing).
@@ -328,15 +389,15 @@ impl Device {
     }
 
     /// Read a single `u32` from device memory, paying the PCI-e latency.
-    /// This is the primitive the DCGN GPU-kernel thread uses when polling
-    /// mailbox headers.
     pub fn read_u32(&self, ptr: DevicePtr) -> Result<u32, MemoryError> {
+        self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
         self.pcie.transfer(4);
         self.memory.read_u32(ptr)
     }
 
     /// Write a single `u32` to device memory, paying the PCI-e latency.
     pub fn write_u32(&self, ptr: DevicePtr, value: u32) -> Result<(), MemoryError> {
+        self.htod_transfers.fetch_add(1, Ordering::Relaxed);
         self.pcie.transfer(4);
         self.memory.write_u32(ptr, value)
     }
@@ -358,6 +419,7 @@ impl Device {
         let grid_dim = grid_dim.into();
         let block_dim = block_dim.into();
         let blocks = grid_dim.total().max(1);
+        self.ensure_sm_workers(blocks);
         self.cost.charge_kernel_launch();
         let state = Arc::new(LaunchState::new(blocks));
         let kernel: BlockClosure = Arc::new(kernel);
@@ -395,10 +457,11 @@ impl Device {
 impl Drop for Device {
     fn drop(&mut self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            for _ in 0..self.config.num_multiprocessors {
+            let mut threads = self.sm_threads.lock();
+            for _ in 0..threads.len() {
                 let _ = self.sm_tx.send(SmMessage::Shutdown);
             }
-            for handle in self.sm_threads.lock().drain(..) {
+            for handle in threads.drain(..) {
                 let _ = handle.join();
             }
         }
@@ -559,6 +622,46 @@ mod tests {
         dev.free(p).unwrap();
         assert_eq!(dev.memory_allocated(), 0);
         assert_eq!(dev.id(), 1);
+    }
+
+    #[test]
+    fn scattered_read_is_one_dma_operation() {
+        let dev = Device::new_default(0);
+        let a = dev.malloc(64).unwrap();
+        let b = dev.malloc(64).unwrap();
+        dev.memcpy_htod(a, &[1u8; 64]).unwrap();
+        dev.memcpy_htod(b, &[2u8; 64]).unwrap();
+        let before = dev.dtoh_transfer_count();
+        let parts = dev
+            .memcpy_dtoh_scattered(&[(a, 64), (b.add(32), 16)])
+            .unwrap();
+        assert_eq!(dev.dtoh_transfer_count(), before + 1);
+        assert_eq!(parts, vec![vec![1u8; 64], vec![2u8; 16]]);
+    }
+
+    #[test]
+    fn u32_column_read_is_one_dma_operation() {
+        let dev = Device::new_default(0);
+        let p = dev.malloc(16).unwrap();
+        for i in 0..4u32 {
+            dev.write_u32(p.add(4 * i as usize), i * 7).unwrap();
+        }
+        let before = dev.dtoh_transfer_count();
+        assert_eq!(dev.read_u32s(p, 4).unwrap(), vec![0, 7, 14, 21]);
+        assert_eq!(dev.dtoh_transfer_count(), before + 1);
+    }
+
+    #[test]
+    fn transfer_counters_track_host_dma_operations() {
+        let dev = Device::new_default(0);
+        let p = dev.malloc(64).unwrap();
+        let (r0, w0) = (dev.dtoh_transfer_count(), dev.htod_transfer_count());
+        dev.memcpy_htod(p, &[0u8; 64]).unwrap();
+        dev.write_u32(p, 1).unwrap();
+        dev.memcpy_dtoh_vec(p, 8).unwrap();
+        dev.read_u32(p).unwrap();
+        assert_eq!(dev.htod_transfer_count(), w0 + 2);
+        assert_eq!(dev.dtoh_transfer_count(), r0 + 2);
     }
 
     #[test]

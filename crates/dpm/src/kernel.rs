@@ -207,10 +207,26 @@ impl BlockCtx {
             .unwrap_or_else(|e| panic!("device fault in block {}: {e}", self.block_id))
     }
 
-    /// Spin (with naps) until the `u32` at `ptr` equals `value`.
+    /// Spin until the `u32` at `ptr` equals `value`.
+    ///
+    /// A real device block busy-waits in silicon at memory speed; modelling
+    /// that with a fixed 50 µs host sleep quantised every mailbox completion
+    /// to the nap length.  Instead the wait starts by yielding the OS thread
+    /// (near-instant wakeups while the flag flips quickly) and only decays to
+    /// sleeping — escalating up to the nap interval — when the flag stays
+    /// unchanged, so long waits still leave the simulation host responsive.
     pub fn wait_for_u32(&self, ptr: DevicePtr, value: u32) {
+        const SPIN_YIELDS: u32 = 128;
+        let mut polls = 0u32;
+        let mut sleep = Duration::from_micros(2);
         while self.read_u32(ptr) != value {
-            self.nap();
+            polls += 1;
+            if polls <= SPIN_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(sleep);
+                sleep = (sleep * 2).min(Duration::from_micros(50));
+            }
         }
     }
 }

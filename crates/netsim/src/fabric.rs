@@ -80,9 +80,14 @@ impl TrafficStats {
     }
 }
 
+/// Callback invoked (on the sender's thread) after a message is queued on an
+/// endpoint — the delivery interrupt line of a real NIC.
+pub type WakeNotifier = Arc<dyn Fn() + Send + Sync>;
+
 struct EndpointEntry<T> {
     node: usize,
     tx: Sender<Delivery<T>>,
+    notify: Option<WakeNotifier>,
 }
 
 struct FabricInner<T> {
@@ -145,10 +150,14 @@ impl<T: Send + 'static> Fabric<T> {
         );
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst) as usize;
         let (tx, rx) = unbounded();
-        self.inner
-            .endpoints
-            .write()
-            .insert(id, EndpointEntry { node, tx });
+        self.inner.endpoints.write().insert(
+            id,
+            EndpointEntry {
+                node,
+                tx,
+                notify: None,
+            },
+        );
         Endpoint {
             id: EndpointId(id),
             node,
@@ -173,10 +182,10 @@ impl<T: Send + 'static> Fabric<T> {
     ) -> Result<(), RecvError> {
         // Look up the destination first so that cost is not charged for a
         // send that can never be delivered.
-        let (dst_node, tx) = {
+        let (dst_node, tx, notify) = {
             let endpoints = self.inner.endpoints.read();
             let entry = endpoints.get(&dst.0).ok_or(RecvError::Disconnected)?;
-            (entry.node, entry.tx.clone())
+            (entry.node, entry.tx.clone(), entry.notify.clone())
         };
         if dst_node == src_node {
             // Intra-node path: shared-memory copy, no NIC involvement.
@@ -191,7 +200,21 @@ impl<T: Send + 'static> Fabric<T> {
             wire_bytes,
             msg,
         })
-        .map_err(|_| RecvError::Disconnected)
+        .map_err(|_| RecvError::Disconnected)?;
+        if let Some(notify) = notify {
+            notify();
+        }
+        Ok(())
+    }
+
+    /// Install (or replace) the delivery notifier of `endpoint`.  The
+    /// callback runs on the *sender's* thread right after each message is
+    /// queued, so a receiver that multiplexes several event sources can be
+    /// woken instead of polling.
+    pub fn set_notifier(&self, endpoint: EndpointId, notify: WakeNotifier) {
+        if let Some(entry) = self.inner.endpoints.write().get_mut(&endpoint.0) {
+            entry.notify = Some(notify);
+        }
     }
 }
 
@@ -277,6 +300,12 @@ impl<T: Send + 'static> Endpoint<T> {
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
             Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
         }
+    }
+
+    /// Install a delivery notifier for this endpoint (see
+    /// [`Fabric::set_notifier`]).
+    pub fn set_notifier(&self, notify: WakeNotifier) {
+        self.fabric.set_notifier(self.id, notify);
     }
 
     /// The fabric this endpoint is attached to.
@@ -391,6 +420,24 @@ mod tests {
     fn attach_to_missing_node_panics() {
         let fabric: Fabric<u32> = Fabric::new(2, CostModel::zero());
         let _ = fabric.attach(5);
+    }
+
+    #[test]
+    fn notifier_fires_once_per_delivery() {
+        use std::sync::atomic::AtomicUsize;
+        let fabric: Fabric<u32> = Fabric::new(1, CostModel::zero());
+        let a = fabric.attach(0);
+        let b = fabric.attach(0);
+        let rings = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&rings);
+        b.set_notifier(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.send(b.id(), 1, 4).unwrap();
+        a.send(b.id(), 2, 4).unwrap();
+        assert_eq!(rings.load(Ordering::SeqCst), 2);
+        assert_eq!(b.recv().unwrap().msg, 1);
+        assert_eq!(b.recv().unwrap().msg, 2);
     }
 
     #[test]

@@ -18,4 +18,4 @@ pub mod cluster;
 pub mod fabric;
 
 pub use cluster::{Cluster, NodeHandle};
-pub use fabric::{Delivery, Endpoint, EndpointId, Fabric, RecvError, TrafficStats};
+pub use fabric::{Delivery, Endpoint, EndpointId, Fabric, RecvError, TrafficStats, WakeNotifier};

@@ -161,6 +161,15 @@ impl Communicator {
         self.progress_timeout = timeout;
     }
 
+    /// Install a delivery notifier on this rank's fabric endpoint: the
+    /// callback runs (on the sender's thread) every time a message lands in
+    /// this communicator's inbound queue.  Pollers that multiplex the
+    /// communicator with other event sources (DCGN's comm thread and its
+    /// work queue) use this to sleep until *either* source has work.
+    pub fn set_wake_notifier(&self, notify: dcgn_netsim::WakeNotifier) {
+        self.endpoint.set_notifier(notify);
+    }
+
     // ------------------------------------------------------------------
     // Nonblocking API
     // ------------------------------------------------------------------

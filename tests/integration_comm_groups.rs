@@ -155,3 +155,104 @@ fn gpu_subgroups_run_different_collectives() {
         })
         .unwrap();
 }
+
+/// `comm_free` lifecycle: freed groups are evicted from the comm thread's
+/// registry (the table no longer grows monotonically with splits), later use
+/// of a freed id fails cleanly, and re-splitting works.
+fn comm_free_kernel(ctx: &CpuCtx) {
+    // The world communicator cannot be freed.
+    let world = ctx.world_comm();
+    assert!(ctx.comm_free(&world).is_err());
+    for _ in 0..3 {
+        let comm = ctx.comm_split((ctx.rank() % 2) as u32, 0).unwrap();
+        let sum = ctx.allreduce_in(&comm, &[1.0], ReduceOp::Sum).unwrap();
+        assert_eq!(sum, vec![comm.size() as f64]);
+        // World barrier: nobody frees while a peer's subgroup collective
+        // might still be in flight.
+        ctx.barrier().unwrap();
+        ctx.comm_free(&comm).unwrap();
+        // Second barrier: every local member has freed, so the group is
+        // evicted everywhere before anyone probes it.
+        ctx.barrier().unwrap();
+        let err = ctx.barrier_in(&comm).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown communicator"),
+            "stale use must name the unknown communicator, got: {err}"
+        );
+        assert!(ctx.comm_free(&comm).is_err(), "double free must fail");
+    }
+}
+
+#[test]
+fn comm_free_evicts_groups_and_allows_reuse() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 4, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(20));
+    runtime.launch_cpu_only(comm_free_kernel).unwrap();
+}
+
+#[test]
+fn comm_free_evicts_independently_per_node() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(20));
+    runtime.launch_cpu_only(comm_free_kernel).unwrap();
+}
+
+/// GPU slots release a split group through the mailbox `FREE` opcode and can
+/// split again afterwards.
+#[test]
+fn gpu_comm_free_releases_groups() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 0, 1, 2)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(20));
+    runtime
+        .launch_gpu_only(|ctx| {
+            let slot = ctx.slot_for_block();
+            if ctx.block().block_id() >= ctx.slots() {
+                return;
+            }
+            let base = DevicePtr::NULL.add((4 + slot * 4) << 20);
+            let table_len = 16 + 4 * ctx.size();
+            let comm = ctx.split(slot, 0, 0, base, table_len);
+            assert_eq!(comm.size, 2);
+            ctx.barrier_in(slot, &comm);
+            // Make sure no subgroup collective is still in flight anywhere
+            // before releasing the handle.
+            ctx.barrier(slot);
+            ctx.comm_free(slot, &comm);
+            ctx.barrier(slot);
+            // The registry slot is gone; a fresh split works and gets a
+            // distinct id.
+            let comm2 = ctx.split(slot, 0, 0, base, table_len);
+            assert_ne!(comm2.id, comm.id);
+            ctx.barrier_in(slot, &comm2);
+            ctx.comm_free(slot, &comm2);
+        })
+        .unwrap();
+}
+
+/// Freeing is per-rank and immediate: before the group is evicted (peers
+/// still hold handles), a rank that freed can neither free again nor keep
+/// using the communicator.
+#[test]
+fn comm_free_is_per_rank_before_eviction() {
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 2, 0, 0)).unwrap();
+    runtime.set_request_timeout(Duration::from_secs(20));
+    runtime
+        .launch_cpu_only(|ctx| {
+            let comm = ctx.comm_split(0, 0).unwrap();
+            if ctx.rank() == 0 {
+                ctx.comm_free(&comm).unwrap();
+                // Rank 1 still holds its handle, so the group is not yet
+                // evicted — but this rank's handle is gone.
+                let err = ctx.comm_free(&comm).unwrap_err();
+                assert!(err.to_string().contains("already freed"), "got: {err}");
+                let err = ctx.barrier_in(&comm).unwrap_err();
+                assert!(err.to_string().contains("already freed"), "got: {err}");
+                ctx.send(1, b"freed-twice-checked").unwrap();
+            } else {
+                let (msg, _) = ctx.recv(0).unwrap();
+                assert_eq!(msg, b"freed-twice-checked");
+                ctx.comm_free(&comm).unwrap();
+            }
+        })
+        .unwrap();
+}

@@ -8,13 +8,41 @@
 //! min/max timings.  The median/MAD pair is robust to scheduler outliers, so
 //! `cargo bench` output is comparable run-to-run — no HTML reports or
 //! bootstrap analysis.
+//!
+//! In addition to the console output, every `criterion_main!` run appends
+//! its results to a machine-readable JSON report (see [`write_json_report`])
+//! so the performance trajectory can be tracked across commits and checked
+//! in CI.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results accumulated by every benchmark run in this process, flushed to
+/// the JSON report by `criterion_main!`.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// One benchmark's robust statistics, as recorded in the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Fully-qualified label (`group/name/parameter`).
+    pub name: String,
+    /// Median sample time in nanoseconds.
+    pub median_ns: u128,
+    /// Median absolute deviation in nanoseconds.
+    pub mad_ns: u128,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -28,6 +56,7 @@ impl Criterion {
         println!("group: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
         }
     }
@@ -74,6 +103,7 @@ impl From<String> for BenchmarkId {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
@@ -101,7 +131,8 @@ impl BenchmarkGroup<'_> {
         I: Into<BenchmarkId>,
         F: FnMut(&mut Bencher),
     {
-        run_bench(&id.into().label, self.sample_size, f);
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, self.sample_size, f);
     }
 
     /// Run one benchmark parameterised by `input`.
@@ -110,7 +141,8 @@ impl BenchmarkGroup<'_> {
         I: Into<BenchmarkId>,
         F: FnMut(&mut Bencher, &T),
     {
-        run_bench(&id.into().label, self.sample_size, |b| f(b, input));
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, self.sample_size, |b| f(b, input));
     }
 
     /// End the group.
@@ -175,12 +207,158 @@ where
         return;
     }
     let (median, mad) = median_and_mad(&bencher.samples);
-    let min = bencher.samples.iter().min().expect("non-empty");
-    let max = bencher.samples.iter().max().expect("non-empty");
+    let min = *bencher.samples.iter().min().expect("non-empty");
+    let max = *bencher.samples.iter().max().expect("non-empty");
     println!(
         "  {label}: median {median:?} ± {mad:?} MAD (min {min:?} max {max:?}, {} samples)",
         bencher.samples.len()
     );
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        name: label.to_string(),
+        median_ns: median.as_nanos(),
+        mad_ns: mad.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        samples: bencher.samples.len(),
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable report
+// ---------------------------------------------------------------------------
+
+/// Where the JSON report lives: `$DCGN_BENCH_JSON` when set, otherwise
+/// `BENCH_pr3.json` next to the enclosing workspace's `Cargo.lock` (so every
+/// bench binary of a `cargo bench` run appends to the same file).
+pub fn default_report_path() -> PathBuf {
+    if let Some(path) = std::env::var_os("DCGN_BENCH_JSON") {
+        return path.into();
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_pr3.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_pr3.json");
+        }
+    }
+}
+
+/// Flush this process's accumulated benchmark results into the JSON report,
+/// merging with (and replacing same-named entries of) an existing file.
+/// Called automatically by `criterion_main!`.
+pub fn write_json_report() {
+    let new = std::mem::take(&mut *RESULTS.lock().expect("results lock"));
+    if new.is_empty() {
+        return;
+    }
+    let path = default_report_path();
+    let mut records = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse_report(&text).ok())
+        .unwrap_or_default();
+    for rec in new {
+        match records.iter_mut().find(|r| r.name == rec.name) {
+            Some(existing) => *existing = rec,
+            None => records.push(rec),
+        }
+    }
+    let json = render_report(&records);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!(
+            "wrote {} benchmark records to {}",
+            records.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Serialise records into the report's JSON format (one entry per line).
+pub fn render_report(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": {:?}, \"median_ns\": {}, \"mad_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"samples\": {}}}{comma}\n",
+            r.name, r.median_ns, r.mad_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a report produced by [`render_report`].  Strict: any structural
+/// surprise (missing field, unbalanced braces, non-numeric statistic) is an
+/// error, so CI can reject malformed or truncated files.
+pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let trimmed = text.trim();
+    if !trimmed.starts_with('{') || !trimmed.ends_with('}') {
+        return Err("report is not a JSON object".into());
+    }
+    let list_start = trimmed
+        .find("\"benchmarks\"")
+        .ok_or("missing \"benchmarks\" key")?;
+    let after_key = &trimmed[list_start + "\"benchmarks\"".len()..];
+    let bracket = after_key.find('[').ok_or("missing benchmark list")?;
+    let list_end = after_key.rfind(']').ok_or("unterminated benchmark list")?;
+    if list_end < bracket {
+        return Err("unterminated benchmark list".into());
+    }
+    let mut records = Vec::new();
+    let mut rest = after_key[bracket + 1..list_end].trim();
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',').trim();
+        if rest.is_empty() {
+            break;
+        }
+        if !rest.starts_with('{') {
+            return Err(format!("expected an entry object, found: {:.40}…", rest));
+        }
+        let close = rest.find('}').ok_or("unterminated entry object")?;
+        let obj = &rest[1..close];
+        records.push(parse_entry(obj)?);
+        rest = rest[close + 1..].trim();
+    }
+    Ok(records)
+}
+
+fn parse_entry(obj: &str) -> Result<BenchRecord, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        let marker = format!("\"{key}\":");
+        let at = obj
+            .find(&marker)
+            .ok_or_else(|| format!("entry missing field {key:?}"))?;
+        let value = obj[at + marker.len()..].trim_start();
+        let inner = value
+            .strip_prefix('"')
+            .ok_or_else(|| format!("field {key:?} is not a string"))?;
+        let end = inner
+            .find('"')
+            .ok_or_else(|| format!("unterminated string for field {key:?}"))?;
+        Ok(inner[..end].to_string())
+    };
+    let num_field = |key: &str| -> Result<u128, String> {
+        let marker = format!("\"{key}\":");
+        let at = obj
+            .find(&marker)
+            .ok_or_else(|| format!("entry missing field {key:?}"))?;
+        let value = obj[at + marker.len()..].trim_start();
+        let digits: String = value.chars().take_while(char::is_ascii_digit).collect();
+        digits
+            .parse::<u128>()
+            .map_err(|_| format!("field {key:?} is not a number"))
+    };
+    Ok(BenchRecord {
+        name: str_field("name")?,
+        median_ns: num_field("median_ns")?,
+        mad_ns: num_field("mad_ns")?,
+        min_ns: num_field("min_ns")?,
+        max_ns: num_field("max_ns")?,
+        samples: num_field("samples")? as usize,
+    })
 }
 
 /// Collect benchmark functions into one runner function.
@@ -194,12 +372,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given benchmark groups.
+/// Emit `main` running the given benchmark groups and flushing the JSON
+/// report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -234,6 +414,54 @@ mod tests {
             b.iter(|| calls += 1);
         });
         assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn report_roundtrips_through_render_and_parse() {
+        let records = vec![
+            BenchRecord {
+                name: "group/a/0".into(),
+                median_ns: 1234,
+                mad_ns: 56,
+                min_ns: 1000,
+                max_ns: 9999,
+                samples: 10,
+            },
+            BenchRecord {
+                name: "group/b/4096".into(),
+                median_ns: 7,
+                mad_ns: 0,
+                min_ns: 7,
+                max_ns: 7,
+                samples: 1,
+            },
+        ];
+        let text = render_report(&records);
+        assert_eq!(parse_report(&text).unwrap(), records);
+        assert!(parse_report(&render_report(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(parse_report("").is_err());
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report("{}").is_err(), "missing benchmarks key");
+        assert!(parse_report("{\"benchmarks\": [").is_err(), "truncated");
+        // An entry missing a statistic is malformed, not silently zero.
+        let bad = "{\n  \"benchmarks\": [\n    {\"name\": \"x\", \"median_ns\": 5}\n  ]\n}\n";
+        assert!(parse_report(bad).is_err());
+        // A truncated tail after a valid entry is rejected too.
+        let records = vec![BenchRecord {
+            name: "x".into(),
+            median_ns: 1,
+            mad_ns: 1,
+            min_ns: 1,
+            max_ns: 1,
+            samples: 1,
+        }];
+        let mut text = render_report(&records);
+        text.truncate(text.len() - 6);
+        assert!(parse_report(&text).is_err());
     }
 
     #[test]
