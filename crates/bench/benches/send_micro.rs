@@ -1,13 +1,16 @@
 //! Criterion bench behind Figure 6: DCGN vs raw-MPI point-to-point sends for
-//! every endpoint-kind pair.  Uses the scaled-down cost model and a small
-//! size grid so `cargo bench` completes quickly; the `fig6_send` binary runs
-//! the full paper-parameter sweep.
+//! every endpoint-kind pair, plus the `isend_overlap` benchmark measuring
+//! how much wire latency the nonblocking API hides behind compute.  Uses the
+//! scaled-down cost model and a small size grid so `cargo bench` completes
+//! quickly; the `fig6_send` binary runs the full paper-parameter sweep.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
-use dcgn_bench::{bench_samples, dcgn_send_time, mpi_send_time, EndpointKind};
+use dcgn_bench::{
+    bench_samples, dcgn_isend_overlap_time, dcgn_send_time, mpi_send_time, EndpointKind,
+};
 
 fn bench_sends(c: &mut Criterion) {
     let cost = CostModel::g92_scaled(20.0);
@@ -30,5 +33,25 @@ fn bench_sends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sends);
+/// Blocking send-then-compute vs isend + compute + wait, same cost model and
+/// peer behaviour: the gap is the compute-hidden latency.
+fn bench_isend_overlap(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let compute = Duration::from_micros(400);
+    let size = 4 << 10;
+    let mut group = c.benchmark_group("isend_overlap");
+    group.sample_size(bench_samples(10));
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_with_input(BenchmarkId::new("blocking", size), &size, |b, &s| {
+        b.iter(|| dcgn_isend_overlap_time(s, compute, false, cost, 3))
+    });
+    group.bench_with_input(BenchmarkId::new("nonblocking", size), &size, |b, &s| {
+        b.iter(|| dcgn_isend_overlap_time(s, compute, true, cost, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sends, bench_isend_overlap);
 criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! CI regression gate: diff the current benchmark report against a committed
+//! baseline and fail (exit 1) when any benchmark's median regressed beyond
+//! the threshold.
+//!
+//! ```text
+//! cargo run -p dcgn_bench --bin compare_bench_json -- BASELINE [CURRENT] \
+//!     [--threshold PCT]
+//! ```
+//!
+//! `CURRENT` defaults to the report's standard location (`$DCGN_BENCH_JSON`,
+//! then `BENCH_pr3.json` at the workspace root).  `--threshold` defaults to
+//! 25 (percent).
+//!
+//! A benchmark regresses when its current median exceeds the baseline median
+//! by more than `threshold` percent **and** by more than the run-to-run
+//! noise band (three times the summed median absolute deviations) — so a
+//! noisy-but-flat benchmark on a loaded CI machine does not trip the gate,
+//! while a genuine slowdown on a hot path does.  Benchmarks present in only
+//! one report are listed but never fail the gate (new benchmarks appear,
+//! retired ones disappear).
+
+use std::process::exit;
+
+use criterion::BenchRecord;
+
+struct Comparison<'a> {
+    name: &'a str,
+    base: &'a BenchRecord,
+    cur: &'a BenchRecord,
+    delta_pct: f64,
+    regressed: bool,
+}
+
+fn compare<'a>(
+    base: &'a [BenchRecord],
+    cur: &'a [BenchRecord],
+    threshold_pct: f64,
+) -> Vec<Comparison<'a>> {
+    let mut rows = Vec::new();
+    for b in base {
+        let Some(c) = cur.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        let delta = c.median_ns as f64 - b.median_ns as f64;
+        let delta_pct = if b.median_ns > 0 {
+            100.0 * delta / b.median_ns as f64
+        } else {
+            0.0
+        };
+        // Noise band: three times the summed MADs.  A regression must clear
+        // both the relative threshold and the noise band.
+        let noise = 3.0 * (b.mad_ns + c.mad_ns) as f64;
+        let regressed = delta_pct > threshold_pct && delta > noise;
+        rows.push(Comparison {
+            name: &b.name,
+            base: b,
+            cur: c,
+            delta_pct,
+            regressed,
+        });
+    }
+    rows
+}
+
+fn load(path: &std::path::Path) -> Vec<BenchRecord> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    match criterion::parse_report(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("FAIL: {} is malformed: {e}", path.display());
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<std::path::PathBuf> = Vec::new();
+    let mut threshold_pct = 25.0;
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("FAIL: --threshold needs a value");
+                exit(1);
+            });
+            threshold_pct = value.parse().unwrap_or_else(|_| {
+                eprintln!("FAIL: invalid threshold {value:?}");
+                exit(1);
+            });
+        } else {
+            positional.push(arg.into());
+        }
+    }
+    let Some(baseline_path) = positional.first().cloned() else {
+        eprintln!("usage: compare_bench_json BASELINE [CURRENT] [--threshold PCT]");
+        exit(1);
+    };
+    let current_path = positional
+        .get(1)
+        .cloned()
+        .unwrap_or_else(criterion::default_report_path);
+
+    let base = load(&baseline_path);
+    let cur = load(&current_path);
+    if base.is_empty() {
+        eprintln!("FAIL: baseline {} has no records", baseline_path.display());
+        exit(1);
+    }
+
+    let rows = compare(&base, &cur, threshold_pct);
+    if rows.is_empty() {
+        eprintln!(
+            "FAIL: no benchmark appears in both {} and {}",
+            baseline_path.display(),
+            current_path.display()
+        );
+        exit(1);
+    }
+
+    println!(
+        "comparing {} benchmarks ({} baseline-only, {} new) at threshold {threshold_pct}%",
+        rows.len(),
+        base.len() - rows.len(),
+        cur.len() - rows.len(),
+    );
+    let mut regressions = 0;
+    for row in &rows {
+        let marker = if row.regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if row.delta_pct <= -5.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:9} {}: {} ns -> {} ns ({:+.1}%, MADs {}/{})",
+            marker,
+            row.name,
+            row.base.median_ns,
+            row.cur.median_ns,
+            row.delta_pct,
+            row.base.mad_ns,
+            row.cur.mad_ns
+        );
+    }
+    for c in &cur {
+        if !rows.iter().any(|r| r.name == c.name) {
+            println!("  new       {}: {} ns", c.name, c.median_ns);
+        }
+    }
+    if regressions > 0 {
+        eprintln!("FAIL: {regressions} benchmark(s) regressed beyond {threshold_pct}%");
+        exit(1);
+    }
+    println!("OK: no median regressed beyond {threshold_pct}%");
+}

@@ -23,8 +23,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
 use dcgn_rmpi::{
-    bytes_to_f64s, bytes_to_u32s, f64s_to_bytes, subgroup_tag, u32s_to_bytes, Communicator,
-    ReduceOp, Request as MpiRequest,
+    bytes_to_u32s, frame_reduce, parse_reduce_frame, subgroup_tag, u32s_to_bytes, Communicator,
+    ReduceDtype, ReduceOp, Request as MpiRequest,
 };
 use dcgn_simtime::CostModel;
 
@@ -232,6 +232,10 @@ struct CollectiveId {
     root: Option<usize>,
     /// Reduction operator for reduce/allreduce.
     op: Option<ReduceOp>,
+    /// Element type for reduce/allreduce; part of the identity, so ranks
+    /// disagreeing on the type fail with a collective mismatch instead of
+    /// misinterpreting each other's bytes.
+    dtype: Option<ReduceDtype>,
 }
 
 /// What one joining rank contributes to the collective.
@@ -1105,23 +1109,27 @@ impl CommThread {
         let root = assembly.id.root.expect("reduce is rooted");
         let root_node = self.node_of_root(root)?;
         let op = assembly.id.op.expect("reduce carries an operator");
-        let partial = combine_local_f64(assembly, op)?;
-        let reduced = self.comm.reduce_f64(root_node, &partial, op)?;
+        let dtype = assembly.id.dtype.expect("reduce carries an element type");
+        let partial = combine_local_reduce(assembly, op, dtype)?;
+        let reduced = self.comm.reduce_bytes(root_node, &partial, op, dtype)?;
         Ok(match reduced {
-            Some(values) => ResultSet::RootOnly(
-                root,
-                CollectiveResult::Bytes(Payload::from_vec(f64s_to_bytes(&values))),
-            ),
+            Some(bytes) => {
+                ResultSet::RootOnly(root, CollectiveResult::Bytes(Payload::from_vec(bytes)))
+            }
             None => ResultSet::RootOnly(root, CollectiveResult::Unit),
         })
     }
 
     fn exchange_allreduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
         let op = assembly.id.op.expect("allreduce carries an operator");
-        let partial = combine_local_f64(assembly, op)?;
-        let values = self.comm.allreduce_f64(&partial, op)?;
+        let dtype = assembly
+            .id
+            .dtype
+            .expect("allreduce carries an element type");
+        let partial = combine_local_reduce(assembly, op, dtype)?;
+        let bytes = self.comm.allreduce_bytes(&partial, op, dtype)?;
         Ok(ResultSet::Uniform(CollectiveResult::Bytes(
-            Payload::from_vec(f64s_to_bytes(&values)),
+            Payload::from_vec(bytes),
         )))
     }
 
@@ -1434,27 +1442,29 @@ impl CommThread {
             }
             CollectiveKind::Reduce | CollectiveKind::Allreduce => {
                 let op = id.op.expect("reduction carries an operator");
-                let mut acc: Option<Vec<f64>> = None;
-                // Fold in node order, so the result is deterministic.
+                let dtype = id.dtype.expect("reduction carries an element type");
+                let mut acc: Option<Vec<u8>> = None;
+                // Fold in node order, so the result is deterministic.  Each
+                // up-payload leads with its (op, dtype) identity header.
                 for &node in &group.nodes {
-                    let values =
-                        bytes_to_f64s(payloads.get(&node).map_or(&[][..], |p| p.as_slice()));
+                    let frame = payloads.get(&node).map_or(&[][..], |p| p.as_slice());
+                    let bytes = parse_reduce_frame(frame, op, dtype).map_err(|e| e.to_string())?;
                     match &mut acc {
-                        None => acc = Some(values),
+                        None => acc = Some(bytes.to_vec()),
                         Some(acc) => {
-                            if acc.len() != values.len() {
+                            if acc.len() != bytes.len() {
                                 return Err(format!(
                                     "reduce length mismatch across subgroup nodes: \
                                      node {node} contributed {} values, expected {}",
-                                    values.len(),
-                                    acc.len()
+                                    bytes.len() / dtype.element_bytes(),
+                                    acc.len() / dtype.element_bytes()
                                 ));
                             }
-                            op.apply(acc, &values);
+                            dtype.fold(op, acc, bytes).map_err(|e| e.to_string())?;
                         }
                     }
                 }
-                let result = f64s_to_bytes(&acc.unwrap_or_default());
+                let result = acc.unwrap_or_default();
                 if id.kind == CollectiveKind::Reduce {
                     empty_except(root_node(id.root), result)
                 } else {
@@ -1579,7 +1589,16 @@ impl CommThread {
                 .unwrap_or_default(),
             CollectiveKind::Reduce | CollectiveKind::Allreduce => {
                 let op = assembly.id.op.expect("reduction carries an operator");
-                f64s_to_bytes(&combine_local_f64(assembly, op).map_err(|e| e.to_string())?)
+                let dtype = assembly
+                    .id
+                    .dtype
+                    .expect("reduction carries an element type");
+                // Carry the (op, dtype) identity on the wire: nodes whose
+                // ranks disagree on the reduction fail the whole subgroup
+                // loudly instead of folding reinterpreted bytes.
+                let partial =
+                    combine_local_reduce(assembly, op, dtype).map_err(|e| e.to_string())?;
+                frame_reduce(op, dtype, &partial)
             }
         })
     }
@@ -1648,31 +1667,40 @@ impl CollectiveKind {
 /// Map a collective request onto its communicator, identity and this rank's
 /// contribution.  Point-to-point kinds are a caller bug.
 fn classify_collective(kind: RequestKind) -> Result<(CommId, CollectiveId, Contribution)> {
-    let id = |kind, root, op| CollectiveId { kind, root, op };
+    let id = |kind, root| CollectiveId {
+        kind,
+        root,
+        op: None,
+        dtype: None,
+    };
+    let reduce_id = |kind, root, op, dtype| CollectiveId {
+        kind,
+        root,
+        op: Some(op),
+        dtype: Some(dtype),
+    };
     Ok(match kind {
-        RequestKind::Barrier { comm } => (
-            comm,
-            id(CollectiveKind::Barrier, None, None),
-            Contribution::None,
-        ),
+        RequestKind::Barrier { comm } => {
+            (comm, id(CollectiveKind::Barrier, None), Contribution::None)
+        }
         RequestKind::Broadcast { comm, root, data } => (
             comm,
-            id(CollectiveKind::Broadcast, Some(root), None),
+            id(CollectiveKind::Broadcast, Some(root)),
             data.map_or(Contribution::None, Contribution::Bytes),
         ),
         RequestKind::Gather { comm, root, data } => (
             comm,
-            id(CollectiveKind::Gather, Some(root), None),
+            id(CollectiveKind::Gather, Some(root)),
             Contribution::Bytes(data),
         ),
         RequestKind::Scatter { comm, root, chunks } => (
             comm,
-            id(CollectiveKind::Scatter, Some(root), None),
+            id(CollectiveKind::Scatter, Some(root)),
             chunks.map_or(Contribution::None, Contribution::Chunks),
         ),
         RequestKind::Allgather { comm, data } => (
             comm,
-            id(CollectiveKind::Allgather, None, None),
+            id(CollectiveKind::Allgather, None),
             Contribution::Bytes(data),
         ),
         RequestKind::Reduce {
@@ -1680,19 +1708,31 @@ fn classify_collective(kind: RequestKind) -> Result<(CommId, CollectiveId, Contr
             root,
             data,
             op,
-        } => (
+            dtype,
+        } => {
+            dtype.check_aligned(data.as_slice())?;
+            (
+                comm,
+                reduce_id(CollectiveKind::Reduce, Some(root), op, dtype),
+                Contribution::Bytes(data),
+            )
+        }
+        RequestKind::Allreduce {
             comm,
-            id(CollectiveKind::Reduce, Some(root), Some(op)),
-            Contribution::Bytes(Payload::from_vec(f64s_to_bytes(&data))),
-        ),
-        RequestKind::Allreduce { comm, data, op } => (
-            comm,
-            id(CollectiveKind::Allreduce, None, Some(op)),
-            Contribution::Bytes(Payload::from_vec(f64s_to_bytes(&data))),
-        ),
+            data,
+            op,
+            dtype,
+        } => {
+            dtype.check_aligned(data.as_slice())?;
+            (
+                comm,
+                reduce_id(CollectiveKind::Allreduce, None, op, dtype),
+                Contribution::Bytes(data),
+            )
+        }
         RequestKind::Split { comm, color, key } => (
             comm,
-            id(CollectiveKind::Split, None, None),
+            id(CollectiveKind::Split, None),
             Contribution::Bytes(Payload::from_vec(encode_color_key(color, key))),
         ),
         RequestKind::Send { .. } | RequestKind::Recv { .. } | RequestKind::CommFree { .. } => {
@@ -1712,23 +1752,28 @@ fn parse_color_table(per_rank: &[Vec<u8>]) -> Result<Vec<(u32, u32)>> {
         .ok_or_else(|| DcgnError::Internal("malformed comm_split contribution".into()))
 }
 
-/// Local-combine for reduce/allreduce: fold every joined rank's vector into
-/// one node-level partial.  All contributions must have the same length.
-fn combine_local_f64(assembly: &CollectiveAssembly, op: ReduceOp) -> Result<Vec<f64>> {
-    let mut acc: Option<Vec<f64>> = None;
+/// Local-combine for reduce/allreduce: fold every joined rank's typed vector
+/// (as `dtype` bytes) into one node-level partial.  All contributions must
+/// have the same element count.
+fn combine_local_reduce(
+    assembly: &CollectiveAssembly,
+    op: ReduceOp,
+    dtype: ReduceDtype,
+) -> Result<Vec<u8>> {
+    let mut acc: Option<Vec<u8>> = None;
     for (rank, contribution, _) in &assembly.joined {
-        let values = bytes_to_f64s(contribution.as_bytes());
+        let bytes = contribution.as_bytes();
         match &mut acc {
-            None => acc = Some(values),
+            None => acc = Some(bytes.to_vec()),
             Some(acc) => {
-                if acc.len() != values.len() {
+                if acc.len() != bytes.len() {
                     return Err(DcgnError::InvalidArgument(format!(
                         "reduce length mismatch: rank {rank} contributed {} values, expected {}",
-                        values.len(),
-                        acc.len()
+                        bytes.len() / dtype.element_bytes(),
+                        acc.len() / dtype.element_bytes()
                     )));
                 }
-                op.apply(acc, &values);
+                dtype.fold(op, acc, bytes)?;
             }
         }
     }

@@ -2,13 +2,21 @@
 //!
 //! This is the `dcgn::*` API of the paper's Figure 3: untagged `send`/`recv`
 //! plus collectives, all implemented by relaying requests to the node's
-//! communication thread over a thread-safe queue and blocking on the reply.
+//! communication thread over a thread-safe queue.
+//!
+//! Point-to-point communication is **nonblocking at its core**: `isend` /
+//! `irecv` relay the request and immediately return a [`RequestHandle`]
+//! (an index into a slot-local outstanding-request table, plus a generation
+//! counter so stale handles fail cleanly instead of aliasing a recycled
+//! slot).  Completion is collected with [`CpuCtx::wait`], [`CpuCtx::test`],
+//! [`CpuCtx::waitall`] or [`CpuCtx::waitany`].  The blocking `send`/`recv`
+//! calls are thin `i* + wait` wrappers, so there is exactly one data path.
 
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use dcgn_rmpi::{ReduceElement, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::buffer::Payload;
@@ -16,6 +24,104 @@ use crate::error::{DcgnError, Result};
 use crate::group::{self, Comm, CommId};
 use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
 use crate::rank::RankMap;
+
+/// Handle to an outstanding nonblocking point-to-point operation started
+/// with [`CpuCtx::isend`] or [`CpuCtx::irecv`] (and their variants).
+///
+/// A handle is an index into the issuing rank's outstanding-request table
+/// plus a generation stamp: completing (or failing) a request frees its
+/// table slot for reuse, and the generation guarantees that a stale handle —
+/// waited on twice, or kept across a completed request — is rejected with a
+/// clean error instead of silently observing an unrelated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestHandle {
+    index: u32,
+    gen: u32,
+}
+
+/// What a completed nonblocking operation produced.
+#[derive(Debug)]
+pub enum Completion {
+    /// An `isend` completed: the payload has been accepted for delivery
+    /// (and, for intra-node sends, matched by the receiver).
+    Send,
+    /// An `irecv` completed with a message.
+    Recv {
+        /// Payload bytes.
+        data: Vec<u8>,
+        /// Completion metadata.  `status.source` is a *global* DCGN rank,
+        /// also for receives posted through [`CpuCtx::irecv_in`].
+        status: CommStatus,
+    },
+}
+
+impl Completion {
+    /// True for a completed send.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Completion::Send)
+    }
+
+    /// Extract a completed receive's payload and status (`None` for a send).
+    pub fn into_recv(self) -> Option<(Vec<u8>, CommStatus)> {
+        match self {
+            Completion::Send => None,
+            Completion::Recv { data, status } => Some((data, status)),
+        }
+    }
+}
+
+/// One outstanding request: the reply channel the communication thread will
+/// complete through, plus bookkeeping for diagnostics.
+struct PendingReq {
+    gen: u32,
+    what: &'static str,
+    rx: Receiver<Reply>,
+}
+
+/// The slot-local outstanding-request table behind [`RequestHandle`]s.
+#[derive(Default)]
+struct RequestTable {
+    slots: Vec<Option<PendingReq>>,
+    free: Vec<u32>,
+    next_gen: u32,
+}
+
+impl RequestTable {
+    fn insert(&mut self, what: &'static str, rx: Receiver<Reply>) -> RequestHandle {
+        self.next_gen = self.next_gen.wrapping_add(1);
+        let gen = self.next_gen;
+        let entry = PendingReq { gen, what, rx };
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index as usize] = Some(entry);
+                index
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        RequestHandle { index, gen }
+    }
+
+    /// Remove and return the entry behind a live handle (frees its slot).
+    fn take(&mut self, handle: RequestHandle) -> Option<PendingReq> {
+        let slot = self.slots.get_mut(handle.index as usize)?;
+        if slot.as_ref().is_some_and(|e| e.gen == handle.gen) {
+            self.free.push(handle.index);
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    fn is_live(&self, handle: RequestHandle) -> bool {
+        self.slots
+            .get(handle.index as usize)
+            .and_then(Option::as_ref)
+            .is_some_and(|e| e.gen == handle.gen)
+    }
+}
 
 /// Execution context of one CPU-kernel thread (one DCGN rank).
 pub struct CpuCtx {
@@ -27,6 +133,10 @@ pub struct CpuCtx {
     /// Built once so the world-collective wrappers don't allocate a member
     /// table per call.
     world: Comm,
+    /// Outstanding nonblocking requests.  A mutex only because `CpuCtx` is
+    /// handed out by shared reference; a kernel drives its context from one
+    /// thread, so the lock is never contended.
+    requests: Mutex<RequestTable>,
 }
 
 impl CpuCtx {
@@ -45,6 +155,7 @@ impl CpuCtx {
             cost,
             request_timeout,
             world,
+            requests: Mutex::new(RequestTable::default()),
         }
     }
 
@@ -93,7 +204,7 @@ impl CpuCtx {
         Ok(reply_rx)
     }
 
-    fn wait(&self, reply_rx: &Receiver<Reply>, what: &'static str) -> Result<Reply> {
+    fn wait_reply(&self, reply_rx: &Receiver<Reply>, what: &'static str) -> Result<Reply> {
         // The reply crosses the work queue in the other direction.
         match reply_rx.recv_timeout(self.request_timeout) {
             Ok(reply) => {
@@ -109,18 +220,17 @@ impl CpuCtx {
 
     fn post_and_wait(&self, kind: RequestKind, what: &'static str) -> Result<Reply> {
         let rx = self.post(kind)?;
-        self.wait(&rx, what)
+        self.wait_reply(&rx, what)
     }
 
     // ------------------------------------------------------------------
-    // Point-to-point
+    // Nonblocking point-to-point — the primary data path.  Each i* call
+    // relays one request to the communication thread and files the reply
+    // channel in the outstanding-request table; completion APIs poll or
+    // block on that channel.  The comm thread never blocks the requester:
+    // it writes completions into the (buffered) reply channel whenever
+    // they occur.
     // ------------------------------------------------------------------
-
-    /// Send `data` to DCGN rank `dst` (untagged, like the paper's
-    /// `dcgn::send`).
-    pub fn send(&self, dst: usize, data: &[u8]) -> Result<()> {
-        self.send_tagged(dst, 0, data)
-    }
 
     /// Stage user bytes for a send: remote destinations get framing headroom
     /// so the wire header is written in place instead of copying the body.
@@ -132,23 +242,179 @@ impl CpuCtx {
         }
     }
 
+    /// Start a nonblocking send of `data` to DCGN rank `dst` (untagged).
+    /// The payload is staged immediately, so `data` may be reused as soon as
+    /// this returns; the returned handle must eventually be completed with
+    /// [`CpuCtx::wait`]/[`CpuCtx::test`] (or abandoned — the runtime drains
+    /// abandoned requests at shutdown).
+    pub fn isend(&self, dst: usize, data: &[u8]) -> Result<RequestHandle> {
+        self.isend_tagged(dst, 0, data)
+    }
+
+    /// Start a nonblocking tagged send.
+    pub fn isend_tagged(&self, dst: usize, tag: u32, data: &[u8]) -> Result<RequestHandle> {
+        self.check_rank(dst)?;
+        let rx = self.post(RequestKind::Send {
+            dst,
+            tag,
+            data: self.stage_send(dst, data),
+        })?;
+        Ok(self
+            .requests
+            .lock()
+            .expect("request table")
+            .insert("isend", rx))
+    }
+
+    /// Start a nonblocking send to sub-rank `dst` of `comm`.
+    pub fn isend_in(
+        &self,
+        comm: &Comm,
+        dst: usize,
+        tag: u32,
+        data: &[u8],
+    ) -> Result<RequestHandle> {
+        let global = comm.global_rank(dst).ok_or(DcgnError::InvalidRank(dst))?;
+        self.isend_tagged(global, tag, data)
+    }
+
+    /// Post a nonblocking receive from DCGN rank `src` (untagged).
+    pub fn irecv(&self, src: usize) -> Result<RequestHandle> {
+        self.check_rank(src)?;
+        self.irecv_tagged(Some(src), 0)
+    }
+
+    /// Post a nonblocking receive from any rank (untagged).
+    pub fn irecv_any(&self) -> Result<RequestHandle> {
+        self.irecv_tagged(None, 0)
+    }
+
+    /// Post a nonblocking receive with an explicit source filter and tag.
+    pub fn irecv_tagged(&self, src: Option<usize>, tag: u32) -> Result<RequestHandle> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let rx = self.post(RequestKind::Recv { src, tag })?;
+        Ok(self
+            .requests
+            .lock()
+            .expect("request table")
+            .insert("irecv", rx))
+    }
+
+    /// Post a nonblocking receive from sub-rank `src` of `comm` (or any of
+    /// its members for `None`).  Note: matching is by global rank, and the
+    /// completion's `status.source` is reported as a global rank.
+    pub fn irecv_in(&self, comm: &Comm, src: Option<usize>, tag: u32) -> Result<RequestHandle> {
+        let global = match src {
+            Some(sub) => Some(comm.global_rank(sub).ok_or(DcgnError::InvalidRank(sub))?),
+            None => None,
+        };
+        self.irecv_tagged(global, tag)
+    }
+
+    /// Remove a live table entry, or explain why the handle is dead.
+    fn take_request(&self, handle: RequestHandle) -> Result<PendingReq> {
+        self.requests
+            .lock()
+            .expect("request table")
+            .take(handle)
+            .ok_or_else(|| stale_handle_error(self.rank, handle))
+    }
+
+    /// Block until the operation behind `handle` completes, consuming the
+    /// handle.  Completing a request frees its table slot; waiting on the
+    /// same handle twice fails with a clean invalid-argument error.
+    pub fn wait(&self, handle: RequestHandle) -> Result<Completion> {
+        let entry = self.take_request(handle)?;
+        let reply = self.wait_reply(&entry.rx, entry.what)?;
+        completion_from_reply(reply, entry.what)
+    }
+
+    /// Nonblocking completion check.  Returns `Ok(None)` while the operation
+    /// is still in flight (the handle stays valid); returns the completion —
+    /// consuming the handle — once it is done.
+    pub fn test(&self, handle: RequestHandle) -> Result<Option<Completion>> {
+        let mut table = self.requests.lock().expect("request table");
+        let entry = match table
+            .slots
+            .get(handle.index as usize)
+            .and_then(Option::as_ref)
+        {
+            Some(e) if e.gen == handle.gen => e,
+            _ => return Err(stale_handle_error(self.rank, handle)),
+        };
+        match entry.rx.try_recv() {
+            Ok(reply) => {
+                self.cost.charge_queue_hop();
+                let what = entry.what;
+                table.take(handle);
+                drop(table);
+                completion_from_reply(reply, what).map(Some)
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                table.take(handle);
+                Err(DcgnError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Wait for every handle, returning the completions in argument order.
+    pub fn waitall(&self, handles: &[RequestHandle]) -> Result<Vec<Completion>> {
+        handles.iter().map(|&h| self.wait(h)).collect()
+    }
+
+    /// Wait until *one* of the handles completes; returns its index within
+    /// `handles` and its completion (the other handles stay valid).
+    pub fn waitany(&self, handles: &[RequestHandle]) -> Result<(usize, Completion)> {
+        if handles.is_empty() {
+            return Err(DcgnError::InvalidArgument(
+                "waitany needs at least one request handle".into(),
+            ));
+        }
+        {
+            let table = self.requests.lock().expect("request table");
+            for &h in handles {
+                if !table.is_live(h) {
+                    return Err(stale_handle_error(self.rank, h));
+                }
+            }
+        }
+        let deadline = Instant::now() + self.request_timeout;
+        loop {
+            for (i, &h) in handles.iter().enumerate() {
+                if let Some(done) = self.test(h)? {
+                    return Ok((i, done));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(DcgnError::Internal(format!(
+                    "rank {} timed out in waitany over {} requests",
+                    self.rank,
+                    handles.len()
+                )));
+            }
+            // No completion yet: yield briefly instead of spinning hot.
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking point-to-point — thin `i* + wait` wrappers, so blocking
+    // and nonblocking traffic share one data path.
+    // ------------------------------------------------------------------
+
+    /// Send `data` to DCGN rank `dst` (untagged, like the paper's
+    /// `dcgn::send`).
+    pub fn send(&self, dst: usize, data: &[u8]) -> Result<()> {
+        self.send_tagged(dst, 0, data)
+    }
+
     /// Send with an explicit tag (extension over the paper's API).
     pub fn send_tagged(&self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
-        self.check_rank(dst)?;
-        match self.post_and_wait(
-            RequestKind::Send {
-                dst,
-                tag,
-                data: self.stage_send(dst, data),
-            },
-            "send",
-        )? {
-            Reply::SendDone => Ok(()),
-            Reply::Error(e) => Err(e),
-            other => Err(DcgnError::Internal(format!(
-                "unexpected reply to send: {other:?}"
-            ))),
-        }
+        let handle = self.isend_tagged(dst, tag, data)?;
+        self.wait(handle).map(|_| ())
     }
 
     /// Receive a message from `src` (untagged).  Returns the payload and a
@@ -165,16 +431,10 @@ impl CpuCtx {
 
     /// Receive with an explicit source filter and tag (extension API).
     pub fn recv_tagged(&self, src: Option<usize>, tag: u32) -> Result<(Vec<u8>, CommStatus)> {
-        if let Some(s) = src {
-            self.check_rank(s)?;
-        }
-        match self.post_and_wait(RequestKind::Recv { src, tag }, "recv")? {
-            Reply::RecvDone { data, status } => Ok((data.into_vec(), status)),
-            Reply::Error(e) => Err(e),
-            other => Err(DcgnError::Internal(format!(
-                "unexpected reply to recv: {other:?}"
-            ))),
-        }
+        let handle = self.irecv_tagged(src, tag)?;
+        self.wait(handle)?
+            .into_recv()
+            .ok_or_else(|| DcgnError::Internal("recv completed as a send".into()))
     }
 
     /// Exchange buffers with two (possibly identical) partners: send `buf` to
@@ -187,38 +447,19 @@ impl CpuCtx {
         dst: usize,
         src: usize,
     ) -> Result<CommStatus> {
-        self.check_rank(dst)?;
         self.check_rank(src)?;
-        let send_rx = self.post(RequestKind::Send {
-            dst,
-            tag: 0,
-            data: self.stage_send(dst, buf),
-        })?;
-        let recv_rx = self.post(RequestKind::Recv {
-            src: Some(src),
-            tag: 0,
-        })?;
-        let recv_reply = self.wait(&recv_rx, "sendrecv_replace recv")?;
-        let send_reply = self.wait(&send_rx, "sendrecv_replace send")?;
-        match send_reply {
-            Reply::SendDone => {}
-            Reply::Error(e) => return Err(e),
-            other => {
-                return Err(DcgnError::Internal(format!(
-                    "unexpected reply to sendrecv_replace send: {other:?}"
-                )))
-            }
-        }
-        match recv_reply {
-            Reply::RecvDone { data, status } => {
-                *buf = data.into_vec();
-                Ok(status)
-            }
-            Reply::Error(e) => Err(e),
-            other => Err(DcgnError::Internal(format!(
-                "unexpected reply to sendrecv_replace recv: {other:?}"
-            ))),
-        }
+        let send = self.isend(dst, buf)?;
+        let recv = self.irecv(src)?;
+        // Complete the receive first (it carries the replacement payload);
+        // an intra-node send finishes only once matched, so its wait must
+        // come second.
+        let recv_done = self.wait(recv);
+        self.wait(send)?;
+        let (data, status) = recv_done?
+            .into_recv()
+            .ok_or_else(|| DcgnError::Internal("recv completed as a send".into()))?;
+        *buf = data;
+        Ok(status)
     }
 
     // ------------------------------------------------------------------
@@ -440,8 +681,7 @@ impl CpuCtx {
     /// must contribute vectors of the same length.  Returns `Some(result)`
     /// at the root and `None` elsewhere.
     pub fn reduce(&self, root: usize, data: &[f64], op: ReduceOp) -> Result<Option<Vec<f64>>> {
-        self.check_rank(root)?;
-        self.reduce_in(&self.world, root, data, op)
+        self.reduce_t(root, data, op)
     }
 
     /// Element-wise reduction within `comm` to sub-rank `root`.
@@ -452,17 +692,42 @@ impl CpuCtx {
         data: &[f64],
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>> {
+        self.reduce_t_in(comm, root, data, op)
+    }
+
+    /// Typed element-wise reduction to `root` over any supported element
+    /// type (`f64`, `f32`, `u32`, `i64`).  All ranks of one reduction must
+    /// agree on the element type — a mismatch is a collective mismatch.
+    pub fn reduce_t<T: ReduceElement>(
+        &self,
+        root: usize,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>> {
+        self.check_rank(root)?;
+        self.reduce_t_in(&self.world, root, data, op)
+    }
+
+    /// Typed element-wise reduction within `comm` to sub-rank `root`.
+    pub fn reduce_t_in<T: ReduceElement>(
+        &self,
+        comm: &Comm,
+        root: usize,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>> {
         self.check_comm_root(comm, root)?;
         match self.collective(
             RequestKind::Reduce {
                 comm: comm.id(),
                 root,
-                data: data.to_vec(),
+                data: Payload::from_vec(T::slice_to_bytes(data)),
                 op,
+                dtype: T::DTYPE,
             },
             "reduce",
         )? {
-            CollectiveResult::Bytes(bytes) => Ok(Some(bytes_to_f64s(bytes.as_slice()))),
+            CollectiveResult::Bytes(bytes) => Ok(Some(T::vec_from_bytes(bytes.as_slice()))),
             CollectiveResult::Unit => Ok(None),
             other => Err(DcgnError::Internal(format!(
                 "unexpected reduce result shape: {other:?}"
@@ -472,22 +737,63 @@ impl CpuCtx {
 
     /// Element-wise reduction where every rank receives the result.
     pub fn allreduce(&self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
-        self.allreduce_in(&self.world, data, op)
+        self.allreduce_t(data, op)
     }
 
     /// Element-wise reduction within `comm` delivered to every member.
     pub fn allreduce_in(&self, comm: &Comm, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        self.allreduce_t_in(comm, data, op)
+    }
+
+    /// Typed element-wise reduction delivered to every rank.
+    pub fn allreduce_t<T: ReduceElement>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        self.allreduce_t_in(&self.world, data, op)
+    }
+
+    /// Typed element-wise reduction within `comm` delivered to every member.
+    pub fn allreduce_t_in<T: ReduceElement>(
+        &self,
+        comm: &Comm,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Vec<T>> {
         let result = self.collective(
             RequestKind::Allreduce {
                 comm: comm.id(),
-                data: data.to_vec(),
+                data: Payload::from_vec(T::slice_to_bytes(data)),
                 op,
+                dtype: T::DTYPE,
             },
             "allreduce",
         )?;
-        Ok(bytes_to_f64s(
+        Ok(T::vec_from_bytes(
             Self::expect_bytes(result, "allreduce")?.as_slice(),
         ))
+    }
+}
+
+/// The clean failure for a handle that is stale (already completed, or never
+/// issued by this rank).
+fn stale_handle_error(rank: usize, handle: RequestHandle) -> DcgnError {
+    DcgnError::InvalidArgument(format!(
+        "rank {rank}: request handle {}.{} is not outstanding \
+         (already completed, or not issued by this rank)",
+        handle.index, handle.gen
+    ))
+}
+
+/// Translate a comm-thread reply into the public [`Completion`].
+fn completion_from_reply(reply: Reply, what: &'static str) -> Result<Completion> {
+    match reply {
+        Reply::SendDone => Ok(Completion::Send),
+        Reply::RecvDone { data, status } => Ok(Completion::Recv {
+            data: data.into_vec(),
+            status,
+        }),
+        Reply::Error(e) => Err(e),
+        other => Err(DcgnError::Internal(format!(
+            "unexpected reply to {what}: {other:?}"
+        ))),
     }
 }
 

@@ -10,12 +10,36 @@
 //! to flag the GPU kernel, telling it to continue execution."
 //!
 //! The mailbox region is laid out struct-of-arrays: all per-slot status
-//! words form one contiguous column at the front, followed by the per-slot
-//! request bodies.  A polling sweep therefore issues **one** batched PCI-e
-//! read of the status column (instead of one small read per slot), one
-//! scattered fetch of every `REQUESTED` body, and relays the whole harvest
-//! to the communication thread as a single [`CommCommand::Batch`] paying one
-//! queue hop.
+//! words form one contiguous column at the front, then all per-request
+//! *completion records* (the handshake surface of the nonblocking split
+//! protocol), then the per-slot request bodies.  A polling sweep therefore
+//! issues **one** batched PCI-e read of the status column (instead of one
+//! small read per slot), one scattered fetch of every `REQUESTED` body, one
+//! scattered write acknowledging every harvested slot, and relays the whole
+//! harvest to the communication thread as a single [`CommCommand::Batch`]
+//! paying one queue hop.
+//!
+//! ## The split publish/poll protocol (nonblocking point-to-point)
+//!
+//! A blocking mailbox transaction occupies its slot end to end: publish →
+//! host `IN_PROGRESS` → host `COMPLETE` → release.  [`GpuCtx::isend`] /
+//! [`GpuCtx::irecv`] instead split the transaction in two:
+//!
+//! 1. **Publish** — the kernel claims a per-request *completion record*
+//!    (device-side CAS `FREE → PENDING`), writes the request body with the
+//!    record's index and the `ISEND`/`IRECV` opcode, flips the slot status
+//!    to `REQUESTED` and **returns immediately** with a [`GpuRequest`].
+//!    The host's next sweep pulls the body, relays it, and acknowledges the
+//!    mailbox straight back to `EMPTY` — the slot can publish again while
+//!    the transfer is still in flight.
+//! 2. **Poll/complete** — when the communication thread completes the
+//!    request, the host writes the record's result fields and flips its
+//!    completion word to `DONE` (never blocking the requester).
+//!    [`GpuCtx::test`] reads that word once; [`GpuCtx::wait`] spins on it
+//!    device-side.  Harvesting a completion releases the record (`FREE`).
+//!
+//! Compute issued between publish and wait overlaps the entire host relay
+//! and wire time — the latency-hiding DCGN's in-kernel messaging exists for.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -23,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dcgn_dpm::{BlockCtx, Device, DevicePtr, KernelHandle};
-use dcgn_rmpi::{bytes_to_f64s, ReduceOp};
+use dcgn_rmpi::{ReduceDtype, ReduceOp};
 use dcgn_simtime::CostModel;
 
 use crate::buffer::{Payload, PayloadBuf};
@@ -41,12 +65,23 @@ use crate::rank::RankMap;
 /// with a single batched read.
 pub const MAILBOX_STATUS_BYTES: usize = 4;
 
-/// Bytes of one slot's request body, stored after the status column.
+/// Maximum nonblocking requests a slot can have outstanding at once (the
+/// depth of its completion-record column).
+pub const MAILBOX_REQS_PER_SLOT: usize = 4;
+
+/// Bytes of one per-request completion record:
+/// `[state u32][error u32][result_len u32][result_src u32]`.
+pub const MAILBOX_COMPLETION_BYTES: usize = 16;
+
+/// Bytes of one slot's request body, stored after the completion columns.
 pub const MAILBOX_BODY_BYTES: usize = 64;
 
 /// Total bytes of the mailbox region for `slots` slots.
 pub fn mailbox_region_bytes(slots: usize) -> usize {
-    slots * (MAILBOX_STATUS_BYTES + MAILBOX_BODY_BYTES)
+    slots
+        * (MAILBOX_STATUS_BYTES
+            + MAILBOX_REQS_PER_SLOT * MAILBOX_COMPLETION_BYTES
+            + MAILBOX_BODY_BYTES)
 }
 
 /// Offset of `slot`'s status word within the mailbox region.
@@ -54,9 +89,45 @@ fn status_offset(slot: usize) -> usize {
     slot * MAILBOX_STATUS_BYTES
 }
 
+/// Offset of `slot`'s `req`-th completion record within the mailbox region.
+fn completion_offset(slots: usize, slot: usize, req: usize) -> usize {
+    slots * MAILBOX_STATUS_BYTES + (slot * MAILBOX_REQS_PER_SLOT + req) * MAILBOX_COMPLETION_BYTES
+}
+
 /// Offset of `slot`'s request body within the mailbox region.
 fn body_offset(slots: usize, slot: usize) -> usize {
-    slots * MAILBOX_STATUS_BYTES + slot * MAILBOX_BODY_BYTES
+    slots * (MAILBOX_STATUS_BYTES + MAILBOX_REQS_PER_SLOT * MAILBOX_COMPLETION_BYTES)
+        + slot * MAILBOX_BODY_BYTES
+}
+
+// Field offsets within a completion record.  The host writes the result
+// fields first and flips `state` to `DONE` in a separate transfer, so a
+// kernel that observes `DONE` always reads consistent fields.
+const COMP_STATE: usize = 0;
+const COMP_ERROR: usize = 4;
+const COMP_RESULT_LEN: usize = 8;
+const COMP_RESULT_SRC: usize = 12;
+
+/// States of a per-request completion word (its low 2 bits; the remaining
+/// 30 bits carry the record's claim *generation*, bumped on every claim, so
+/// a stale [`GpuRequest`] — waited on twice, or kept past completion — is
+/// detected and faults instead of spinning forever or stealing a newer
+/// request's completion).
+pub mod req_state {
+    /// The record is unused; a kernel may claim it (device-side CAS).
+    pub const FREE: u32 = 0;
+    /// A request is published or in flight under this record.
+    pub const PENDING: u32 = 1;
+    /// The host has completed the request; result fields are valid.
+    pub const DONE: u32 = 2;
+}
+
+/// Mask of the generation bits within a completion word.
+const REQ_GEN_MASK: u32 = u32::MAX >> 2;
+
+/// Compose a completion word from a claim generation and a state.
+fn req_word(gen: u32, state: u32) -> u32 {
+    (gen << 2) | state
 }
 
 /// Mailbox status values (`status` word of an entry).
@@ -103,9 +174,17 @@ pub mod opcode {
     /// analogue); the comm thread evicts the group once every local member
     /// has freed it.
     pub const FREE: u32 = 12;
+    /// Nonblocking point-to-point send (split publish/poll protocol): the
+    /// body's `peer2` word names the completion record the host will flip to
+    /// `DONE`; the mailbox itself is acknowledged back to `EMPTY` at harvest.
+    pub const ISEND: u32 = 13;
+    /// Nonblocking point-to-point receive (split publish/poll protocol).
+    pub const IRECV: u32 = 14;
 }
 
-/// Wire encoding of [`ReduceOp`] in the mailbox `reduce_op` field.
+/// Wire encoding of [`ReduceOp`] in the low byte of the mailbox `reduce_op`
+/// field; the element type ([`ReduceDtype`]) rides in the second byte (see
+/// [`reduce_dtype_code`]).
 pub mod reduce_op_code {
     /// Element-wise sum.
     pub const SUM: u32 = 0;
@@ -115,21 +194,50 @@ pub mod reduce_op_code {
     pub const MAX: u32 = 2;
 }
 
-fn encode_reduce_op(op: ReduceOp) -> u32 {
-    match op {
+/// Wire encoding of [`ReduceDtype`] in bits 8..16 of the mailbox `reduce_op`
+/// field.  `F64` is 0, so pre-typed kernels that wrote a bare operator code
+/// keep their historical `f64` meaning.
+pub mod reduce_dtype_code {
+    /// 64-bit IEEE float (the historical default).
+    pub const F64: u32 = 0;
+    /// 32-bit IEEE float.
+    pub const F32: u32 = 1;
+    /// 32-bit unsigned integer.
+    pub const U32: u32 = 2;
+    /// 64-bit signed integer.
+    pub const I64: u32 = 3;
+}
+
+fn encode_reduce_word(op: ReduceOp, dtype: ReduceDtype) -> u32 {
+    let op = match op {
         ReduceOp::Sum => reduce_op_code::SUM,
         ReduceOp::Min => reduce_op_code::MIN,
         ReduceOp::Max => reduce_op_code::MAX,
-    }
+    };
+    let dtype = match dtype {
+        ReduceDtype::F64 => reduce_dtype_code::F64,
+        ReduceDtype::F32 => reduce_dtype_code::F32,
+        ReduceDtype::U32 => reduce_dtype_code::U32,
+        ReduceDtype::I64 => reduce_dtype_code::I64,
+    };
+    op | (dtype << 8)
 }
 
-fn decode_reduce_op(code: u32) -> Option<ReduceOp> {
-    match code {
-        reduce_op_code::SUM => Some(ReduceOp::Sum),
-        reduce_op_code::MIN => Some(ReduceOp::Min),
-        reduce_op_code::MAX => Some(ReduceOp::Max),
-        _ => None,
-    }
+fn decode_reduce_word(word: u32) -> Option<(ReduceOp, ReduceDtype)> {
+    let op = match word & 0xFF {
+        reduce_op_code::SUM => ReduceOp::Sum,
+        reduce_op_code::MIN => ReduceOp::Min,
+        reduce_op_code::MAX => ReduceOp::Max,
+        _ => return None,
+    };
+    let dtype = match (word >> 8) & 0xFF {
+        reduce_dtype_code::F64 => ReduceDtype::F64,
+        reduce_dtype_code::F32 => ReduceDtype::F32,
+        reduce_dtype_code::U32 => ReduceDtype::U32,
+        reduce_dtype_code::I64 => ReduceDtype::I64,
+        _ => return None,
+    };
+    (word >> 16 == 0).then_some((op, dtype))
 }
 
 /// Peer value meaning "any source".
@@ -363,6 +471,191 @@ impl<'a> GpuCtx<'a> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Nonblocking point-to-point: the split publish/poll protocol (see the
+    // module docs).  `isend`/`irecv` return as soon as the request record
+    // is published; the kernel keeps computing and collects the completion
+    // later with `test`/`wait`, which poll the request's completion word in
+    // device memory — no further host round trip.
+    // ------------------------------------------------------------------
+
+    fn completion_ptr(&self, slot: usize, req: usize) -> DevicePtr {
+        self.layout
+            .mailbox_base
+            .add(completion_offset(self.layout.slots, slot, req))
+    }
+
+    /// Publish phase: claim a completion record and the slot's mailbox,
+    /// write the request body (carrying the record index in `peer2` and the
+    /// claim generation in the `reduce_op` word, unused by point-to-point)
+    /// and flip the status to `REQUESTED`.  Returns without waiting for the
+    /// host — the mailbox is acknowledged back to `EMPTY` at harvest, so a
+    /// follow-up publish on the same slot only ever waits one sweep, not a
+    /// full transfer.
+    fn publish_async(
+        &self,
+        slot: usize,
+        op: u32,
+        peer: u32,
+        aux: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> GpuRequest {
+        // Bound on fruitless claim passes (~50 µs nap each).  All records
+        // staying unclaimable this long means their owners never harvest —
+        // typically this very kernel publishing past MAILBOX_REQS_PER_SLOT
+        // outstanding requests, which no host progress can ever unblock.
+        const CLAIM_NAP_LIMIT: u32 = 100_000;
+
+        let b = self.block;
+        // Claim a free completion record (bounded per-slot concurrency:
+        // with all MAILBOX_REQS_PER_SLOT records in flight, publish waits
+        // until one is harvested).  Each claim bumps the record's
+        // generation, so handles from earlier claims go stale.
+        let mut naps = 0u32;
+        let (index, gen) = 'claim: loop {
+            for req in 0..MAILBOX_REQS_PER_SLOT {
+                let ptr = self.completion_ptr(slot, req);
+                let word = b.read_u32(ptr);
+                if word & 0b11 == req_state::FREE {
+                    let gen = (word >> 2).wrapping_add(1) & REQ_GEN_MASK;
+                    if b.atomic_cas_u32(ptr, word, req_word(gen, req_state::PENDING)) == word {
+                        break 'claim (req, gen);
+                    }
+                }
+            }
+            naps += 1;
+            assert!(
+                naps <= CLAIM_NAP_LIMIT,
+                "slot {slot} on device {}: all {MAILBOX_REQS_PER_SLOT} completion records \
+                 stayed in flight — did this kernel publish more than \
+                 MAILBOX_REQS_PER_SLOT requests without test()/wait()ing any?",
+                b.device_id()
+            );
+            b.nap();
+        };
+        let status_ptr = self.status_ptr(slot);
+        let body_ptr = self.body_ptr(slot);
+        while b.atomic_cas_u32(status_ptr, status::EMPTY, status::CLAIMED) != status::EMPTY {
+            b.nap();
+        }
+        let mut body = [0u8; MAILBOX_BODY_BYTES];
+        body[BODY_OPCODE..BODY_OPCODE + 4].copy_from_slice(&op.to_le_bytes());
+        body[BODY_PEER..BODY_PEER + 4].copy_from_slice(&peer.to_le_bytes());
+        body[BODY_PEER2..BODY_PEER2 + 4].copy_from_slice(&(index as u32).to_le_bytes());
+        body[BODY_AUX..BODY_AUX + 4].copy_from_slice(&aux.to_le_bytes());
+        body[BODY_REDUCE_OP..BODY_REDUCE_OP + 4].copy_from_slice(&gen.to_le_bytes());
+        body[BODY_DATA_PTR..BODY_DATA_PTR + 8]
+            .copy_from_slice(&(data.offset() as u64).to_le_bytes());
+        body[BODY_LEN..BODY_LEN + 8].copy_from_slice(&(len as u64).to_le_bytes());
+        b.write(body_ptr, &body);
+        b.write_u32(status_ptr, status::REQUESTED);
+        GpuRequest { slot, index, gen }
+    }
+
+    /// Start a nonblocking send of `len` device bytes at `data` to DCGN rank
+    /// `dst`.  Returns immediately; the buffer must stay unmodified until
+    /// the returned request completes ([`GpuCtx::wait`]/[`GpuCtx::test`]).
+    pub fn isend(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) -> GpuRequest {
+        self.publish_async(slot, opcode::ISEND, dst as u32, 0, data, len)
+    }
+
+    /// Post a nonblocking receive from DCGN rank `src` into `len` bytes of
+    /// device memory at `data`.  The buffer must not be read until the
+    /// request completes.
+    pub fn irecv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> GpuRequest {
+        self.publish_async(slot, opcode::IRECV, src as u32, 0, data, len)
+    }
+
+    /// Post a nonblocking receive from any rank.
+    pub fn irecv_any(&self, slot: usize, data: DevicePtr, len: usize) -> GpuRequest {
+        self.publish_async(slot, opcode::IRECV, PEER_ANY, 0, data, len)
+    }
+
+    /// Poll phase, nonblocking: returns the completion status once the host
+    /// has flipped the request's completion word to `DONE`, releasing the
+    /// record; returns `None` while the request is still in flight.
+    ///
+    /// # Panics
+    /// Panics (like the blocking calls) when the request completed with a
+    /// mailbox error, and on a *stale* handle — one already harvested (the
+    /// record's generation moved on), which on the CPU side is the clean
+    /// `InvalidArgument` error.
+    pub fn test(&self, req: GpuRequest) -> Option<CommStatus> {
+        let ptr = self.completion_ptr(req.slot, req.index);
+        let word = self.block.read_u32(ptr.add(COMP_STATE));
+        if word == req_word(req.gen, req_state::PENDING) {
+            return None;
+        }
+        self.check_fresh(req, word);
+        Some(self.harvest_completion(req, ptr))
+    }
+
+    /// Poll phase, blocking: spin on the request's completion word (pure
+    /// device-side wait — the host writes the word via its regular sweep)
+    /// and return the completion status.
+    ///
+    /// # Panics
+    /// Panics on a mailbox error or a stale handle (see [`GpuCtx::test`]).
+    pub fn wait(&self, req: GpuRequest) -> CommStatus {
+        let ptr = self.completion_ptr(req.slot, req.index);
+        // Same escalation as `BlockCtx::wait_for_u32` (yield first, decay to
+        // sleeping), but generation-checked so a stale handle faults instead
+        // of spinning forever.
+        const SPIN_YIELDS: u32 = 128;
+        let pending = req_word(req.gen, req_state::PENDING);
+        let mut polls = 0u32;
+        let mut sleep = Duration::from_micros(2);
+        loop {
+            let word = self.block.read_u32(ptr.add(COMP_STATE));
+            if word != pending {
+                self.check_fresh(req, word);
+                break;
+            }
+            polls += 1;
+            if polls <= SPIN_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(sleep);
+                sleep = (sleep * 2).min(Duration::from_micros(50));
+            }
+        }
+        self.harvest_completion(req, ptr)
+    }
+
+    /// Fault on a completion word that no longer belongs to `req` (its
+    /// record was released and possibly reclaimed): the handle is stale.
+    fn check_fresh(&self, req: GpuRequest, word: u32) {
+        if word != req_word(req.gen, req_state::DONE) {
+            panic!(
+                "stale GpuRequest {}.{}.{} on device {} block {}: its completion record \
+                 was already harvested (word is now {word:#x}) — was the request waited \
+                 on twice?",
+                req.slot,
+                req.index,
+                req.gen,
+                self.block.device_id(),
+                self.block.block_id()
+            );
+        }
+    }
+
+    /// Read a `DONE` record's result fields and release the record, keeping
+    /// its generation so the next claim bumps it.
+    fn harvest_completion(&self, req: GpuRequest, ptr: DevicePtr) -> CommStatus {
+        let b = self.block;
+        let error = b.read_u32(ptr.add(COMP_ERROR));
+        let len = b.read_u32(ptr.add(COMP_RESULT_LEN)) as usize;
+        let source = b.read_u32(ptr.add(COMP_RESULT_SRC)) as usize;
+        b.write_u32(ptr.add(COMP_STATE), req_word(req.gen, req_state::FREE));
+        self.check(error, "wait");
+        CommStatus {
+            source,
+            tag: 0,
+            len,
+        }
+    }
+
     /// Barrier across every DCGN rank, entered by this slot.
     pub fn barrier(&self, slot: usize) {
         self.barrier_in(slot, &self.world_comm(slot));
@@ -538,16 +831,46 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         count: usize,
     ) -> usize {
+        self.reduce_dtype_in(slot, comm, root, op, ReduceDtype::F64, data, count)
+    }
+
+    /// Typed element-wise reduction of `count` elements of `dtype` at `data`
+    /// to DCGN rank `root` (`f64`, `f32`, `u32` or `i64`; the element type is
+    /// carried in the mailbox op-code word next to the operator).
+    pub fn reduce_dtype(
+        &self,
+        slot: usize,
+        root: usize,
+        op: ReduceOp,
+        dtype: ReduceDtype,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
+        self.reduce_dtype_in(slot, &self.world_comm(slot), root, op, dtype, data, count)
+    }
+
+    /// Typed element-wise reduction within `comm` to sub-rank `root`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce_dtype_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        root: usize,
+        op: ReduceOp,
+        dtype: ReduceDtype,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
         let (got, _, err) = self.transact(
             slot,
             opcode::REDUCE,
             root as u32,
             comm.rank as u32,
             comm.size as u32,
-            encode_reduce_op(op),
+            encode_reduce_word(op, dtype),
             comm.id,
             data,
-            count * 8,
+            count * dtype.element_bytes(),
         );
         self.check(err, "reduce");
         got
@@ -569,16 +892,42 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         count: usize,
     ) -> usize {
+        self.allreduce_dtype_in(slot, comm, op, ReduceDtype::F64, data, count)
+    }
+
+    /// Typed element-wise reduction with every rank receiving the result.
+    pub fn allreduce_dtype(
+        &self,
+        slot: usize,
+        op: ReduceOp,
+        dtype: ReduceDtype,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
+        self.allreduce_dtype_in(slot, &self.world_comm(slot), op, dtype, data, count)
+    }
+
+    /// Typed element-wise reduction within `comm` delivered to every member.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allreduce_dtype_in(
+        &self,
+        slot: usize,
+        comm: &GpuComm,
+        op: ReduceOp,
+        dtype: ReduceDtype,
+        data: DevicePtr,
+        count: usize,
+    ) -> usize {
         let (got, _, err) = self.transact(
             slot,
             opcode::ALLREDUCE,
             0,
             comm.rank as u32,
             comm.size as u32,
-            encode_reduce_op(op),
+            encode_reduce_word(op, dtype),
             comm.id,
             data,
-            count * 8,
+            count * dtype.element_bytes(),
         );
         self.check(err, "allreduce");
         got
@@ -690,6 +1039,26 @@ impl<'a> GpuCtx<'a> {
     }
 }
 
+/// Handle to an outstanding nonblocking device-side operation started with
+/// [`GpuCtx::isend`]/[`GpuCtx::irecv`]: the slot it was published through
+/// and the index of its completion record within that slot's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuRequest {
+    slot: usize,
+    index: usize,
+    /// The completion record's claim generation at publish time; completion
+    /// words are generation-stamped, so a handle outliving its record's
+    /// release is detected as stale.
+    gen: u32,
+}
+
+impl GpuRequest {
+    /// The slot this request was published through.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
 /// A GPU slot's handle onto a communicator created with [`GpuCtx::split`]:
 /// the group id, this slot's sub-rank, the group size, and the device
 /// address of the member table (sub-rank → global rank, readable with
@@ -775,6 +1144,10 @@ pub struct GpuPollStats {
     /// Batched PCI-e fetches of `REQUESTED` bodies (one covers every slot
     /// harvested in the sweep).
     pub batched_entry_reads: u64,
+    /// Batched PCI-e writes acknowledging harvested slots (`IN_PROGRESS` for
+    /// one-shot requests, `EMPTY` for split-protocol ones) — one covers
+    /// every slot harvested in the sweep, mirroring the batched reads.
+    pub batched_status_writes: u64,
     /// Sweeps whose preceding sleep ran at a backed-off (longer than base)
     /// interval — nonzero only when [`dcgn_simtime::CostModel::poll_backoff`]
     /// is enabled and the GPU went idle.
@@ -810,7 +1183,19 @@ struct PendingSlotOp {
     /// True when the device already holds the result bytes (broadcast at the
     /// root), so no PCI-e write-back is needed.
     skip_writeback: bool,
+    /// `Some((record index, claim generation))` for split-protocol
+    /// (`ISEND`/`IRECV`) requests: the completion is written into the
+    /// slot's per-request record instead of the slot body, and the mailbox
+    /// was already acknowledged back to `EMPTY` at harvest.
+    async_req: Option<(usize, u32)>,
 }
+
+/// Key of an in-flight request: the slot, plus its completion record's
+/// `(index, generation)` for split-protocol requests (`None` marks the
+/// slot's single blocking transaction).  One slot can have a blocking
+/// transaction *or* up to [`MAILBOX_REQS_PER_SLOT`] nonblocking requests in
+/// flight.
+type PendingKey = (usize, Option<(usize, u32)>);
 
 impl PendingSlotOp {
     /// Poll the outstanding reply channels; returns true once every reply has
@@ -869,6 +1254,7 @@ struct SweepCounters {
     requests: u64,
     batched_status_reads: u64,
     batched_entry_reads: u64,
+    batched_status_writes: u64,
     backoff_sleeps: u64,
 }
 
@@ -959,6 +1345,18 @@ impl GpuKernelThread {
         let mut max_len = len;
         let mut unit_len = 0;
         let mut skip_writeback = false;
+        let mut async_req = None;
+        // Split-protocol requests carry their completion-record index in the
+        // `peer2` word.
+        let check_req_index = || -> Result<usize> {
+            let index = peer2 as usize;
+            if index >= MAILBOX_REQS_PER_SLOT {
+                return Err(DcgnError::Internal(format!(
+                    "completion record {index} out of range on slot {slot}"
+                )));
+            }
+            Ok(index)
+        };
 
         let mut reply_rxs = Vec::with_capacity(2);
         match op {
@@ -1060,25 +1458,26 @@ impl GpuKernelThread {
                 ));
             }
             opcode::REDUCE | opcode::ALLREDUCE => {
-                let op_kind = decode_reduce_op(reduce_op).ok_or_else(|| {
+                let (op_kind, dtype) = decode_reduce_word(reduce_op).ok_or_else(|| {
                     DcgnError::Internal(format!(
-                        "unknown reduce-op code {reduce_op} on slot {slot}"
+                        "unknown reduce op/dtype word {reduce_op:#x} on slot {slot}"
                     ))
                 })?;
-                let bytes = self.device.memcpy_dtoh_vec(data_ptr, len)?;
-                let data = bytes_to_f64s(&bytes);
+                let data = self.pull_payload(data_ptr, len, false)?;
                 let kind = if op == opcode::REDUCE {
                     RequestKind::Reduce {
                         comm,
                         root: peer as usize,
                         data,
                         op: op_kind,
+                        dtype,
                     }
                 } else {
                     RequestKind::Allreduce {
                         comm,
                         data,
                         op: op_kind,
+                        dtype,
                     }
                 };
                 reply_rxs.push(self.stage_request(slot, kind, batch));
@@ -1098,6 +1497,41 @@ impl GpuKernelThread {
             }
             opcode::FREE => {
                 reply_rxs.push(self.stage_request(slot, RequestKind::CommFree { comm }, batch));
+            }
+            opcode::ISEND => {
+                // Publish phase of the split protocol: the payload leaves
+                // device memory here, so the mailbox can be acknowledged
+                // straight back to EMPTY and the slot reused while the
+                // transfer is in flight.
+                async_req = Some((check_req_index()?, reduce_op));
+                let dst = peer as usize;
+                let data = self.pull_payload(data_ptr, len, self.is_remote(dst))?;
+                reply_rxs.push(self.stage_request(
+                    slot,
+                    RequestKind::Send {
+                        dst,
+                        tag: aux,
+                        data,
+                    },
+                    batch,
+                ));
+            }
+            opcode::IRECV => {
+                // For split-protocol requests the `reduce_op` body word
+                // carries the record's claim generation instead.
+                async_req = Some((check_req_index()?, reduce_op));
+                reply_rxs.push(self.stage_request(
+                    slot,
+                    RequestKind::Recv {
+                        src: if peer == PEER_ANY {
+                            None
+                        } else {
+                            Some(peer as usize)
+                        },
+                        tag: aux,
+                    },
+                    batch,
+                ));
             }
             opcode::SENDRECV_REPLACE => {
                 // Two requests relayed together: the outbound copy of the
@@ -1139,7 +1573,62 @@ impl GpuKernelThread {
             max_len,
             unit_len,
             skip_writeback,
+            async_req,
         })
+    }
+
+    /// Write the completion of a split-protocol request into its per-request
+    /// record: result fields first, then the completion word flip to `DONE`
+    /// (the kernel's `test`/`wait` spin on that word).
+    fn complete_async(
+        &self,
+        slot: usize,
+        req: usize,
+        gen: u32,
+        pending: &mut PendingSlotOp,
+    ) -> Result<()> {
+        let mut error = mailbox_error::OK;
+        let mut result_len = 0u32;
+        let mut result_src = 0u32;
+        for reply in pending.replies.drain(..) {
+            match reply {
+                Reply::SendDone => {}
+                Reply::RecvDone { data, status } => {
+                    if data.len() > pending.max_len {
+                        error = mailbox_error::TRUNCATED;
+                    } else {
+                        self.device.memcpy_htod(pending.data_ptr, data.as_slice())?;
+                        result_len = data.len() as u32;
+                        result_src = status.source as u32;
+                    }
+                }
+                Reply::Error(e) => {
+                    error = match e {
+                        DcgnError::Truncated { .. } => mailbox_error::TRUNCATED,
+                        DcgnError::InvalidRank(_) => mailbox_error::INVALID_RANK,
+                        DcgnError::ShuttingDown => mailbox_error::SHUTDOWN,
+                        _ => mailbox_error::OTHER,
+                    };
+                }
+                other => {
+                    return Err(DcgnError::Internal(format!(
+                        "unexpected reply to a split-protocol request: {other:?}"
+                    )))
+                }
+            }
+        }
+        let record = self
+            .layout
+            .mailbox_base
+            .add(completion_offset(self.layout.slots, slot, req));
+        let mut fields = [0u8; 12];
+        fields[0..4].copy_from_slice(&error.to_le_bytes());
+        fields[4..8].copy_from_slice(&result_len.to_le_bytes());
+        fields[8..12].copy_from_slice(&result_src.to_le_bytes());
+        self.device.memcpy_htod(record.add(COMP_ERROR), &fields)?;
+        self.device
+            .write_u32(record.add(COMP_STATE), req_word(gen, req_state::DONE))?;
+        Ok(())
     }
 
     /// Write the collected replies of a completed slot operation back into
@@ -1219,32 +1708,41 @@ impl GpuKernelThread {
     }
 
     /// One polling sweep: complete finished slot operations, then harvest
-    /// every newly `REQUESTED` slot with one batched status-column read plus
-    /// one scattered body fetch, relaying the harvest as a single
-    /// [`CommCommand::Batch`].  Returns true when the sweep did any work.
+    /// every newly `REQUESTED` slot with one batched status-column read, one
+    /// scattered body fetch and one scattered acknowledgement write
+    /// (`IN_PROGRESS` for blocking transactions, `EMPTY` for split-protocol
+    /// publishes), relaying the harvest as a single [`CommCommand::Batch`].
+    /// Returns true when the sweep did any work.
     fn sweep(
         &self,
-        pending: &mut HashMap<usize, PendingSlotOp>,
+        pending: &mut HashMap<PendingKey, PendingSlotOp>,
         counters: &mut SweepCounters,
     ) -> Result<bool> {
         let mut did_work = false;
 
         // Completions: requests whose replies have all arrived from the
-        // comm thread get written back to device memory.
-        let done: Vec<usize> = pending
+        // comm thread get written back to device memory — into the slot body
+        // (blocking) or the per-request completion record (split protocol).
+        let done: Vec<PendingKey> = pending
             .iter_mut()
-            .filter_map(|(&slot, op)| op.poll().then_some(slot))
+            .filter_map(|(&key, op)| op.poll().then_some(key))
             .collect();
-        for slot in done {
+        for key in done {
             self.cost.charge_queue_hop();
-            let mut op = pending.remove(&slot).expect("selected above");
-            self.complete_request(slot, &mut op)?;
+            let mut op = pending.remove(&key).expect("selected above");
+            match key.1 {
+                Some((req, gen)) => self.complete_async(key.0, req, gen, &mut op)?,
+                None => self.complete_request(key.0, &mut op)?,
+            }
             did_work = true;
         }
 
         // New requests: one batched PCI-e read covers every slot's status
-        // word.  Skipped entirely while every slot is already in flight.
-        if pending.len() < self.layout.slots {
+        // word.  Skipped entirely while every slot has a blocking
+        // transaction in flight (split-protocol slots can publish again, so
+        // they keep the scan alive).
+        let blocked_slots = pending.keys().filter(|(_, req)| req.is_none()).count();
+        if blocked_slots < self.layout.slots {
             let statuses = self
                 .device
                 .read_u32s(self.layout.mailbox_base, self.layout.slots)?;
@@ -1252,7 +1750,9 @@ impl GpuKernelThread {
             let requested: Vec<usize> = statuses
                 .iter()
                 .enumerate()
-                .filter(|&(slot, &st)| st == status::REQUESTED && !pending.contains_key(&slot))
+                .filter(|&(slot, &st)| {
+                    st == status::REQUESTED && !pending.contains_key(&(slot, None))
+                })
                 .map(|(slot, _)| slot)
                 .collect();
             if !requested.is_empty() {
@@ -1264,13 +1764,29 @@ impl GpuKernelThread {
                 let bodies = self.device.memcpy_dtoh_scattered(&ranges)?;
                 counters.batched_entry_reads += 1;
                 let mut batch = Vec::new();
+                let mut acks: Vec<(DevicePtr, u32)> = Vec::with_capacity(requested.len());
                 for (&slot, body) in requested.iter().zip(&bodies) {
-                    self.device
-                        .write_u32(self.status_ptr(slot), status::IN_PROGRESS)?;
                     let op = self.decode_request(slot, body, &mut batch)?;
-                    pending.insert(slot, op);
+                    // Split-protocol publishes are acknowledged straight back
+                    // to EMPTY (their payload/body is already harvested), so
+                    // the slot can publish again while this request flies.
+                    let ack = if op.async_req.is_some() {
+                        status::EMPTY
+                    } else {
+                        status::IN_PROGRESS
+                    };
+                    acks.push((self.status_ptr(slot), ack));
+                    if pending.insert((slot, op.async_req), op).is_some() {
+                        return Err(DcgnError::Internal(format!(
+                            "slot {slot} republished a completion record still in flight"
+                        )));
+                    }
                     counters.requests += 1;
                 }
+                // One scattered write acknowledges the whole harvest — the
+                // write-side mirror of the batched status read.
+                self.device.write_u32s_scattered(&acks)?;
+                counters.batched_status_writes += 1;
                 // The whole harvest crosses the work queue as one command.
                 self.cost.charge_queue_hop();
                 self.work_tx
@@ -1285,12 +1801,20 @@ impl GpuKernelThread {
     /// Run the sleep-based polling loop until the kernel has retired and all
     /// outstanding slot requests have been completed.
     pub fn run(&self, handle: &KernelHandle) -> Result<GpuPollStats> {
+        /// How long after kernel retirement the loop keeps servicing
+        /// split-protocol requests the kernel abandoned (published but never
+        /// waited on) before giving up with an error.  Legitimate in-flight
+        /// completions land well within this; an irrecoverable request (e.g.
+        /// an `irecv` nothing will ever match) must not hang the launch.
+        const ABANDONED_GRACE: Duration = Duration::from_secs(5);
+
         let started = Instant::now();
         let mut busy = Duration::ZERO;
         let mut counters = SweepCounters::default();
-        let mut pending: HashMap<usize, PendingSlotOp> = HashMap::new();
+        let mut pending: HashMap<PendingKey, PendingSlotOp> = HashMap::new();
         let base = self.cost.poll_interval;
         let mut interval = base;
+        let mut retired_at: Option<Instant> = None;
 
         loop {
             if pending.is_empty() {
@@ -1327,8 +1851,27 @@ impl GpuKernelThread {
                 base
             };
 
-            if handle.is_done() && pending.is_empty() && !did_work {
-                break;
+            if handle.is_done() {
+                if pending.is_empty() {
+                    if !did_work {
+                        break;
+                    }
+                } else {
+                    // Only split-protocol requests can outlive the kernel (a
+                    // blocking transaction pins its block in `wait_for_u32`).
+                    let since = *retired_at.get_or_insert_with(Instant::now);
+                    if did_work {
+                        retired_at = Some(Instant::now());
+                    } else if since.elapsed() > ABANDONED_GRACE {
+                        return Err(DcgnError::Internal(format!(
+                            "GPU {}:{} kernel retired with {} abandoned nonblocking \
+                             request(s) that never completed",
+                            self.layout.node,
+                            self.layout.gpu_index,
+                            pending.len()
+                        )));
+                    }
+                }
             }
         }
         Ok(GpuPollStats {
@@ -1338,6 +1881,7 @@ impl GpuKernelThread {
             requests: counters.requests,
             batched_status_reads: counters.batched_status_reads,
             batched_entry_reads: counters.batched_entry_reads,
+            batched_status_writes: counters.batched_status_writes,
             backoff_sleeps: counters.backoff_sleeps,
             busy,
             wall: started.elapsed(),
@@ -1375,20 +1919,56 @@ mod tests {
     }
 
     #[test]
-    fn status_column_is_contiguous_and_bodies_follow() {
+    fn status_column_then_completion_columns_then_bodies() {
+        let slots = 4;
+        let comp_bytes = MAILBOX_REQS_PER_SLOT * MAILBOX_COMPLETION_BYTES;
         assert_eq!(status_offset(0), 0);
         assert_eq!(status_offset(3), 12);
-        assert_eq!(body_offset(4, 0), 16);
-        assert_eq!(body_offset(4, 2), 16 + 2 * MAILBOX_BODY_BYTES);
-        assert_eq!(mailbox_region_bytes(4), 16 + 4 * MAILBOX_BODY_BYTES);
+        // Completion records sit right after the status column, densely
+        // packed by (slot, record).
+        assert_eq!(completion_offset(slots, 0, 0), slots * MAILBOX_STATUS_BYTES);
+        assert_eq!(
+            completion_offset(slots, 1, 2),
+            slots * MAILBOX_STATUS_BYTES + (MAILBOX_REQS_PER_SLOT + 2) * MAILBOX_COMPLETION_BYTES
+        );
+        // Bodies follow all completion columns.
+        assert_eq!(
+            body_offset(slots, 0),
+            slots * (MAILBOX_STATUS_BYTES + comp_bytes)
+        );
+        assert_eq!(
+            body_offset(slots, 2),
+            slots * (MAILBOX_STATUS_BYTES + comp_bytes) + 2 * MAILBOX_BODY_BYTES
+        );
+        assert_eq!(
+            mailbox_region_bytes(slots),
+            slots * (MAILBOX_STATUS_BYTES + comp_bytes + MAILBOX_BODY_BYTES)
+        );
     }
 
     #[test]
-    fn reduce_op_codes_roundtrip() {
+    fn reduce_word_roundtrips_op_and_dtype() {
         for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
-            assert_eq!(decode_reduce_op(encode_reduce_op(op)), Some(op));
+            for dtype in [
+                ReduceDtype::F64,
+                ReduceDtype::F32,
+                ReduceDtype::U32,
+                ReduceDtype::I64,
+            ] {
+                assert_eq!(
+                    decode_reduce_word(encode_reduce_word(op, dtype)),
+                    Some((op, dtype))
+                );
+            }
         }
-        assert_eq!(decode_reduce_op(99), None);
+        // A bare operator code keeps its pre-typed f64 meaning.
+        assert_eq!(
+            decode_reduce_word(reduce_op_code::MAX),
+            Some((ReduceOp::Max, ReduceDtype::F64))
+        );
+        assert_eq!(decode_reduce_word(99), None);
+        assert_eq!(decode_reduce_word(9 << 8), None);
+        assert_eq!(decode_reduce_word(1 << 16), None);
     }
 
     #[test]
@@ -1400,6 +1980,7 @@ mod tests {
             requests: 2,
             batched_status_reads: 10,
             batched_entry_reads: 2,
+            batched_status_writes: 2,
             backoff_sleeps: 0,
             busy: Duration::from_millis(25),
             wall: Duration::from_millis(100),
@@ -1487,6 +2068,7 @@ mod tests {
         let mut pending = HashMap::new();
         let mut counters = SweepCounters::default();
         let reads_before = gpu.device.dtoh_transfer_count();
+        let writes_before = gpu.device.htod_transfer_count();
         gpu.sweep(&mut pending, &mut counters).unwrap();
 
         // Exactly one status-column read plus one scattered body fetch —
@@ -1496,10 +2078,24 @@ mod tests {
             reads_before + 2,
             "a sweep over {slots} requested slots must issue exactly 2 device reads"
         );
+        // ... and exactly one scattered acknowledgement write, not one
+        // IN_PROGRESS write per slot.
+        assert_eq!(
+            gpu.device.htod_transfer_count(),
+            writes_before + 1,
+            "a sweep over {slots} requested slots must issue exactly 1 device write"
+        );
         assert_eq!(counters.batched_status_reads, 1);
         assert_eq!(counters.batched_entry_reads, 1);
+        assert_eq!(counters.batched_status_writes, 1);
         assert_eq!(counters.requests, slots as u64);
         assert_eq!(pending.len(), slots);
+        for slot in 0..slots {
+            assert_eq!(
+                gpu.device.read_u32(gpu.status_ptr(slot)).unwrap(),
+                status::IN_PROGRESS
+            );
+        }
 
         // The whole harvest crossed the work queue as a single Batch.
         let reqs = match work_rx.try_recv().unwrap() {

@@ -29,6 +29,20 @@
 //!   `dcgn_rmpi`'s collectives, and per-rank results are *scattered back*.
 //!   Adding a collective means adding a dispatch-table row, not a new
 //!   per-operation state machine.
+//! * **Nonblocking point-to-point** ([`cpu::RequestHandle`] /
+//!   [`gpu::GpuRequest`]): `isend`/`irecv` return a request handle
+//!   immediately so kernels overlap compute with communication; completion
+//!   is collected with `wait`/`test` (CPU adds `waitall`/`waitany`).  On the
+//!   GPU the mailbox transaction is split into a *publish* phase (the kernel
+//!   writes the request record and keeps computing) and a *poll/complete*
+//!   phase (spinning on a per-request completion word the host writes), so
+//!   one slot can have several transfers in flight.  Blocking `send`/`recv`
+//!   are `i* + wait` wrappers — one data path.
+//! * **Typed collectives** ([`ReduceDtype`] / [`ReduceElement`]):
+//!   `reduce`/`allreduce` run over `f64`, `f32`, `u32` or `i64` vectors
+//!   (`reduce_t`/`allreduce_t` on CPU ranks, `reduce_dtype`/
+//!   `allreduce_dtype` on GPU slots); the element type travels next to the
+//!   operator word and is part of the collective's identity.
 //! * **Communicator groups** ([`group::Comm`] / [`group::CommId`]): the
 //!   `MPI_Comm_split` analogue.  `comm_split(color, key)` — itself a
 //!   collective riding the engine — partitions a communicator into subgroups
@@ -85,6 +99,27 @@
 //!     })
 //!     .unwrap();
 //! ```
+//!
+//! ## Overlapping compute with communication
+//!
+//! ```
+//! use dcgn::{DcgnConfig, Runtime};
+//!
+//! let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
+//! runtime
+//!     .launch_cpu_only(|ctx| {
+//!         let peer = 1 - ctx.rank();
+//!         // Post the receive ahead, start the send, compute while both fly.
+//!         let recv = ctx.irecv(peer).unwrap();
+//!         let send = ctx.isend(peer, &[ctx.rank() as u8; 8]).unwrap();
+//!         let local_work: u32 = (0..1000).sum(); // overlapped compute
+//!         let (data, _status) = ctx.wait(recv).unwrap().into_recv().unwrap();
+//!         ctx.wait(send).unwrap();
+//!         assert_eq!(data, vec![peer as u8; 8]);
+//!         assert_eq!(local_work, 499_500);
+//!     })
+//!     .unwrap();
+//! ```
 
 #![warn(missing_docs)]
 
@@ -102,9 +137,9 @@ mod comm_thread;
 
 pub use buffer::{Payload, PayloadBuf};
 pub use config::{DcgnConfig, NodeConfig};
-pub use cpu::CpuCtx;
+pub use cpu::{Completion, CpuCtx, RequestHandle};
 pub use error::{DcgnError, Result};
-pub use gpu::{GpuComm, GpuCtx, GpuPollStats, GpuSetupCtx};
+pub use gpu::{GpuComm, GpuCtx, GpuPollStats, GpuRequest, GpuSetupCtx};
 pub use group::{Comm, CommId};
 pub use message::CommStatus;
 pub use rank::{RankKind, RankMap};
@@ -113,5 +148,5 @@ pub use runtime::{LaunchReport, Runtime};
 // Re-export the pieces of the substrate crates that appear in the public API
 // so applications only need to depend on `dcgn`.
 pub use dcgn_dpm::{BlockCtx, Device, DeviceConfig, DevicePtr, Dim};
-pub use dcgn_rmpi::ReduceOp;
+pub use dcgn_rmpi::{ReduceDtype, ReduceElement, ReduceOp};
 pub use dcgn_simtime::{CostModel, LinkCost};

@@ -9,7 +9,7 @@
 //! their way to the wire.
 
 use crossbeam::channel::Sender;
-use dcgn_rmpi::ReduceOp;
+use dcgn_rmpi::{ReduceDtype, ReduceOp};
 
 use crate::buffer::{Payload, PAYLOAD_HEADROOM};
 use crate::error::DcgnError;
@@ -100,18 +100,21 @@ pub(crate) enum RequestKind {
     /// Allgather: every rank contributes `data` and receives every member's
     /// contribution indexed by sub-rank.
     Allgather { comm: CommId, data: Payload },
-    /// Element-wise reduction of `f64` vectors to sub-rank `root`.
+    /// Element-wise reduction of typed vectors (little-endian `dtype`
+    /// elements) to sub-rank `root`.
     Reduce {
         comm: CommId,
         root: usize,
-        data: Vec<f64>,
+        data: Payload,
         op: ReduceOp,
+        dtype: ReduceDtype,
     },
     /// Element-wise reduction delivered to every rank.
     Allreduce {
         comm: CommId,
-        data: Vec<f64>,
+        data: Payload,
         op: ReduceOp,
+        dtype: ReduceDtype,
     },
     /// Collectively split the communicator into color classes ordered by
     /// `(key, parent sub-rank)` — the `MPI_Comm_split` analogue.  The reply
@@ -305,16 +308,18 @@ mod tests {
                 RequestKind::Reduce {
                     comm: world,
                     root: 0,
-                    data: vec![],
+                    data: Payload::empty(),
                     op: ReduceOp::Sum,
+                    dtype: ReduceDtype::F64,
                 },
                 "reduce",
             ),
             (
                 RequestKind::Allreduce {
                     comm: world,
-                    data: vec![],
+                    data: Payload::empty(),
                     op: ReduceOp::Max,
+                    dtype: ReduceDtype::U32,
                 },
                 "allreduce",
             ),

@@ -354,6 +354,21 @@ impl Device {
             .collect()
     }
 
+    /// Write several scattered `u32` words to the device in **one** DMA
+    /// operation (the host-to-device counterpart of
+    /// [`Device::memcpy_dtoh_scattered`]): the PCI-e link is crossed once for
+    /// the summed byte count instead of once per word.  This is the batched
+    /// status-column *write* the DCGN GPU-kernel thread issues per polling
+    /// sweep to acknowledge every harvested slot together.
+    pub fn write_u32s_scattered(&self, writes: &[(DevicePtr, u32)]) -> Result<(), MemoryError> {
+        self.htod_transfers.fetch_add(1, Ordering::Relaxed);
+        self.pcie.transfer(writes.len() * 4);
+        for &(ptr, value) in writes {
+            self.memory.write_u32(ptr, value)?;
+        }
+        Ok(())
+    }
+
     /// Read `count` consecutive little-endian `u32` words in one DMA
     /// operation.  This is the batched status-column read the DCGN GPU-kernel
     /// thread issues per polling sweep.
@@ -637,6 +652,19 @@ mod tests {
             .unwrap();
         assert_eq!(dev.dtoh_transfer_count(), before + 1);
         assert_eq!(parts, vec![vec![1u8; 64], vec![2u8; 16]]);
+    }
+
+    #[test]
+    fn scattered_u32_write_is_one_dma_operation() {
+        let dev = Device::new_default(0);
+        let p = dev.malloc(32).unwrap();
+        let before = dev.htod_transfer_count();
+        dev.write_u32s_scattered(&[(p, 5), (p.add(12), 9), (p.add(28), 11)])
+            .unwrap();
+        assert_eq!(dev.htod_transfer_count(), before + 1);
+        assert_eq!(dev.read_u32(p).unwrap(), 5);
+        assert_eq!(dev.read_u32(p.add(12)).unwrap(), 9);
+        assert_eq!(dev.read_u32(p.add(28)).unwrap(), 11);
     }
 
     #[test]

@@ -31,6 +31,26 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    /// One-byte wire identity, prefixed to typed-reduction frames so peers
+    /// can verify they agree on the operator.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => 1,
+            ReduceOp::Max => 2,
+        }
+    }
+
+    /// Decode a [`ReduceOp::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ReduceOp::Sum),
+            1 => Some(ReduceOp::Min),
+            2 => Some(ReduceOp::Max),
+            _ => None,
+        }
+    }
+
     /// Fold `other` into `acc` element-wise.  Public so layers above the
     /// substrate (e.g. DCGN's comm thread) can pre-combine local
     /// contributions before the node-level exchange.
@@ -44,6 +64,202 @@ impl ReduceOp {
             };
         }
     }
+}
+
+/// Element type of a typed reduction, carried alongside [`ReduceOp`]
+/// everywhere a reduction crosses a process or device boundary.  The
+/// payloads themselves travel as little-endian bytes; this code says how to
+/// interpret them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceDtype {
+    /// 64-bit IEEE float (the historical default).
+    F64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 32-bit unsigned integer (sum wraps on overflow).
+    U32,
+    /// 64-bit signed integer (sum wraps on overflow).
+    I64,
+}
+
+/// Fold little-endian `N`-byte elements of `other` into `acc` with `f`.
+fn fold_chunks<const N: usize>(
+    acc: &mut [u8],
+    other: &[u8],
+    f: impl Fn([u8; N], [u8; N]) -> [u8; N],
+) {
+    for (a, b) in acc.chunks_exact_mut(N).zip(other.chunks_exact(N)) {
+        let folded = f(
+            a.try_into().expect("exact chunk"),
+            b.try_into().expect("exact chunk"),
+        );
+        a.copy_from_slice(&folded);
+    }
+}
+
+macro_rules! fold_as {
+    ($ty:ty, $n:expr, $op:expr, $acc:expr, $other:expr) => {
+        fold_chunks::<$n>($acc, $other, |a, b| {
+            let (a, b) = (<$ty>::from_le_bytes(a), <$ty>::from_le_bytes(b));
+            let r = match $op {
+                ReduceOp::Sum => <$ty>::reduce_sum(a, b),
+                ReduceOp::Min => <$ty>::reduce_min(a, b),
+                ReduceOp::Max => <$ty>::reduce_max(a, b),
+            };
+            r.to_le_bytes()
+        })
+    };
+}
+
+/// The element-wise combine of each supported type.  Integer sums wrap (like
+/// `MPI_SUM` over fixed-width integers in practice); float min/max follow
+/// `f32::min`/`f64::min` NaN semantics.
+trait ReduceScalar: Sized {
+    fn reduce_sum(a: Self, b: Self) -> Self;
+    fn reduce_min(a: Self, b: Self) -> Self;
+    fn reduce_max(a: Self, b: Self) -> Self;
+}
+
+macro_rules! float_scalar {
+    ($ty:ty) => {
+        impl ReduceScalar for $ty {
+            fn reduce_sum(a: Self, b: Self) -> Self {
+                a + b
+            }
+            fn reduce_min(a: Self, b: Self) -> Self {
+                a.min(b)
+            }
+            fn reduce_max(a: Self, b: Self) -> Self {
+                a.max(b)
+            }
+        }
+    };
+}
+
+macro_rules! int_scalar {
+    ($ty:ty) => {
+        impl ReduceScalar for $ty {
+            fn reduce_sum(a: Self, b: Self) -> Self {
+                a.wrapping_add(b)
+            }
+            fn reduce_min(a: Self, b: Self) -> Self {
+                a.min(b)
+            }
+            fn reduce_max(a: Self, b: Self) -> Self {
+                a.max(b)
+            }
+        }
+    };
+}
+
+float_scalar!(f64);
+float_scalar!(f32);
+int_scalar!(u32);
+int_scalar!(i64);
+
+impl ReduceDtype {
+    /// Size of one element in bytes.
+    pub fn element_bytes(self) -> usize {
+        match self {
+            ReduceDtype::F64 | ReduceDtype::I64 => 8,
+            ReduceDtype::F32 | ReduceDtype::U32 => 4,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceDtype::F64 => "f64",
+            ReduceDtype::F32 => "f32",
+            ReduceDtype::U32 => "u32",
+            ReduceDtype::I64 => "i64",
+        }
+    }
+
+    /// Validate that `bytes` holds a whole number of elements.
+    pub fn check_aligned(self, bytes: &[u8]) -> Result<()> {
+        if !bytes.len().is_multiple_of(self.element_bytes()) {
+            return Err(RmpiError::InvalidArgument(format!(
+                "{}-byte reduce payload is not a whole number of {} elements",
+                bytes.len(),
+                self.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// One-byte wire identity, prefixed to typed-reduction frames so peers
+    /// can verify they agree on the element type.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            ReduceDtype::F64 => 0,
+            ReduceDtype::F32 => 1,
+            ReduceDtype::U32 => 2,
+            ReduceDtype::I64 => 3,
+        }
+    }
+
+    /// Decode a [`ReduceDtype::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ReduceDtype::F64),
+            1 => Some(ReduceDtype::F32),
+            2 => Some(ReduceDtype::U32),
+            3 => Some(ReduceDtype::I64),
+            _ => None,
+        }
+    }
+
+    /// Fold `other` into `acc` element-wise under `op`.  Both buffers must be
+    /// aligned to the element size and of equal length (in elements).
+    pub fn fold(self, op: ReduceOp, acc: &mut [u8], other: &[u8]) -> Result<()> {
+        if acc.len() != other.len() {
+            return Err(RmpiError::InvalidArgument(format!(
+                "reduce length mismatch: {} vs {} {} elements",
+                other.len() / self.element_bytes(),
+                acc.len() / self.element_bytes(),
+                self.name()
+            )));
+        }
+        self.check_aligned(acc)?;
+        match self {
+            ReduceDtype::F64 => fold_as!(f64, 8, op, acc, other),
+            ReduceDtype::F32 => fold_as!(f32, 4, op, acc, other),
+            ReduceDtype::U32 => fold_as!(u32, 4, op, acc, other),
+            ReduceDtype::I64 => fold_as!(i64, 8, op, acc, other),
+        }
+        Ok(())
+    }
+}
+
+/// Prefix a typed-reduction payload with its `(op, dtype)` identity so the
+/// receiving peer can verify agreement before folding the bytes.
+pub fn frame_reduce(op: ReduceOp, dtype: ReduceDtype, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + payload.len());
+    out.push(op.wire_code());
+    out.push(dtype.wire_code());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a [`frame_reduce`] frame, verifying the peer used the same operator
+/// and element type.  A disagreement is reported instead of reinterpreting
+/// the peer's bytes under the wrong type.
+pub fn parse_reduce_frame(frame: &[u8], op: ReduceOp, dtype: ReduceDtype) -> Result<&[u8]> {
+    let (&[op_code, dtype_code], payload) = frame
+        .split_first_chunk::<2>()
+        .ok_or_else(|| RmpiError::InvalidArgument("truncated typed-reduction frame".into()))?;
+    let peer_op = ReduceOp::from_wire_code(op_code);
+    let peer_dtype = ReduceDtype::from_wire_code(dtype_code);
+    if peer_op != Some(op) || peer_dtype != Some(dtype) {
+        return Err(RmpiError::InvalidArgument(format!(
+            "reduce identity mismatch across ranks: peer folded {:?}/{}, this rank {op:?}/{}",
+            peer_op,
+            peer_dtype.map_or("?", ReduceDtype::name),
+            dtype.name()
+        )));
+    }
+    Ok(payload)
 }
 
 impl Communicator {
@@ -264,15 +480,18 @@ impl Communicator {
         Ok(out)
     }
 
-    /// Element-wise reduction of `f64` vectors to `root` (binomial tree).
-    /// Returns `Some(result)` at the root, `None` elsewhere.
-    pub fn reduce_f64(
+    /// Element-wise reduction of typed vectors (carried as little-endian
+    /// bytes of `dtype` elements) to `root` (binomial tree).  Returns
+    /// `Some(result)` at the root, `None` elsewhere.
+    pub fn reduce_bytes(
         &mut self,
         root: usize,
-        data: &[f64],
+        data: &[u8],
         op: ReduceOp,
-    ) -> Result<Option<Vec<f64>>> {
+        dtype: ReduceDtype,
+    ) -> Result<Option<Vec<u8>>> {
         self.check_root(root)?;
+        dtype.check_aligned(data)?;
         let size = self.size();
         let rank = self.rank();
         let relative = (rank + size - root) % size;
@@ -283,21 +502,17 @@ impl Communicator {
                 let src_rel = relative | mask;
                 if src_rel < size {
                     let src = (src_rel + root) % size;
-                    let (bytes, _) = self.recv(Some(src), Some(TAG_REDUCE))?;
-                    let other = bytes_to_f64s(&bytes);
-                    if other.len() != acc.len() {
-                        return Err(RmpiError::InvalidArgument(format!(
-                            "reduce length mismatch: {} vs {}",
-                            other.len(),
-                            acc.len()
-                        )));
-                    }
-                    op.apply(&mut acc, &other);
+                    // Every hop carries the (op, dtype) identity so ranks
+                    // disagreeing on the reduction fail loudly instead of
+                    // folding reinterpreted bytes.
+                    let (frame, _) = self.recv(Some(src), Some(TAG_REDUCE))?;
+                    let bytes = parse_reduce_frame(&frame, op, dtype)?;
+                    dtype.fold(op, &mut acc, bytes)?;
                 }
             } else {
                 let dst_rel = relative & !mask;
                 let dst = (dst_rel + root) % size;
-                self.send(dst, TAG_REDUCE, &f64s_to_bytes(&acc))?;
+                self.send(dst, TAG_REDUCE, &frame_reduce(op, dtype, &acc))?;
                 break;
             }
             mask <<= 1;
@@ -309,12 +524,114 @@ impl Communicator {
         }
     }
 
-    /// Element-wise reduction where every rank receives the result
+    /// Typed element-wise reduction where every rank receives the result
     /// (reduce to rank 0 followed by broadcast).
-    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
-        let reduced = self.reduce_f64(0, data, op)?;
-        let mut bytes = reduced.map(|r| f64s_to_bytes(&r)).unwrap_or_default();
+    pub fn allreduce_bytes(
+        &mut self,
+        data: &[u8],
+        op: ReduceOp,
+        dtype: ReduceDtype,
+    ) -> Result<Vec<u8>> {
+        let reduced = self.reduce_bytes(0, data, op, dtype)?;
+        let mut bytes = reduced.unwrap_or_default();
         self.bcast(0, &mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Element-wise reduction of `f64` vectors to `root` — the typed wrapper
+    /// over [`Communicator::reduce_bytes`].
+    pub fn reduce_f64(
+        &mut self,
+        root: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        Ok(self
+            .reduce_bytes(root, &f64s_to_bytes(data), op, ReduceDtype::F64)?
+            .map(|bytes| bytes_to_f64s(&bytes)))
+    }
+
+    /// Element-wise `f64` reduction where every rank receives the result.
+    pub fn allreduce_f64(&mut self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        let bytes = self.allreduce_bytes(&f64s_to_bytes(data), op, ReduceDtype::F64)?;
         Ok(bytes_to_f64s(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typed::{f32s_to_bytes, i64s_to_bytes, u32s_to_bytes, ReduceElement};
+
+    #[test]
+    fn dtype_fold_matches_scalar_semantics_per_type() {
+        let check = |dtype: ReduceDtype, op: ReduceOp, a: Vec<u8>, b: Vec<u8>, want: Vec<u8>| {
+            let mut acc = a;
+            dtype.fold(op, &mut acc, &b).unwrap();
+            assert_eq!(acc, want, "{} {op:?}", dtype.name());
+        };
+        check(
+            ReduceDtype::F64,
+            ReduceOp::Sum,
+            f64s_to_bytes(&[1.5, -2.0]),
+            f64s_to_bytes(&[0.25, 4.0]),
+            f64s_to_bytes(&[1.75, 2.0]),
+        );
+        check(
+            ReduceDtype::F32,
+            ReduceOp::Min,
+            f32s_to_bytes(&[1.0, -3.0]),
+            f32s_to_bytes(&[0.5, 7.0]),
+            f32s_to_bytes(&[0.5, -3.0]),
+        );
+        check(
+            ReduceDtype::U32,
+            ReduceOp::Max,
+            u32s_to_bytes(&[3, u32::MAX]),
+            u32s_to_bytes(&[9, 0]),
+            u32s_to_bytes(&[9, u32::MAX]),
+        );
+        check(
+            ReduceDtype::I64,
+            ReduceOp::Sum,
+            i64s_to_bytes(&[i64::MIN, -5]),
+            i64s_to_bytes(&[-1, 6]),
+            // Integer sums wrap, like MPI_SUM over fixed-width integers.
+            i64s_to_bytes(&[i64::MAX, 1]),
+        );
+    }
+
+    #[test]
+    fn dtype_fold_rejects_mismatched_and_misaligned_buffers() {
+        let mut acc = u32s_to_bytes(&[1, 2]);
+        assert!(ReduceDtype::U32
+            .fold(ReduceOp::Sum, &mut acc, &u32s_to_bytes(&[1]))
+            .is_err());
+        let mut ragged = vec![0u8; 6];
+        assert!(ReduceDtype::U32
+            .fold(ReduceOp::Sum, &mut ragged, &[0u8; 6])
+            .is_err());
+        assert!(ReduceDtype::I64.check_aligned(&[0u8; 12]).is_err());
+        assert!(ReduceDtype::F32.check_aligned(&[0u8; 12]).is_ok());
+    }
+
+    #[test]
+    fn reduce_element_dtypes_and_roundtrips_line_up() {
+        assert_eq!(<f64 as ReduceElement>::DTYPE, ReduceDtype::F64);
+        assert_eq!(<f32 as ReduceElement>::DTYPE, ReduceDtype::F32);
+        assert_eq!(<u32 as ReduceElement>::DTYPE, ReduceDtype::U32);
+        assert_eq!(<i64 as ReduceElement>::DTYPE, ReduceDtype::I64);
+        assert_eq!(
+            i64::vec_from_bytes(&i64::slice_to_bytes(&[-7, i64::MAX])),
+            vec![-7, i64::MAX]
+        );
+        for dtype in [
+            ReduceDtype::F64,
+            ReduceDtype::F32,
+            ReduceDtype::U32,
+            ReduceDtype::I64,
+        ] {
+            assert!(dtype.element_bytes() == 4 || dtype.element_bytes() == 8);
+        }
     }
 }

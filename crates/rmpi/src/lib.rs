@@ -34,11 +34,12 @@ pub mod packet;
 pub mod typed;
 pub mod world;
 
-pub use collectives::ReduceOp;
+pub use collectives::{frame_reduce, parse_reduce_frame, ReduceDtype, ReduceOp};
 pub use comm::{subgroup_tag, Communicator, Request, TAG_INTERNAL_BASE, TAG_SUBGROUP_BIT};
 pub use packet::{Packet, RmpiError, Status, ANY_SOURCE, ANY_TAG};
 pub use typed::{
-    bytes_to_f32s, bytes_to_f64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes, u32s_to_bytes,
+    bytes_to_f32s, bytes_to_f64s, bytes_to_i64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes,
+    i64s_to_bytes, u32s_to_bytes, ReduceElement,
 };
 pub use world::{MpiWorld, RankPlacement};
 

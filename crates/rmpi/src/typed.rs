@@ -1,5 +1,70 @@
 //! Conversions between typed slices and the byte buffers carried by the
-//! message layer.
+//! message layer, and the [`ReduceElement`] trait tying each supported
+//! reduction element type to its [`ReduceDtype`] wire code.
+
+use crate::collectives::ReduceDtype;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+    impl Sealed for u32 {}
+    impl Sealed for i64 {}
+}
+
+/// An element type reductions can operate over (`f64`, `f32`, `u32` or
+/// `i64`).  Sealed: the set must stay in sync with [`ReduceDtype`], which is
+/// what crosses process and device boundaries.
+pub trait ReduceElement: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// The wire identity of this element type.
+    const DTYPE: ReduceDtype;
+
+    /// Serialise a slice to little-endian bytes.
+    fn slice_to_bytes(values: &[Self]) -> Vec<u8>;
+
+    /// Deserialise little-endian bytes (must be a whole number of elements).
+    fn vec_from_bytes(bytes: &[u8]) -> Vec<Self>;
+}
+
+impl ReduceElement for f64 {
+    const DTYPE: ReduceDtype = ReduceDtype::F64;
+    fn slice_to_bytes(values: &[Self]) -> Vec<u8> {
+        f64s_to_bytes(values)
+    }
+    fn vec_from_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes_to_f64s(bytes)
+    }
+}
+
+impl ReduceElement for f32 {
+    const DTYPE: ReduceDtype = ReduceDtype::F32;
+    fn slice_to_bytes(values: &[Self]) -> Vec<u8> {
+        f32s_to_bytes(values)
+    }
+    fn vec_from_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes_to_f32s(bytes)
+    }
+}
+
+impl ReduceElement for u32 {
+    const DTYPE: ReduceDtype = ReduceDtype::U32;
+    fn slice_to_bytes(values: &[Self]) -> Vec<u8> {
+        u32s_to_bytes(values)
+    }
+    fn vec_from_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes_to_u32s(bytes)
+    }
+}
+
+impl ReduceElement for i64 {
+    const DTYPE: ReduceDtype = ReduceDtype::I64;
+    fn slice_to_bytes(values: &[Self]) -> Vec<u8> {
+        i64s_to_bytes(values)
+    }
+    fn vec_from_bytes(bytes: &[u8]) -> Vec<Self> {
+        bytes_to_i64s(bytes)
+    }
+}
 
 /// Convert a slice of `f64` values to little-endian bytes.
 pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
@@ -48,6 +113,31 @@ pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Convert a slice of `i64` values to little-endian bytes.
+pub fn i64s_to_bytes(values: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Convert little-endian bytes back to `i64` values.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub fn bytes_to_i64s(bytes: &[u8]) -> Vec<i64> {
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect()
 }
 

@@ -338,3 +338,186 @@ fn repeated_mixed_collectives() {
         )
         .unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Typed collectives: reduce/allreduce over every supported element type.
+// ---------------------------------------------------------------------------
+
+/// Round-trip one typed allreduce + rooted reduce over mixed CPU/GPU ranks:
+/// 2 nodes x (1 CPU + 1 GPU slot).  Rank r contributes `input(r)`; everyone
+/// must observe `expected` (CPU via the generic `_t` API, GPU via the
+/// dtype-tagged in-place device API).
+fn typed_reduce_roundtrip<T>(op: ReduceOp, input: fn(usize) -> Vec<T>, expected: Vec<T>)
+where
+    T: dcgn::ReduceElement + std::fmt::Debug + PartialEq,
+{
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let expected_cpu = expected.clone();
+    let expected_gpu = expected.clone();
+    let checks = Arc::new(AtomicUsize::new(0));
+    let (c_cpu, c_gpu) = (Arc::clone(&checks), Arc::clone(&checks));
+    runtime
+        .launch(
+            move |ctx| {
+                let mine = input(ctx.rank());
+                let all = ctx.allreduce_t(&mine, op).unwrap();
+                assert_eq!(all, expected_cpu);
+                let rooted = ctx.reduce_t(0, &mine, op).unwrap();
+                if ctx.rank() == 0 {
+                    assert_eq!(rooted.unwrap(), expected_cpu);
+                } else {
+                    assert!(rooted.is_none());
+                }
+                c_cpu.fetch_add(1, Ordering::SeqCst);
+            },
+            move |ctx| {
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let rank = ctx.rank(0);
+                let mine = input(rank);
+                let count = mine.len();
+                let dtype = T::DTYPE;
+                let buf = DevicePtr::NULL.add(1 << 20);
+                ctx.block().write(buf, &T::slice_to_bytes(&mine));
+                let got = ctx.allreduce_dtype(0, op, dtype, buf, count);
+                assert_eq!(got, count * dtype.element_bytes());
+                let back = T::vec_from_bytes(&ctx.block().read_vec(buf, got));
+                assert_eq!(back, expected_gpu);
+                // Rooted variant: refill and reduce to global rank 0.
+                ctx.block().write(buf, &T::slice_to_bytes(&mine));
+                let got = ctx.reduce_dtype(0, 0, op, dtype, buf, count);
+                assert_eq!(got, 0, "non-root GPU slots receive nothing");
+                c_gpu.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+    assert_eq!(checks.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn typed_allreduce_f64_sum() {
+    typed_reduce_roundtrip::<f64>(
+        ReduceOp::Sum,
+        |r| vec![(r + 1) as f64, 0.5 * (r + 1) as f64],
+        vec![10.0, 5.0],
+    );
+}
+
+#[test]
+fn typed_allreduce_f32_max() {
+    typed_reduce_roundtrip::<f32>(
+        ReduceOp::Max,
+        |r| vec![r as f32 - 1.5, -(r as f32)],
+        vec![1.5, 0.0],
+    );
+}
+
+#[test]
+fn typed_allreduce_u32_min() {
+    typed_reduce_roundtrip::<u32>(
+        ReduceOp::Min,
+        |r| vec![10 + r as u32, u32::MAX - r as u32],
+        vec![10, u32::MAX - 3],
+    );
+}
+
+#[test]
+fn typed_allreduce_i64_sum() {
+    typed_reduce_roundtrip::<i64>(
+        ReduceOp::Sum,
+        // Values beyond f64's 2^53 integer range: an f64-converting
+        // implementation would corrupt them.
+        |r| vec![(1i64 << 60) + r as i64, -(r as i64)],
+        vec![(1i64 << 62) + 6, -6],
+    );
+}
+
+#[test]
+fn typed_reduce_dtype_disagreement_is_a_collective_mismatch() {
+    // Two ranks on one node join "allreduce" with the same operator but
+    // different element types: the dtype is part of the collective identity,
+    // so the late joiner must fail with a mismatch instead of folding
+    // mismatched bytes.
+    let mut runtime = Runtime::new(DcgnConfig::homogeneous(1, 2, 0, 0)).unwrap();
+    // The first joiner's assembly can never complete; let its request time
+    // out quickly instead of waiting out the default two minutes.
+    runtime.set_request_timeout(std::time::Duration::from_millis(500));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    let result = runtime.launch_cpu_only(move |ctx| {
+        let outcome = if ctx.rank() == 0 {
+            ctx.allreduce_t(&[1.0f32, 2.0], ReduceOp::Sum).map(|_| ())
+        } else {
+            // Same byte length, different dtype.
+            ctx.allreduce_t(&[1u32, 2], ReduceOp::Sum).map(|_| ())
+        };
+        if outcome.is_err() {
+            e.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    // Either the launch reports the failure or the kernels observed it;
+    // at least one rank must have failed and nothing may hang.
+    let _ = result;
+    assert!(errors.load(Ordering::SeqCst) >= 1);
+}
+
+#[test]
+fn typed_reduce_cross_node_dtype_disagreement_fails_loudly() {
+    // Ranks on *different nodes* disagree on the element type (same element
+    // size, so no length mismatch could save us): the typed-reduction wire
+    // frames carry the (op, dtype) identity, so the folding node must fail
+    // with an identity-mismatch error instead of reinterpreting the peer's
+    // bytes.  Rooted reduce keeps the non-root node's exit clean.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    runtime
+        .launch_cpu_only(move |ctx| {
+            if ctx.rank() == 0 {
+                match ctx.reduce_t::<f32>(0, &[1.5], ReduceOp::Sum) {
+                    Err(err) => {
+                        let msg = err.to_string();
+                        assert!(msg.contains("identity mismatch"), "unexpected: {msg}");
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(v) => panic!("dtype disagreement produced a value: {v:?}"),
+                }
+            } else {
+                // The non-root ships its (tagged) partial and finishes.
+                let out = ctx.reduce_t::<u32>(0, &[2], ReduceOp::Sum).unwrap();
+                assert!(out.is_none());
+            }
+        })
+        .unwrap();
+    assert_eq!(errors.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn subgroup_dtype_disagreement_fails_every_member() {
+    // The same disagreement inside a *subgroup* spanning two nodes: the
+    // leader detects the identity mismatch when combining up-frames and
+    // echoes the error to every participating node — full containment.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let comm = ctx.comm_split(0, 0).unwrap();
+            let outcome = if ctx.rank() == 0 {
+                ctx.allreduce_t_in::<f32>(&comm, &[1.0], ReduceOp::Sum)
+                    .map(|_| ())
+            } else {
+                ctx.allreduce_t_in::<u32>(&comm, &[1], ReduceOp::Sum)
+                    .map(|_| ())
+            };
+            let err = outcome.expect_err("dtype disagreement must fail");
+            assert!(
+                err.to_string().contains("identity mismatch"),
+                "unexpected: {err}"
+            );
+            e.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    assert_eq!(errors.load(Ordering::SeqCst), 2);
+}
