@@ -303,7 +303,7 @@ pub fn run_gas(n: usize, p: usize, num_nodes: usize, cost: CostModel) -> CannonR
             for _ in 0..p {
                 let (msg, status) = comm.recv(None, Some(7)).unwrap();
                 let worker = status.source - 1;
-                let block = bytes_to_f32s(&msg);
+                let block = bytes_to_f32s(msg.as_slice());
                 let (row, col) = (worker / q, worker % q);
                 for i in 0..bs {
                     for j in 0..bs {

@@ -179,12 +179,12 @@ pub fn run_dcgn_gpu(
             let total_workers = ctx.size() - 1;
             while strips_done < total_strips || workers_released < total_workers {
                 let (msg, status) = ctx.recv_any().expect("master recv");
-                let row_start = decode_u32(&msg, 0);
-                let row_count = decode_u32(&msg, 4);
+                let row_start = decode_u32(msg.as_slice(), 0);
+                let row_count = decode_u32(msg.as_slice(), 4);
                 let worker = decode_u32(&msg, 8);
                 if row_count > 0 {
                     // A finished strip came back.
-                    let pixels: Vec<u32> = msg[12..]
+                    let pixels: Vec<u32> = msg.as_slice()[12..]
                         .chunks_exact(4)
                         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
                         .collect();
@@ -305,9 +305,9 @@ pub fn run_gas(
                 let mut strip_owner = vec![0usize; p.num_strips()];
                 for _ in 0..(comm.size() - 1) {
                     let (msg, status) = comm.recv(None, Some(0)).unwrap();
-                    let row_start = decode_u32(&msg, 0);
-                    let row_count = decode_u32(&msg, 4);
-                    let pixels: Vec<u32> = msg[12..]
+                    let row_start = decode_u32(msg.as_slice(), 0);
+                    let row_count = decode_u32(msg.as_slice(), 4);
+                    let pixels: Vec<u32> = msg.as_slice()[12..]
                         .chunks_exact(4)
                         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
                         .collect();

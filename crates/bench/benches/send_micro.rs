@@ -9,7 +9,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
 use dcgn_bench::{
-    bench_samples, dcgn_isend_overlap_time, dcgn_send_time, mpi_send_time, EndpointKind,
+    bench_samples, dcgn_allreduce_time, dcgn_isend_overlap_time, dcgn_send_time, mpi_send_time,
+    EndpointKind,
 };
 
 fn bench_sends(c: &mut Criterion) {
@@ -53,5 +54,35 @@ fn bench_isend_overlap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sends, bench_isend_overlap);
+/// World vs subgroup allreduce through the one exchange engine: since the
+/// world-collective migration, both take the identical keyed asynchronous
+/// path, so their medians should track each other — and the committed-report
+/// comparison gate guards the world path against regressions.
+fn bench_allreduce_engine(c: &mut Criterion) {
+    let cost = CostModel::g92_scaled(20.0);
+    let count = 256;
+    let mut group = c.benchmark_group("allreduce_engine");
+    group.sample_size(bench_samples(10));
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_with_input(
+        BenchmarkId::new("allreduce_world", count),
+        &count,
+        |b, &n| b.iter(|| dcgn_allreduce_time(2, 2, false, n, cost, 2)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("allreduce_subgroup", count),
+        &count,
+        |b, &n| b.iter(|| dcgn_allreduce_time(2, 2, true, n, cost, 2)),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sends,
+    bench_isend_overlap,
+    bench_allreduce_engine
+);
 criterion_main!(benches);

@@ -44,7 +44,9 @@ fn main() {
         );
     }
     println!();
-    println!("# Expected shape (paper): CPU-only DCGN barriers are ~7-13x the MPI barrier");
-    println!("# (work-queue hops dominate a data-free collective); GPU barriers are");
-    println!("# ~100-150x (polling interval + PCI-e round trips per GPU rank).");
+    println!("# Expected shape: single-node DCGN barriers are ~10-25x the MPI barrier");
+    println!("# (work-queue hops dominate a data-free collective; the paper reports");
+    println!("# ~7-13x CPU-only, ~100-150x with GPUs).  Multi-node ratios shrink to");
+    println!("# ~1.5-6x since world collectives ride the async star exchange: one");
+    println!("# up/down frame pair per node instead of log-round dissemination.");
 }

@@ -321,6 +321,54 @@ pub fn mpi_broadcast_time(size: usize, cost: CostModel, iters: usize) -> Duratio
 }
 
 // ---------------------------------------------------------------------------
+// Allreduce through the unified exchange engine
+// ---------------------------------------------------------------------------
+
+/// Average time of one `count`-element `f64` allreduce over
+/// `nodes × cpus_per_node` CPU ranks, either across the **world** or inside
+/// a **subgroup** covering every rank (`subgroup = true` splits once with a
+/// single color first).  Both run through the same keyed asynchronous
+/// exchange engine; benchmarking them side by side guards the
+/// world-collective migration against regressions relative to the subgroup
+/// path it joined.
+pub fn dcgn_allreduce_time(
+    nodes: usize,
+    cpus_per_node: usize,
+    subgroup: bool,
+    count: usize,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let config = DcgnConfig::homogeneous(nodes, cpus_per_node, 0, 0).with_cost(cost);
+    let runtime = Runtime::new(config).expect("allreduce config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m = Arc::clone(&measured);
+    let total_ranks = nodes * cpus_per_node;
+
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let comm = subgroup.then(|| ctx.comm_split(0, 0).unwrap());
+            let data = vec![1.0f64; count];
+            ctx.barrier().unwrap();
+            let start = Instant::now();
+            for _ in 0..iters {
+                let sum = match &comm {
+                    Some(comm) => ctx.allreduce_in(comm, &data, dcgn::ReduceOp::Sum).unwrap(),
+                    None => ctx.allreduce(&data, dcgn::ReduceOp::Sum).unwrap(),
+                };
+                debug_assert_eq!(sum[0], total_ranks as f64);
+            }
+            if ctx.rank() == 0 {
+                *m.lock() = start.elapsed();
+            }
+            ctx.barrier().unwrap();
+        })
+        .expect("allreduce launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
+// ---------------------------------------------------------------------------
 // Communicator split + subgroup collective
 // ---------------------------------------------------------------------------
 

@@ -1,485 +1,9 @@
-//! Pooled, reference-counted payload buffers — the zero-copy backbone of the
-//! request/reply data path.
+//! Pooled, reference-counted payload buffers.
 //!
-//! Before this module existed every layer hop (kernel thread → work queue →
-//! comm thread → wire framing → matching → completion) re-allocated and
-//! memcpy'd the payload as a fresh `Vec<u8>`.  A [`Payload`] instead wraps
-//! one slab-recycled allocation behind an `Arc`:
-//!
-//! * **clone is free** — handing a payload to another layer (or scattering a
-//!   collective result to N ranks) bumps a reference count instead of
-//!   copying bytes;
-//! * **slicing is free** — [`Payload::slice`] returns a view into the same
-//!   allocation, so decoding a wire frame into its body costs nothing;
-//! * **framing is (usually) free** — buffers built with headroom reserve
-//!   space for the point-to-point wire header in front of the body, so
-//!   [`Payload::into_framed`] writes the header in place instead of copying
-//!   the body into a fresh frame;
-//! * **allocations are recycled** — when the last reference drops, the
-//!   backing buffer returns to a size-classed slab pool and is handed out
-//!   again.  A buffer can only re-enter the pool once *no* payload
-//!   references it, so recycling can never alias live data (see the
-//!   property test in `crates/core/tests/payload_pool.rs`).
+//! The implementation lives in [`dcgn_netsim::buffer`] so the whole stack —
+//! the fabric, the `dcgn_rmpi` substrate's eager/rendezvous wire frames and
+//! this runtime's request/reply plumbing — shares one slab pool and moves
+//! [`Payload`] references instead of memcpy'ing `Vec<u8>`s between layers.
+//! This module re-exports it under the historical `dcgn::buffer` path.
 
-use std::ops::Range;
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// Bytes of headroom reserved in front of the body by
-/// [`PayloadBuf::with_headroom`] — exactly one point-to-point wire header.
-pub const PAYLOAD_HEADROOM: usize = 16;
-
-// ---------------------------------------------------------------------------
-// The slab pool
-// ---------------------------------------------------------------------------
-
-/// Smallest pooled capacity class (everything below rounds up to this).
-const MIN_CLASS_SHIFT: u32 = 8; // 256 B
-/// Largest pooled capacity class; bigger buffers are not recycled.
-const MAX_CLASS_SHIFT: u32 = 20; // 1 MB
-const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
-/// Retained buffers per class, bounding idle pool memory.
-const MAX_PER_CLASS: usize = 64;
-
-struct Pool {
-    classes: Vec<Mutex<Vec<Vec<u8>>>>,
-    stats: Mutex<PoolStats>,
-}
-
-/// Allocation-recycling counters, exposed for tests and diagnostics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Buffers handed out from the slab (no heap allocation).
-    pub reused: u64,
-    /// Buffers freshly allocated because the slab had none of the right
-    /// class (or the request exceeded the largest class).
-    pub allocated: u64,
-    /// Buffers returned to the slab on final release.
-    pub recycled: u64,
-}
-
-fn class_of(capacity: usize) -> Option<usize> {
-    let shift = capacity
-        .next_power_of_two()
-        .trailing_zeros()
-        .max(MIN_CLASS_SHIFT);
-    (shift <= MAX_CLASS_SHIFT).then_some((shift - MIN_CLASS_SHIFT) as usize)
-}
-
-impl Pool {
-    fn global() -> &'static Pool {
-        static POOL: OnceLock<Pool> = OnceLock::new();
-        POOL.get_or_init(|| Pool {
-            classes: (0..NUM_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
-            stats: Mutex::new(PoolStats::default()),
-        })
-    }
-
-    fn acquire(&self, capacity: usize) -> Vec<u8> {
-        if let Some(class) = class_of(capacity) {
-            if let Some(mut buf) = self.classes[class].lock().expect("pool lock").pop() {
-                buf.clear();
-                self.stats.lock().expect("pool lock").reused += 1;
-                return buf;
-            }
-            self.stats.lock().expect("pool lock").allocated += 1;
-            return Vec::with_capacity(1 << (class as u32 + MIN_CLASS_SHIFT));
-        }
-        self.stats.lock().expect("pool lock").allocated += 1;
-        Vec::with_capacity(capacity)
-    }
-
-    fn release(&self, buf: Vec<u8>) {
-        // Only exact class-sized capacities are retained, so acquire() can
-        // trust that a pooled buffer fits its class.
-        if let Some(class) = class_of(buf.capacity()) {
-            if buf.capacity() == 1 << (class as u32 + MIN_CLASS_SHIFT) {
-                let mut slab = self.classes[class].lock().expect("pool lock");
-                if slab.len() < MAX_PER_CLASS {
-                    slab.push(buf);
-                    self.stats.lock().expect("pool lock").recycled += 1;
-                }
-            }
-        }
-    }
-}
-
-/// Snapshot of the global pool's recycling counters.
-pub fn pool_stats() -> PoolStats {
-    *Pool::global().stats.lock().expect("pool lock")
-}
-
-// ---------------------------------------------------------------------------
-// PayloadBuf: the unique, writable stage
-// ---------------------------------------------------------------------------
-
-/// A uniquely-owned, writable buffer drawn from the slab pool.  Fill it, then
-/// [`freeze`](PayloadBuf::freeze) it into a shareable [`Payload`].
-#[derive(Debug)]
-pub struct PayloadBuf {
-    data: Vec<u8>,
-    headroom: usize,
-}
-
-impl PayloadBuf {
-    /// An empty buffer with no reserved headroom, sized for `capacity` body
-    /// bytes.
-    pub fn with_capacity(capacity: usize) -> Self {
-        PayloadBuf {
-            data: Pool::global().acquire(capacity),
-            headroom: 0,
-        }
-    }
-
-    /// An empty buffer with [`PAYLOAD_HEADROOM`] bytes reserved in front of
-    /// the body, so the wire framing of an inter-node send can later be
-    /// written in place ([`Payload::into_framed`]).
-    pub fn with_headroom(capacity: usize) -> Self {
-        let mut data = Pool::global().acquire(PAYLOAD_HEADROOM + capacity);
-        data.resize(PAYLOAD_HEADROOM, 0);
-        PayloadBuf {
-            data,
-            headroom: PAYLOAD_HEADROOM,
-        }
-    }
-
-    /// Append bytes to the body.
-    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
-        self.data.extend_from_slice(bytes);
-    }
-
-    /// Grow the body to exactly `len` zero-filled bytes and return it
-    /// mutably — the staging surface for device reads
-    /// (`memcpy_dtoh` writes straight into the pooled buffer).
-    pub fn body_mut(&mut self, len: usize) -> &mut [u8] {
-        self.data.resize(self.headroom + len, 0);
-        &mut self.data[self.headroom..]
-    }
-
-    /// Body length so far.
-    pub fn len(&self) -> usize {
-        self.data.len() - self.headroom
-    }
-
-    /// True when no body bytes have been written.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Seal the buffer into an immutable, cheaply-cloneable [`Payload`].
-    pub fn freeze(self) -> Payload {
-        let len = self.data.len() - self.headroom;
-        Payload {
-            inner: Arc::new(Inner { data: self.data }),
-            off: self.headroom,
-            len,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Payload: the shared, immutable view
-// ---------------------------------------------------------------------------
-
-/// The backing allocation.  Returns to the slab pool when the last
-/// [`Payload`] referencing it is dropped — never earlier, so a recycled
-/// buffer can never alias a live view.
-struct Inner {
-    data: Vec<u8>,
-}
-
-impl Drop for Inner {
-    fn drop(&mut self) {
-        let data = std::mem::take(&mut self.data);
-        if data.capacity() > 0 {
-            Pool::global().release(data);
-        }
-    }
-}
-
-/// An immutable byte payload backed by a pooled, reference-counted
-/// allocation.  Cloning and slicing are O(1); the bytes are copied at most
-/// once, when they first enter the buffer.
-#[derive(Clone)]
-pub struct Payload {
-    inner: Arc<Inner>,
-    off: usize,
-    len: usize,
-}
-
-impl Payload {
-    /// The empty payload (no backing allocation traffic).
-    pub fn empty() -> Payload {
-        static EMPTY: OnceLock<Payload> = OnceLock::new();
-        EMPTY
-            .get_or_init(|| Payload {
-                inner: Arc::new(Inner { data: Vec::new() }),
-                off: 0,
-                len: 0,
-            })
-            .clone()
-    }
-
-    /// Copy `bytes` into a pooled buffer (no headroom).
-    pub fn copy_from_slice(bytes: &[u8]) -> Payload {
-        let mut buf = PayloadBuf::with_capacity(bytes.len());
-        buf.extend_from_slice(bytes);
-        buf.freeze()
-    }
-
-    /// Copy `bytes` into a pooled buffer with framing headroom reserved.
-    pub fn copy_with_headroom(bytes: &[u8]) -> Payload {
-        let mut buf = PayloadBuf::with_headroom(bytes.len());
-        buf.extend_from_slice(bytes);
-        buf.freeze()
-    }
-
-    /// Adopt an existing vector without copying (no headroom; the vector is
-    /// recycled through the pool when the payload is released, if its
-    /// capacity matches a pool class).
-    pub fn from_vec(data: Vec<u8>) -> Payload {
-        let len = data.len();
-        Payload {
-            inner: Arc::new(Inner { data }),
-            off: 0,
-            len,
-        }
-    }
-
-    /// The payload bytes.
-    pub fn as_slice(&self) -> &[u8] {
-        &self.inner.data[self.off..self.off + self.len]
-    }
-
-    /// Length in bytes.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True for a zero-length payload.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// A zero-copy sub-view sharing this payload's allocation.
-    pub fn slice(&self, range: Range<usize>) -> Payload {
-        assert!(
-            range.start <= range.end && range.end <= self.len,
-            "slice {range:?} out of bounds for payload of {} bytes",
-            self.len
-        );
-        Payload {
-            inner: Arc::clone(&self.inner),
-            off: self.off + range.start,
-            len: range.end - range.start,
-        }
-    }
-
-    /// Copy the bytes out into a fresh vector.
-    pub fn to_vec(&self) -> Vec<u8> {
-        self.as_slice().to_vec()
-    }
-
-    /// Extract the bytes as a vector, reusing the backing allocation when
-    /// this is the only reference and the view starts at the buffer's
-    /// beginning; otherwise copies.
-    pub fn into_vec(self) -> Vec<u8> {
-        let off = self.off;
-        let len = self.len;
-        match Arc::try_unwrap(self.inner) {
-            Ok(mut inner) if off == 0 => {
-                let mut data = std::mem::take(&mut inner.data);
-                data.truncate(len);
-                data
-            }
-            Ok(inner) => inner.data[off..off + len].to_vec(),
-            Err(shared) => shared.data[off..off + len].to_vec(),
-        }
-    }
-
-    /// Consume the payload into a wire frame of `header ++ body`.
-    ///
-    /// When this is the sole reference to a buffer built with headroom, the
-    /// header is written into the reserved space and the existing allocation
-    /// is returned as-is — the body is **not** copied.  Shared or
-    /// headroom-less payloads fall back to building a fresh frame.
-    pub fn into_framed(self, header: &[u8; PAYLOAD_HEADROOM]) -> Vec<u8> {
-        let off = self.off;
-        let len = self.len;
-        match Arc::try_unwrap(self.inner) {
-            Ok(mut inner)
-                if off == PAYLOAD_HEADROOM && inner.data.len() == PAYLOAD_HEADROOM + len =>
-            {
-                let mut data = std::mem::take(&mut inner.data);
-                data[..PAYLOAD_HEADROOM].copy_from_slice(header);
-                data
-            }
-            Ok(inner) => framed_copy(header, &inner.data[off..off + len]),
-            Err(shared) => framed_copy(header, &shared.data[off..off + len]),
-        }
-    }
-}
-
-fn framed_copy(header: &[u8; PAYLOAD_HEADROOM], body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(PAYLOAD_HEADROOM + body.len());
-    out.extend_from_slice(header);
-    out.extend_from_slice(body);
-    out
-}
-
-impl std::fmt::Debug for Payload {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Payload({} bytes)", self.len)
-    }
-}
-
-impl PartialEq for Payload {
-    fn eq(&self, other: &Self) -> bool {
-        self.as_slice() == other.as_slice()
-    }
-}
-
-impl Eq for Payload {}
-
-impl PartialEq<[u8]> for Payload {
-    fn eq(&self, other: &[u8]) -> bool {
-        self.as_slice() == other
-    }
-}
-
-impl PartialEq<Vec<u8>> for Payload {
-    fn eq(&self, other: &Vec<u8>) -> bool {
-        self.as_slice() == other.as_slice()
-    }
-}
-
-impl From<Vec<u8>> for Payload {
-    fn from(data: Vec<u8>) -> Payload {
-        Payload::from_vec(data)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrip_and_views() {
-        let p = Payload::copy_from_slice(&[1, 2, 3, 4, 5]);
-        assert_eq!(p.len(), 5);
-        assert_eq!(p.as_slice(), &[1, 2, 3, 4, 5]);
-        let s = p.slice(1..4);
-        assert_eq!(s.as_slice(), &[2, 3, 4]);
-        // The view shares the parent's allocation.
-        assert_eq!(s.to_vec(), vec![2, 3, 4]);
-        assert_eq!(p.clone(), p);
-        assert!(Payload::empty().is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn out_of_bounds_slice_panics() {
-        Payload::copy_from_slice(&[1, 2]).slice(0..3);
-    }
-
-    #[test]
-    fn into_framed_reuses_headroom_without_copying_body() {
-        let p = Payload::copy_with_headroom(&[9u8; 100]);
-        let body_ptr = p.as_slice().as_ptr() as usize;
-        let header = [7u8; PAYLOAD_HEADROOM];
-        let frame = p.into_framed(&header);
-        assert_eq!(&frame[..PAYLOAD_HEADROOM], &header);
-        assert_eq!(&frame[PAYLOAD_HEADROOM..], &[9u8; 100]);
-        // The body bytes did not move: the frame's body address equals the
-        // payload's old body address.
-        assert_eq!(
-            frame[PAYLOAD_HEADROOM..].as_ptr() as usize,
-            body_ptr,
-            "framing must reuse the headroom in place"
-        );
-    }
-
-    #[test]
-    fn into_framed_falls_back_when_shared_or_headroomless() {
-        let header = [1u8; PAYLOAD_HEADROOM];
-        // Shared: a clone exists, so the frame must copy.
-        let p = Payload::copy_with_headroom(&[5u8; 10]);
-        let keep = p.clone();
-        let frame = p.into_framed(&header);
-        assert_eq!(&frame[PAYLOAD_HEADROOM..], keep.as_slice());
-        assert_eq!(keep.as_slice(), &[5u8; 10], "clone must be untouched");
-        // No headroom.
-        let frame = Payload::copy_from_slice(&[6u8; 3]).into_framed(&header);
-        assert_eq!(&frame[..PAYLOAD_HEADROOM], &header);
-        assert_eq!(&frame[PAYLOAD_HEADROOM..], &[6u8; 3]);
-        // A slice of a framed buffer (off != headroom) also copies.
-        let p = Payload::copy_with_headroom(&[8u8; 10]).slice(2..8);
-        assert_eq!(&p.into_framed(&header)[PAYLOAD_HEADROOM..], &[8u8; 6]);
-    }
-
-    #[test]
-    fn into_vec_moves_when_unique_and_unoffset() {
-        let v = Payload::from_vec(vec![1, 2, 3]).into_vec();
-        assert_eq!(v, vec![1, 2, 3]);
-        // Slices and clones copy instead.
-        let p = Payload::from_vec(vec![1, 2, 3, 4]);
-        let s = p.slice(1..3);
-        assert_eq!(s.into_vec(), vec![2, 3]);
-        assert_eq!(p.as_slice(), &[1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn buffers_recycle_through_the_pool() {
-        // A large size class no other unit test touches, so the global
-        // counters move only for this test's buffers.
-        let size = (1 << 18) + 5;
-        let before = pool_stats();
-        drop(Payload::copy_from_slice(&vec![3u8; size]));
-        let after = pool_stats();
-        assert!(after.recycled > before.recycled, "drop must recycle");
-        let p = Payload::copy_from_slice(&vec![4u8; size]);
-        assert!(pool_stats().reused > before.reused, "alloc must reuse");
-        assert_eq!(p.as_slice(), &vec![4u8; size][..]);
-    }
-
-    #[test]
-    fn recycling_waits_for_the_last_reference() {
-        let size = (1 << 19) + 1; // quiet 1 MB class, see above
-        let p = Payload::copy_from_slice(&vec![0xAB; size]);
-        let view = p.slice(100..200);
-        let before = pool_stats().recycled;
-        drop(p);
-        // The slice still pins the buffer: nothing recycled yet.
-        assert_eq!(pool_stats().recycled, before);
-        assert_eq!(view.as_slice(), &[0xAB; 100]);
-        drop(view);
-        assert!(pool_stats().recycled > before);
-    }
-
-    #[test]
-    fn oversized_buffers_are_not_pooled() {
-        let huge = vec![1u8; (1 << 20) + 1];
-        let before = pool_stats().recycled;
-        drop(Payload::from_vec(huge));
-        assert_eq!(pool_stats().recycled, before);
-    }
-
-    #[test]
-    fn class_rounding() {
-        assert_eq!(class_of(0), Some(0));
-        assert_eq!(class_of(1), Some(0));
-        assert_eq!(class_of(256), Some(0));
-        assert_eq!(class_of(257), Some(1));
-        assert_eq!(class_of(1 << 20), Some(NUM_CLASSES - 1));
-        assert_eq!(class_of((1 << 20) + 1), None);
-    }
-
-    #[test]
-    fn payload_buf_body_staging() {
-        let mut buf = PayloadBuf::with_headroom(64);
-        assert!(buf.is_empty());
-        buf.body_mut(8).copy_from_slice(&[7u8; 8]);
-        assert_eq!(buf.len(), 8);
-        let p = buf.freeze();
-        assert_eq!(p.as_slice(), &[7u8; 8]);
-    }
-}
+pub use dcgn_netsim::buffer::{pool_stats, Payload, PayloadBuf, PoolStats, PAYLOAD_HEADROOM};

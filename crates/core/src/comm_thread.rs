@@ -7,14 +7,23 @@
 //! communication requests into.
 //!
 //! Collectives are keyed by communicator ([`CommId`]): every group assembles
-//! independently in its own [`CollectiveAssembly`], so two disjoint
-//! communicators can execute collectives concurrently.  World collectives
-//! exchange through the substrate's own (blocking) collectives; subgroup
-//! collectives run as *asynchronous* star exchanges around a leader node,
-//! tagged with [`dcgn_rmpi::subgroup_tag`] so concurrent groups' traffic is
-//! kept apart (probabilistically — the tag is a 30-bit mix of communicator,
-//! sequence number and phase), and are progressed incrementally by the main
-//! service loop.
+//! independently in its own [`CollectiveAssembly`], so two communicators can
+//! execute collectives concurrently.  **Every** cross-node collective — the
+//! world included — runs through one asynchronous star exchange around the
+//! group's leader node: participants ship a status-framed contribution
+//! up-frame, the leader combines and ships per-node down-frames, and the
+//! engine progresses incrementally so independent exchanges overlap and an
+//! erroneous collective fails *every* participating node instead of leaving
+//! peers blocked inside a substrate call.
+//!
+//! Exchange frames all travel under one MPI tag ([`TAG_EXCHANGE`]) and carry
+//! their full identity — `(comm_epoch, comm_id, seq, phase)`, the
+//! [`dcgn_rmpi::ExchangeId`] — in an explicit header, plus the collective's
+//! own identity (kind, root, reduction operator and element type) inside the
+//! up-frame body.  The receiving engine demultiplexes on the exact exchange
+//! key, so concurrent exchanges can never cross-talk, and cross-node
+//! disagreement about *which* collective is executing surfaces as a clean
+//! [`DcgnError::CollectiveMismatch`] echoed to every participant.
 
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -23,8 +32,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
 use dcgn_rmpi::{
-    bytes_to_u32s, frame_reduce, parse_reduce_frame, subgroup_tag, u32s_to_bytes, Communicator,
-    ReduceDtype, ReduceOp, Request as MpiRequest,
+    bytes_to_u32s, frame_exchange, frame_reduce, parse_exchange_header, parse_reduce_frame,
+    u32s_to_bytes, Communicator, ExchangeId, ReduceDtype, ReduceOp, Request as MpiRequest,
+    EXCHANGE_HEADER_BYTES, TAG_EXCHANGE,
 };
 use dcgn_simtime::CostModel;
 
@@ -58,11 +68,12 @@ struct IncomingMsg {
     seq: u64,
 }
 
-/// A local receive request that has not yet been matched.
+/// A local receive request that has not yet been matched.  `None` filters
+/// are wildcards (any source / any tag).
 struct PendingRecv {
     dst_rank: usize,
     src: Option<usize>,
-    tag: u32,
+    tag: Option<u32>,
     reply_tx: Sender<Reply>,
     /// Posting stamp, for FIFO matching across buckets.
     seq: u64,
@@ -72,23 +83,24 @@ struct PendingRecv {
 // Indexed point-to-point matching.
 // ---------------------------------------------------------------------------
 
-/// Hash-indexed message matcher replacing the old O(pending × incoming)
-/// scan.  Unmatched messages are bucketed by `(dst, src, tag)` and unmatched
-/// receives by `(dst, src-filter, tag)`, so a match is a constant number of
-/// bucket probes; wildcard (`src = None`) receives fall back to comparing
-/// the head of each candidate source bucket.  Sequence stamps keep the
-/// MPI-style FIFO guarantees: per (src, tag) messages match in arrival
-/// order, and competing receives match in posting order.
+/// Hash-indexed message matcher.  Unmatched messages are bucketed by
+/// `(dst, src, tag)` and unmatched receives by `(dst, src-filter,
+/// tag-filter)`, so a fully-qualified match is a constant number of bucket
+/// probes; receives with a wildcard filter (`src = None` and/or
+/// `tag = None`) fall back to comparing the heads of the candidate message
+/// buckets, indexed per destination.  Sequence stamps keep the MPI-style
+/// FIFO guarantees: per (src, tag) messages match in arrival order, and
+/// competing receives match in posting order.
 #[derive(Default)]
 struct Matcher {
     next_seq: u64,
     /// Unmatched messages, keyed by (dst, src, tag); FIFO within a bucket.
     incoming: HashMap<(usize, usize, u32), VecDeque<IncomingMsg>>,
-    /// Which source buckets are non-empty for a (dst, tag) pair — the
+    /// Which (src, tag) buckets are non-empty for each destination — the
     /// wildcard receive's fallback index.
-    incoming_srcs: HashMap<(usize, u32), BTreeSet<usize>>,
-    /// Unmatched receives, keyed by (dst, src-filter, tag).
-    recvs: HashMap<(usize, Option<usize>, u32), VecDeque<PendingRecv>>,
+    incoming_keys: HashMap<usize, BTreeSet<(usize, u32)>>,
+    /// Unmatched receives, keyed by (dst, src-filter, tag-filter).
+    recvs: HashMap<(usize, Option<usize>, Option<u32>), VecDeque<PendingRecv>>,
     recv_count: usize,
 }
 
@@ -105,10 +117,10 @@ impl Matcher {
 
     /// Queue a message that matched no receive.
     fn push_msg(&mut self, msg: IncomingMsg) {
-        self.incoming_srcs
-            .entry((msg.dst, msg.tag))
+        self.incoming_keys
+            .entry(msg.dst)
             .or_default()
-            .insert(msg.src);
+            .insert((msg.src, msg.tag));
         self.incoming
             .entry((msg.dst, msg.src, msg.tag))
             .or_default()
@@ -126,21 +138,27 @@ impl Matcher {
 
     /// Pop the oldest queued message a new receive can match.
     fn take_msg_for(&mut self, recv: &PendingRecv) -> Option<IncomingMsg> {
-        let src = match recv.src {
-            Some(src) => src,
-            None => {
-                // Wildcard fallback: the earliest-arrived head among every
-                // non-empty source bucket for this (dst, tag).
-                let srcs = self.incoming_srcs.get(&(recv.dst_rank, recv.tag))?;
-                *srcs.iter().min_by_key(|&&src| {
-                    self.incoming
-                        .get(&(recv.dst_rank, src, recv.tag))
-                        .and_then(VecDeque::front)
-                        .map_or(u64::MAX, |m| m.seq)
-                })?
+        let (src, tag) = match (recv.src, recv.tag) {
+            // Fully qualified: one direct bucket probe.
+            (Some(src), Some(tag)) => (src, tag),
+            // Wildcard on either axis: the earliest-arrived head among
+            // every non-empty bucket passing the filters.
+            (src_filter, tag_filter) => {
+                let keys = self.incoming_keys.get(&recv.dst_rank)?;
+                *keys
+                    .iter()
+                    .filter(|(src, tag)| {
+                        src_filter.is_none_or(|s| s == *src) && tag_filter.is_none_or(|t| t == *tag)
+                    })
+                    .min_by_key(|&&(src, tag)| {
+                        self.incoming
+                            .get(&(recv.dst_rank, src, tag))
+                            .and_then(VecDeque::front)
+                            .map_or(u64::MAX, |m| m.seq)
+                    })?
             }
         };
-        self.pop_msg((recv.dst_rank, src, recv.tag))
+        self.pop_msg((recv.dst_rank, src, tag))
     }
 
     fn pop_msg(&mut self, key: (usize, usize, u32)) -> Option<IncomingMsg> {
@@ -148,10 +166,10 @@ impl Matcher {
         let msg = bucket.pop_front()?;
         if bucket.is_empty() {
             self.incoming.remove(&key);
-            if let Some(srcs) = self.incoming_srcs.get_mut(&(key.0, key.2)) {
-                srcs.remove(&key.1);
-                if srcs.is_empty() {
-                    self.incoming_srcs.remove(&(key.0, key.2));
+            if let Some(keys) = self.incoming_keys.get_mut(&key.0) {
+                keys.remove(&(key.1, key.2));
+                if keys.is_empty() {
+                    self.incoming_keys.remove(&key.0);
                 }
             }
         }
@@ -159,33 +177,24 @@ impl Matcher {
     }
 
     /// Pop the earliest-posted receive a new message can match: the exact
-    /// `(dst, Some(src), tag)` bucket competes with the wildcard
-    /// `(dst, None, tag)` bucket on posting order.
+    /// bucket competes with every wildcard bucket on posting order.
     fn take_recv_for(&mut self, dst: usize, src: usize, tag: u32) -> Option<PendingRecv> {
-        let exact = (dst, Some(src), tag);
-        let wild = (dst, None, tag);
-        let exact_seq = self
-            .recvs
-            .get(&exact)
-            .and_then(VecDeque::front)
-            .map(|r| r.seq);
-        let wild_seq = self
-            .recvs
-            .get(&wild)
-            .and_then(VecDeque::front)
-            .map(|r| r.seq);
-        let key = match (exact_seq, wild_seq) {
-            (None, None) => return None,
-            (Some(_), None) => exact,
-            (None, Some(_)) => wild,
-            (Some(e), Some(w)) => {
-                if e < w {
-                    exact
-                } else {
-                    wild
-                }
-            }
-        };
+        let candidates = [
+            (dst, Some(src), Some(tag)),
+            (dst, Some(src), None),
+            (dst, None, Some(tag)),
+            (dst, None, None),
+        ];
+        let key = candidates
+            .into_iter()
+            .filter_map(|key| {
+                self.recvs
+                    .get(&key)
+                    .and_then(VecDeque::front)
+                    .map(|r| (r.seq, key))
+            })
+            .min_by_key(|&(seq, _)| seq)
+            .map(|(_, key)| key)?;
         let bucket = self.recvs.get_mut(&key)?;
         let recv = bucket.pop_front()?;
         if bucket.is_empty() {
@@ -205,10 +214,9 @@ impl Matcher {
     }
 }
 
-/// Which collective operation an assembly is executing.  One discriminant per
-/// operation; all per-operation behaviour lives in [`COLLECTIVE_TABLE`] (for
-/// the world's substrate exchange) and in the subgroup exchange functions,
-/// not in per-kind state machines.
+/// Which collective operation an assembly is executing.  One discriminant
+/// per operation; all per-operation behaviour lives in the exchange engine's
+/// combine and deliver arms, not in per-kind state machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CollectiveKind {
     Barrier,
@@ -221,10 +229,62 @@ enum CollectiveKind {
     Split,
 }
 
+impl CollectiveKind {
+    fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Split => "comm_split",
+        }
+    }
+
+    /// One-byte wire identity carried in exchange up-frames so peers can
+    /// verify they agree on the operation.
+    fn wire_code(self) -> u8 {
+        match self {
+            CollectiveKind::Barrier => 0,
+            CollectiveKind::Broadcast => 1,
+            CollectiveKind::Gather => 2,
+            CollectiveKind::Scatter => 3,
+            CollectiveKind::Allgather => 4,
+            CollectiveKind::Reduce => 5,
+            CollectiveKind::Allreduce => 6,
+            CollectiveKind::Split => 7,
+        }
+    }
+
+    fn from_wire_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => CollectiveKind::Barrier,
+            1 => CollectiveKind::Broadcast,
+            2 => CollectiveKind::Gather,
+            3 => CollectiveKind::Scatter,
+            4 => CollectiveKind::Allgather,
+            5 => CollectiveKind::Reduce,
+            6 => CollectiveKind::Allreduce,
+            7 => CollectiveKind::Split,
+            _ => return None,
+        })
+    }
+
+    /// Diagnostic name of a wire code (for mismatch errors echoed from
+    /// another node).
+    fn wire_name(code: u8) -> &'static str {
+        Self::from_wire_code(code).map_or("unknown", |kind| kind.name())
+    }
+}
+
 /// Identity of a collective operation.  Every member rank on the node must
 /// join its communicator's assembly with an identical id before the
-/// node-level exchange runs; a mismatch is the paper's "collective mismatch"
-/// error.  `root` is a sub-rank of the communicator the request names.
+/// node-level exchange runs, and every participating *node* ships the id in
+/// its up-frame so the leader verifies cross-node agreement too; a
+/// disagreement is the paper's "collective mismatch" error.  `root` is a
+/// sub-rank of the communicator the request names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CollectiveId {
     kind: CollectiveKind,
@@ -238,13 +298,53 @@ struct CollectiveId {
     dtype: Option<ReduceDtype>,
 }
 
+/// Bytes of the encoded [`CollectiveId`] prefixed to every OK up-frame:
+/// `[kind u8][op u8][dtype u8][pad u8][root u32]` (0xFF / u32::MAX = none).
+const COLLECTIVE_ID_BYTES: usize = 8;
+
+impl CollectiveId {
+    fn encode(&self) -> [u8; COLLECTIVE_ID_BYTES] {
+        let mut out = [0u8; COLLECTIVE_ID_BYTES];
+        out[0] = self.kind.wire_code();
+        out[1] = self.op.map_or(0xFF, ReduceOp::wire_code);
+        out[2] = self.dtype.map_or(0xFF, ReduceDtype::wire_code);
+        out[4..8].copy_from_slice(&self.root.map_or(u32::MAX, |root| root as u32).to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<CollectiveId> {
+        if bytes.len() < COLLECTIVE_ID_BYTES {
+            return None;
+        }
+        let kind = CollectiveKind::from_wire_code(bytes[0])?;
+        let op = match bytes[1] {
+            0xFF => None,
+            code => Some(ReduceOp::from_wire_code(code)?),
+        };
+        let dtype = match bytes[2] {
+            0xFF => None,
+            code => Some(ReduceDtype::from_wire_code(code)?),
+        };
+        let root = match u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) {
+            u32::MAX => None,
+            root => Some(root as usize),
+        };
+        Some(CollectiveId {
+            kind,
+            root,
+            op,
+            dtype,
+        })
+    }
+}
+
 /// What one joining rank contributes to the collective.
 #[derive(Debug)]
 enum Contribution {
     /// Nothing (barrier; non-root joiners of broadcast/scatter).
     None,
     /// A flat payload (broadcast root, gather/allgather data, reduce vectors
-    /// encoded as little-endian `f64`s, a split's `(color, key)` pair).
+    /// encoded as little-endian elements, a split's `(color, key)` pair).
     Bytes(Payload),
     /// Per-member chunks supplied by a scatter root, in sub-rank order.
     Chunks(Vec<Payload>),
@@ -273,12 +373,19 @@ struct CommGroup {
     /// Global DCGN ranks in sub-rank order.
     members: Vec<usize>,
     /// Nodes hosting at least one member, ascending.  `nodes[0]` leads the
-    /// group's subgroup exchanges.
+    /// group's exchanges.
     nodes: Vec<usize>,
     /// Members resident on this node — the assembly-completeness threshold.
     local_members: usize,
-    /// Collectives executed on this communicator so far (salts exchange
-    /// tags, so consecutive collectives on one group cannot cross-talk).
+    /// Registration epoch, part of every exchange frame's identity.  Every
+    /// member node derives the same epoch deterministically (the world is 0;
+    /// split products chain a hash of the parent's epoch, split sequence and
+    /// color), so a recycled or colliding communicator id can never match a
+    /// stale exchange frame.
+    epoch: u32,
+    /// Collectives executed on this communicator so far; the sequence number
+    /// inside every exchange frame, so consecutive collectives on one group
+    /// can never cross-talk.
     seq: u64,
     /// Splits executed on this communicator (salts child communicator ids).
     splits: u64,
@@ -294,154 +401,119 @@ impl CommGroup {
     }
 }
 
-/// How the results of a node-level exchange map back onto ranks.
-enum ResultSet {
-    /// Every rank receives (a clone of) the same result.
-    Uniform(CollectiveResult),
-    /// Only `root` receives the result; everyone else gets
-    /// [`CollectiveResult::Unit`].
-    RootOnly(usize, CollectiveResult),
-    /// Rank-indexed results; ranks without an entry get `Unit`.
-    PerRank(Vec<Option<CollectiveResult>>),
-}
-
-impl ResultSet {
-    fn for_rank(&self, rank: usize) -> CollectiveResult {
-        match self {
-            ResultSet::Uniform(r) => r.clone(),
-            ResultSet::RootOnly(root, r) if *root == rank => r.clone(),
-            ResultSet::RootOnly(..) => CollectiveResult::Unit,
-            ResultSet::PerRank(per_rank) => per_rank
-                .get(rank)
-                .and_then(|r| r.clone())
-                .unwrap_or(CollectiveResult::Unit),
-        }
+/// Deterministic epoch of a split product, chained from the parent's epoch
+/// (FNV-1a, truncated).  Identical on every node computing the same split.
+fn child_epoch(parent_epoch: u32, split_seq: u64, color: u32) -> u32 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in parent_epoch
+        .to_le_bytes()
+        .into_iter()
+        .chain(split_seq.to_le_bytes())
+        .chain(color.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-}
-
-/// Node-level exchange function: combines the local contributions, runs the
-/// substrate operation and reports how results distribute over ranks.
-type ExchangeFn = fn(&mut CommThread, &CollectiveAssembly) -> Result<ResultSet>;
-
-/// One row of the collective dispatch table.
-struct CollectiveSpec {
-    kind: CollectiveKind,
-    exchange: ExchangeFn,
-}
-
-/// The single source of per-operation behaviour for world collectives.
-/// Adding a collective means adding a row here (plus its `RequestKind` and a
-/// subgroup combine arm), not a new state machine.
-static COLLECTIVE_TABLE: &[CollectiveSpec] = &[
-    CollectiveSpec {
-        kind: CollectiveKind::Barrier,
-        exchange: CommThread::exchange_barrier,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Broadcast,
-        exchange: CommThread::exchange_broadcast,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Gather,
-        exchange: CommThread::exchange_gather,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Scatter,
-        exchange: CommThread::exchange_scatter,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Allgather,
-        exchange: CommThread::exchange_allgather,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Reduce,
-        exchange: CommThread::exchange_reduce,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Allreduce,
-        exchange: CommThread::exchange_allreduce,
-    },
-    CollectiveSpec {
-        kind: CollectiveKind::Split,
-        exchange: CommThread::exchange_split,
-    },
-];
-
-fn spec_for(kind: CollectiveKind) -> &'static CollectiveSpec {
-    COLLECTIVE_TABLE
-        .iter()
-        .find(|spec| spec.kind == kind)
-        .expect("every collective kind has a table row")
+    h as u32
 }
 
 // ---------------------------------------------------------------------------
-// Asynchronous subgroup exchanges.
+// The asynchronous exchange engine (world and subgroups alike).
 // ---------------------------------------------------------------------------
 
-/// Wire status byte prefixed to every subgroup exchange frame.
-const SUBGROUP_OK: u8 = 0;
+/// Wire status byte of an exchange frame: the payload is a valid
+/// contribution / result.
+const ST_OK: u8 = 0;
 /// Error marker: the rest of the frame is a UTF-8 diagnostic.  Errors are
 /// echoed to every participating node, so a malformed collective fails only
-/// its own subgroup's ranks instead of hanging peers.
-const SUBGROUP_ERR: u8 = 1;
+/// its own communicator's ranks instead of hanging peers.
+const ST_ERR: u8 = 1;
+/// Collective-mismatch marker: the body is two [`CollectiveKind`] wire codes
+/// (`[in_progress][requested]`), decoded back into
+/// [`DcgnError::CollectiveMismatch`] on every participant.
+const ST_MISMATCH: u8 = 2;
 
-/// Tag phase of contribution frames (toward the leader node).
+/// Phase of contribution frames (toward the leader node).
 const PHASE_UP: u32 = 0;
-/// Tag phase of result frames (from the leader node).
+/// Phase of result frames (from the leader node).
 const PHASE_DOWN: u32 = 1;
 
-/// Progress state of one in-flight subgroup exchange.  Several of these can
-/// be live at once — one per communicator — and the main loop advances each
-/// a little per iteration, which is what lets disjoint groups overlap.
-enum ExchangePhase {
-    /// Leader: waiting for the up-frame of every other participating node.
-    AwaitUps {
-        pending: Vec<(usize, MpiRequest)>,
-        collected: Vec<(usize, Vec<u8>)>,
-    },
-    /// Non-leader: up-frame sent, waiting for the leader's down-frame.
-    AwaitDown(MpiRequest),
-}
-
-/// One communicator's collective mid-exchange across nodes.
-struct SubgroupExchange {
+/// Exact identity of one in-flight exchange: the communicator's registration
+/// epoch, the communicator and its collective sequence number.  The phase is
+/// the remaining [`ExchangeId`] field, carried per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExchangeKey {
+    epoch: u32,
     comm: CommId,
-    id: CollectiveId,
     seq: u64,
-    /// `(rank, reply channel)` of every joined local member.
-    joined: Vec<(usize, Sender<Reply>)>,
-    /// This node's own status-framed contribution (leader keeps it for the
-    /// combine step; non-leaders have already shipped theirs).
-    own_up: Vec<u8>,
-    phase: ExchangePhase,
 }
 
-/// Frame a locally-built contribution (or local failure) for the wire.
-fn frame_up(built: std::result::Result<Vec<u8>, String>) -> Vec<u8> {
-    match built {
-        Ok(payload) => {
-            let mut f = Vec::with_capacity(1 + payload.len());
-            f.push(SUBGROUP_OK);
-            f.extend_from_slice(&payload);
-            f
+impl ExchangeKey {
+    fn wire(&self, phase: u32) -> ExchangeId {
+        ExchangeId {
+            comm_epoch: self.epoch,
+            comm: self.comm.raw(),
+            seq: self.seq,
+            phase,
         }
-        Err(msg) => frame_error(&msg),
     }
 }
 
-fn frame_error(msg: &str) -> Vec<u8> {
-    let mut f = Vec::with_capacity(1 + msg.len());
-    f.push(SUBGROUP_ERR);
-    f.extend_from_slice(msg.as_bytes());
-    f
+/// A received (or locally built) status-framed exchange payload.
+type ExFrame = (u8, Payload);
+
+/// How a combined collective's results distribute over the participating
+/// nodes.
+enum Downs {
+    /// Every node receives the same body.  The leader frames it exactly
+    /// once and ships the shared pooled frame to every node — reference
+    /// clones, not per-node copies.
+    Uniform(Vec<u8>),
+    /// Node-specific bodies (scatter chunks; rooted results, with empty
+    /// bodies for non-root nodes).
+    PerNode(HashMap<usize, Vec<u8>>),
 }
 
-/// Split a status-framed payload back into `Ok(payload)` / `Err(diagnostic)`.
-fn parse_frame(frame: &[u8]) -> std::result::Result<&[u8], String> {
-    match frame.first() {
-        Some(&SUBGROUP_OK) => Ok(&frame[1..]),
-        Some(&SUBGROUP_ERR) => Err(String::from_utf8_lossy(&frame[1..]).into_owned()),
-        _ => Err("empty subgroup frame".into()),
+/// Role-specific progress state of one in-flight exchange.
+enum ExchangeRole {
+    /// Leader: collecting the up-frame of every participating node
+    /// (including its own, staged at start).
+    Leader {
+        awaiting: HashSet<usize>,
+        ups: Vec<(usize, ExFrame)>,
+    },
+    /// Non-leader: up-frame sent, waiting for the leader's down-frame.
+    Member,
+}
+
+/// One communicator's collective mid-exchange across nodes.  Several can be
+/// live at once — at most one per communicator — and each progresses
+/// independently as its frames arrive, which is what lets disjoint
+/// communicators (and the world) overlap.
+struct Exchange {
+    id: CollectiveId,
+    /// `(rank, reply channel)` of every joined local member (empty for an
+    /// abort echo, whose joiners were already failed at join time).
+    joined: Vec<(usize, Sender<Reply>)>,
+    role: ExchangeRole,
+}
+
+/// Fail every joined rank of an abandoned or erroneous collective.
+fn fail_joined(joined: Vec<(usize, Sender<Reply>)>, err: DcgnError) {
+    for (_, reply_tx) in joined {
+        let _ = reply_tx.send(Reply::Error(err.clone()));
+    }
+}
+
+/// Decode a non-OK frame into the error every participant reports.
+fn frame_to_error(status: u8, body: &[u8]) -> DcgnError {
+    match status {
+        ST_MISMATCH if body.len() >= 2 => DcgnError::CollectiveMismatch {
+            in_progress: CollectiveKind::wire_name(body[0]),
+            requested: CollectiveKind::wire_name(body[1]),
+        },
+        ST_ERR => DcgnError::InvalidArgument(String::from_utf8_lossy(body).into_owned()),
+        other => DcgnError::Internal(format!("malformed exchange frame (status {other})")),
     }
 }
 
@@ -461,13 +533,6 @@ fn decode_color_key(bytes: &[u8]) -> Option<(u32, u32)> {
     }
 }
 
-/// Fail every joined rank of an abandoned or erroneous collective.
-fn fail_joined(joined: Vec<(usize, Sender<Reply>)>, err: DcgnError) {
-    for (_, reply_tx) in joined {
-        let _ = reply_tx.send(Reply::Error(err.clone()));
-    }
-}
-
 /// State and main loop of one node's communication thread.
 pub(crate) struct CommThread {
     node: usize,
@@ -476,18 +541,27 @@ pub(crate) struct CommThread {
     work_rx: Receiver<CommCommand>,
     cost: CostModel,
 
+    /// Persistent wildcard receive for inter-node point-to-point frames.
     catchall: Option<MpiRequest>,
+    /// Persistent receive for exchange frames ([`TAG_EXCHANGE`]); completed
+    /// frames are demultiplexed onto [`CommThread::exchanges`] by the exact
+    /// key inside the frame.
+    exchange_recv: Option<MpiRequest>,
     /// Indexed point-to-point matcher (messages and receives).
     matcher: Matcher,
     outstanding_isends: Vec<MpiRequest>,
     /// Communicator groups known to this node (world plus every split
     /// product with a resident member).
     groups: HashMap<CommId, CommGroup>,
-    /// Per-communicator collective assemblies — the keyed replacement of the
-    /// old single `active_collective` slot.
+    /// Per-communicator collective assemblies, keyed so independent groups
+    /// assemble concurrently.
     active: HashMap<CommId, CollectiveAssembly>,
-    /// Subgroup exchanges in flight across nodes.
-    exchanges: Vec<SubgroupExchange>,
+    /// Exchanges in flight across nodes, keyed by exact identity.
+    exchanges: HashMap<ExchangeKey, Exchange>,
+    /// Exchange frames that arrived before this node started the exchange
+    /// they name (its local assembly had not completed yet), keyed by
+    /// `(key, phase)` and carrying the sending node.
+    early_frames: HashMap<(ExchangeKey, u32), Vec<(usize, ExFrame)>>,
     local_done: bool,
 }
 
@@ -513,6 +587,7 @@ impl CommThread {
             members: (0..rank_map.total_ranks()).collect(),
             nodes: world_nodes,
             local_members: rank_map.ranks_on_node_count(node),
+            epoch: 0,
             seq: 0,
             splits: 0,
             freed: HashSet::new(),
@@ -524,11 +599,13 @@ impl CommThread {
             work_rx,
             cost,
             catchall: None,
+            exchange_recv: None,
             matcher: Matcher::default(),
             outstanding_isends: Vec::new(),
             groups: HashMap::from([(CommId::WORLD, world)]),
             active: HashMap::new(),
-            exchanges: Vec::new(),
+            exchanges: HashMap::new(),
+            early_frames: HashMap::new(),
             local_done: false,
         }
     }
@@ -545,22 +622,20 @@ impl CommThread {
                 did_work = true;
             }
 
-            // 2. Progress the MPI substrate: harvest inter-node messages
-            //    (each is matched against queued receives on arrival, so
-            //    there is no separate matching pass).
+            // 2. Progress the MPI substrate: harvest inter-node
+            //    point-to-point messages and exchange frames (each is
+            //    matched / demultiplexed on arrival, so there is no separate
+            //    matching pass).
             did_work |= self.progress_mpi()?;
 
-            // 3. Start node-level collectives whose local assembly is
-            //    complete (one independently per communicator).
+            // 3. Start the exchange of every communicator whose local
+            //    assembly is complete (independently per communicator).
             did_work |= self.try_execute_collectives()?;
 
-            // 4. Advance in-flight subgroup exchanges.
-            did_work |= self.progress_subgroup_exchanges()?;
-
-            // 5. Retire completed nonblocking sends.
+            // 4. Retire completed nonblocking sends.
             self.reap_isends()?;
 
-            // 6. Shut down when the process is quiescent.
+            // 5. Shut down when the process is quiescent.
             if self.local_done
                 && self.matcher.pending_recvs() == 0
                 && self.active.is_empty()
@@ -568,12 +643,14 @@ impl CommThread {
                 && self.outstanding_isends.is_empty()
             {
                 // Synchronise teardown across nodes so no peer is left
-                // mid-transfer when this communicator goes away.
+                // mid-transfer when this communicator goes away.  Every node
+                // reaches this point (erroneous collectives error out
+                // instead of blocking), so the quiesce cannot hang.
                 self.comm.barrier()?;
                 return Ok(());
             }
 
-            // 7. Idle: block on the work queue.  Local kernel requests land
+            // 6. Idle: block on the work queue.  Local kernel requests land
             //    here directly and fabric deliveries ring it via the wake
             //    notifier, so this is an event wait; the timeout is only a
             //    safety net.
@@ -604,9 +681,10 @@ impl CommThread {
                         let _ = reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
                     }
                 }
-                for ex in self.exchanges.drain(..) {
+                for (_, ex) in self.exchanges.drain() {
                     fail_joined(ex.joined, DcgnError::ShuttingDown);
                 }
+                self.early_frames.clear();
                 for recv in self.matcher.drain_recvs() {
                     let _ = recv.reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
                 }
@@ -684,9 +762,9 @@ impl CommThread {
             self.route_incoming(msg);
         } else {
             // Inter-node: frame the DCGN envelope in the payload's reserved
-            // headroom (no body copy) and hand it to MPI.  The MPI tag is
-            // the destination DCGN rank, which keeps messages for different
-            // local ranks separable on the receiving node.
+            // headroom (no body copy) and hand the pooled frame to MPI.  The
+            // MPI tag is the destination DCGN rank, which keeps messages for
+            // different local ranks separable on the receiving node.
             let wire = frame_p2p(src, dst, tag, data);
             let mpi_req = self.comm.isend(dst_node, dst as u32, wire)?;
             self.outstanding_isends.push(mpi_req);
@@ -743,7 +821,7 @@ impl CommThread {
         if comm.is_world() {
             return fail(reply_tx, "the world communicator cannot be freed".into());
         }
-        if self.active.contains_key(&comm) || self.exchanges.iter().any(|ex| ex.comm == comm) {
+        if self.active.contains_key(&comm) || self.exchanges.keys().any(|key| key.comm == comm) {
             return fail(
                 reply_tx,
                 format!("communicator {comm} has a collective in progress"),
@@ -774,11 +852,10 @@ impl CommThread {
         Ok(())
     }
 
-    /// Keep exactly one catch-all MPI receive posted; every completion is an
-    /// inter-node DCGN message destined for some local rank.  Subgroup
-    /// exchange frames carry tags at or above the internal base, which the
-    /// wildcard receive never matches, so they flow to their own posted
-    /// receives instead.
+    /// Keep exactly one catch-all point-to-point receive and one exchange
+    /// receive posted.  Point-to-point completions are matched against
+    /// queued receives on arrival; exchange completions are demultiplexed
+    /// onto the in-flight exchange named *inside* the frame.
     fn progress_mpi(&mut self) -> Result<bool> {
         let mut did_work = false;
         loop {
@@ -794,7 +871,7 @@ impl CommThread {
                 .take_recv(req)
                 .ok_or_else(|| DcgnError::Internal("catch-all recv vanished".into()))?;
             self.catchall = None;
-            // The decoded body is a zero-copy view of the wire frame.
+            // The decoded body is a zero-copy view of the pooled wire frame.
             let (src, dst, tag, data) = decode_p2p(wire)?;
             let msg = IncomingMsg {
                 src,
@@ -805,6 +882,24 @@ impl CommThread {
                 seq: self.matcher.stamp(),
             };
             self.route_incoming(msg);
+            did_work = true;
+        }
+        loop {
+            if self.exchange_recv.is_none() {
+                self.exchange_recv = Some(self.comm.irecv(None, Some(TAG_EXCHANGE))?);
+            }
+            let req = self.exchange_recv.expect("just ensured");
+            if !self.comm.test(req)? {
+                break;
+            }
+            let (wire, status) = self
+                .comm
+                .take_recv(req)
+                .ok_or_else(|| DcgnError::Internal("exchange recv vanished".into()))?;
+            self.exchange_recv = None;
+            // One MPI rank per node: the substrate source rank *is* the
+            // sending node.
+            self.route_exchange_frame(status.source, wire)?;
             did_work = true;
         }
         Ok(did_work)
@@ -833,7 +928,6 @@ impl CommThread {
     /// communicator, and add the rank's contribution to that group's
     /// assembly.
     fn join_collective(&mut self, req: Request) -> Result<()> {
-        let name = req.kind.name();
         let src_rank = req.src_rank;
         let (comm, id, contribution) = match classify_collective(req.kind) {
             Ok(parts) => parts,
@@ -899,13 +993,27 @@ impl CommThread {
             Entry::Occupied(mut slot) => {
                 let assembly = slot.get_mut();
                 if assembly.id != id {
-                    let _ = req
-                        .reply_tx
-                        .send(Reply::Error(DcgnError::CollectiveMismatch {
-                            in_progress: assembly.id.kind.name(),
-                            requested: name,
-                        }));
-                    return Ok(());
+                    // Local ranks disagree about the collective.  Fail the
+                    // *whole* assembly — the late rank and everyone already
+                    // joined — and echo the mismatch through the exchange so
+                    // the communicator's other nodes error out too instead
+                    // of waiting for an up-frame that will never come.
+                    let aborted = slot.remove();
+                    let err = DcgnError::CollectiveMismatch {
+                        in_progress: aborted.id.kind.name(),
+                        requested: id.kind.name(),
+                    };
+                    let _ = req.reply_tx.send(Reply::Error(err.clone()));
+                    let codes = [aborted.id.kind.wire_code(), id.kind.wire_code()];
+                    for (_, _, reply_tx) in aborted.joined {
+                        let _ = reply_tx.send(Reply::Error(err.clone()));
+                    }
+                    return self.start_exchange_with(
+                        comm,
+                        aborted.id,
+                        Vec::new(),
+                        (ST_MISMATCH, codes.to_vec()),
+                    );
                 }
                 assembly.joined.push((src_rank, contribution, req.reply_tx));
             }
@@ -913,10 +1021,9 @@ impl CommThread {
         Ok(())
     }
 
-    /// Phases 2–4 — kick off every communicator whose local members have all
-    /// joined.  World collectives run the (blocking) substrate exchange of
-    /// the dispatch table; subgroup collectives start an asynchronous star
-    /// exchange so disjoint groups overlap.
+    /// Phases 2–4 — kick off the asynchronous exchange of every communicator
+    /// whose local members have all joined.  World and subgroup collectives
+    /// take the same path; there is no blocking substrate exchange left.
     fn try_execute_collectives(&mut self) -> Result<bool> {
         let ready: Vec<CommId> = self
             .active
@@ -933,449 +1040,293 @@ impl CommThread {
         }
         for comm in ready {
             let assembly = self.active.remove(&comm).expect("selected above");
-            let seq = {
-                let g = self.groups.get_mut(&comm).expect("joined groups exist");
-                g.seq += 1;
-                g.seq
-            };
-            if comm.is_world() {
-                self.execute_world_collective(assembly)?;
-            } else {
-                self.start_subgroup_exchange(comm, seq, assembly)?;
-            }
+            self.start_exchange(comm, assembly)?;
         }
         Ok(true)
     }
 
-    /// World path: run the table-driven node-level substrate exchange and
-    /// scatter the per-rank results back.
-    fn execute_world_collective(&mut self, assembly: CollectiveAssembly) -> Result<()> {
-        let results = match (spec_for(assembly.id.kind).exchange)(self, &assembly) {
-            Ok(results) => results,
-            Err(DcgnError::InvalidArgument(msg)) => {
-                // A malformed contribution (e.g. mismatched reduce lengths)
-                // fails every local joiner instead of killing the thread.
-                //
-                // Like MPI, a world collective whose ranks disagree across
-                // *nodes* is erroneous: this node skips the substrate
-                // exchange, so peer nodes that already entered theirs block
-                // until their own kernels time out (see ROADMAP: failure
-                // containment needs cancellable substrate collectives).
-                // Subgroup collectives do better — their exchange echoes
-                // errors to every participating node.
-                for (_, _, reply_tx) in assembly.joined {
-                    let _ = reply_tx.send(Reply::Error(DcgnError::InvalidArgument(msg.clone())));
-                }
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        // The rank the payload flows *from* (exempt from dispersal cost):
-        // broadcast and scatter distribute the root's data; the gathering /
-        // reducing collectives deliver *to* their receivers, root included.
-        let source = match assembly.id.kind {
-            CollectiveKind::Broadcast | CollectiveKind::Scatter => assembly.id.root,
-            _ => None,
-        };
-        for (rank, _, reply_tx) in assembly.joined {
-            let result = results.for_rank(rank);
-            // Local dispersal cost: one intra-node copy per rank that
-            // receives a payload it did not itself source.  Payload-free
-            // completions (barrier, non-root ranks of rooted collectives)
-            // charge nothing.
-            if !matches!(result, CollectiveResult::Unit) && Some(rank) != source {
-                self.cost.intra_node.charge(result_payload_len(&result));
-            }
-            let _ = reply_tx.send(Reply::CollectiveDone(result));
-        }
-        Ok(())
-    }
-
-    // -- Table rows: the node-level substrate exchange of each world
-    //    collective. ------------------------------------------------------
-
-    fn exchange_barrier(&mut self, _assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        // All local ranks have joined; one node-level barrier finishes it.
-        self.comm.barrier()?;
-        Ok(ResultSet::Uniform(CollectiveResult::Unit))
-    }
-
-    fn exchange_broadcast(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let root = assembly.id.root.expect("broadcast is rooted");
-        let root_node = self.node_of_root(root)?;
-        // If the root is resident, its buffer seeds the MPI broadcast;
-        // otherwise an empty buffer receives the payload (§3.2.3).
-        let mut data = assembly
-            .joined
-            .iter()
-            .find(|(rank, _, _)| *rank == root)
-            .map(|(_, c, _)| c.as_bytes().to_vec())
-            .unwrap_or_default();
-        self.comm.bcast(root_node, &mut data)?;
-        Ok(ResultSet::Uniform(CollectiveResult::Bytes(
-            Payload::from_vec(data),
-        )))
-    }
-
-    fn exchange_gather(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let root = assembly.id.root.expect("gather is rooted");
-        let root_node = self.node_of_root(root)?;
-        let blob = encode_rank_frames(
-            assembly
-                .joined
-                .iter()
-                .map(|(rank, c, _)| (*rank, c.as_bytes())),
-        );
-        let node_blobs = self.comm.gatherv(root_node, &blob)?;
-        Ok(match node_blobs {
-            Some(blobs) => {
-                let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
-                for blob in blobs {
-                    decode_rank_frames_into(&blob, &mut per_rank);
-                }
-                ResultSet::RootOnly(
-                    root,
-                    CollectiveResult::Chunks(per_rank.into_iter().map(Payload::from_vec).collect()),
-                )
-            }
-            None => ResultSet::RootOnly(root, CollectiveResult::Unit),
-        })
-    }
-
-    fn exchange_scatter(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let root = assembly.id.root.expect("scatter is rooted");
-        let root_node = self.node_of_root(root)?;
-        // Only the root node holds the chunk list; it frames each remote
-        // node's share as one blob and the substrate scatters them.
-        let node_blobs = if self.node == root_node {
-            let chunks = assembly
-                .joined
-                .iter()
-                .find_map(|(rank, c, _)| match (rank, c) {
-                    (r, Contribution::Chunks(chunks)) if *r == root => Some(chunks),
-                    _ => None,
-                })
-                .ok_or_else(|| {
-                    DcgnError::InvalidArgument("scatter root supplied no chunks".into())
-                })?;
-            let blobs: Vec<Vec<u8>> = (0..self.rank_map.num_nodes())
-                .map(|node| {
-                    encode_rank_frames(
-                        self.rank_map
-                            .ranks_on_node(node)
-                            .map(|rank| (rank, chunks[rank].as_slice())),
-                    )
-                })
-                .collect();
-            Some(blobs)
-        } else {
-            None
-        };
-        let my_blob = self.comm.scatterv(root_node, node_blobs.as_deref())?;
-        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
-        decode_rank_frames_into(&my_blob, &mut per_rank);
-        Ok(ResultSet::PerRank(
-            per_rank
-                .into_iter()
-                .enumerate()
-                .map(|(rank, chunk)| {
-                    self.rank_map
-                        .node_of(rank)
-                        .filter(|&n| n == self.node)
-                        .map(|_| CollectiveResult::Bytes(Payload::from_vec(chunk)))
-                })
-                .collect(),
-        ))
-    }
-
-    fn exchange_allgather(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let blob = encode_rank_frames(
-            assembly
-                .joined
-                .iter()
-                .map(|(rank, c, _)| (*rank, c.as_bytes())),
-        );
-        let all_blobs = self.comm.allgatherv(&blob)?;
-        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); self.rank_map.total_ranks()];
-        for blob in all_blobs {
-            decode_rank_frames_into(&blob, &mut per_rank);
-        }
-        Ok(ResultSet::Uniform(CollectiveResult::Chunks(
-            per_rank.into_iter().map(Payload::from_vec).collect(),
-        )))
-    }
-
-    fn exchange_reduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let root = assembly.id.root.expect("reduce is rooted");
-        let root_node = self.node_of_root(root)?;
-        let op = assembly.id.op.expect("reduce carries an operator");
-        let dtype = assembly.id.dtype.expect("reduce carries an element type");
-        let partial = combine_local_reduce(assembly, op, dtype)?;
-        let reduced = self.comm.reduce_bytes(root_node, &partial, op, dtype)?;
-        Ok(match reduced {
-            Some(bytes) => {
-                ResultSet::RootOnly(root, CollectiveResult::Bytes(Payload::from_vec(bytes)))
-            }
-            None => ResultSet::RootOnly(root, CollectiveResult::Unit),
-        })
-    }
-
-    fn exchange_allreduce(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let op = assembly.id.op.expect("allreduce carries an operator");
-        let dtype = assembly
-            .id
-            .dtype
-            .expect("allreduce carries an element type");
-        let partial = combine_local_reduce(assembly, op, dtype)?;
-        let bytes = self.comm.allreduce_bytes(&partial, op, dtype)?;
-        Ok(ResultSet::Uniform(CollectiveResult::Bytes(
-            Payload::from_vec(bytes),
-        )))
-    }
-
-    /// World `comm_split`: allgather every rank's `(color, key)` through the
-    /// substrate, then let every node deterministically compute (and
-    /// register) the same child groups and hand each local rank its encoded
-    /// membership.
-    fn exchange_split(&mut self, assembly: &CollectiveAssembly) -> Result<ResultSet> {
-        let blob = encode_rank_frames(
-            assembly
-                .joined
-                .iter()
-                .map(|(rank, c, _)| (*rank, c.as_bytes())),
-        );
-        let all_blobs = self.comm.allgatherv(&blob)?;
-        let total = self.rank_map.total_ranks();
-        let mut per_rank: Vec<Vec<u8>> = vec![Vec::new(); total];
-        for blob in all_blobs {
-            decode_rank_frames_into(&blob, &mut per_rank);
-        }
-        let table = parse_color_table(&per_rank)?;
-        let mut infos = self.apply_split(CommId::WORLD, &table);
-        Ok(ResultSet::PerRank(
-            (0..total)
-                .map(|rank| {
-                    infos
-                        .remove(&rank)
-                        .map(|info| CollectiveResult::Bytes(Payload::from_vec(info)))
-                })
-                .collect(),
-        ))
-    }
-
-    fn node_of_root(&self, root: usize) -> Result<usize> {
-        self.rank_map
-            .node_of(root)
-            .ok_or(DcgnError::InvalidRank(root))
-    }
-
     // ------------------------------------------------------------------
-    // Subgroup exchanges: an asynchronous star around the group's leader
-    // node, incrementally progressed so disjoint communicators overlap.
+    // The keyed exchange engine: an asynchronous star around the group's
+    // leader node, progressed as frames arrive so independent communicators
+    // (the world included) overlap.
     // ------------------------------------------------------------------
 
-    /// Start the cross-node exchange of a completed subgroup assembly.
-    fn start_subgroup_exchange(
-        &mut self,
-        comm: CommId,
-        seq: u64,
-        assembly: CollectiveAssembly,
-    ) -> Result<()> {
-        let group = self.groups.get(&comm).expect("validated at join").clone();
-        let id = assembly.id;
-        let own_up = frame_up(self.build_subgroup_up(&assembly, &group));
+    /// Start the cross-node exchange of a completed assembly: build this
+    /// node's status-framed up contribution and enter the exchange.
+    fn start_exchange(&mut self, comm: CommId, assembly: CollectiveAssembly) -> Result<()> {
+        let group = self.groups.get(&comm).expect("validated at join");
+        let up = match self.build_up(&assembly, group) {
+            Ok(contribution) => {
+                let mut body = Vec::with_capacity(COLLECTIVE_ID_BYTES + contribution.len());
+                body.extend_from_slice(&assembly.id.encode());
+                body.extend_from_slice(&contribution);
+                (ST_OK, body)
+            }
+            Err(msg) => (ST_ERR, msg.into_bytes()),
+        };
         let joined: Vec<(usize, Sender<Reply>)> = assembly
             .joined
             .into_iter()
             .map(|(rank, _, reply_tx)| (rank, reply_tx))
             .collect();
-        let leader = group.nodes[0];
-        let mut ex = if self.node == leader {
-            let up_tag = subgroup_tag(comm.raw(), seq, PHASE_UP);
-            let mut pending = Vec::new();
-            for &node in &group.nodes {
-                if node != self.node {
-                    pending.push((node, self.comm.irecv(Some(node), Some(up_tag))?));
+        self.start_exchange_with(comm, assembly.id, joined, up)
+    }
+
+    /// Enter an exchange with an explicit up-frame (the regular path and the
+    /// join-mismatch abort echo share this).  Bumps the communicator's
+    /// collective sequence number.
+    fn start_exchange_with(
+        &mut self,
+        comm: CommId,
+        id: CollectiveId,
+        joined: Vec<(usize, Sender<Reply>)>,
+        own_up: (u8, Vec<u8>),
+    ) -> Result<()> {
+        let (epoch, seq, leader, nodes) = {
+            let g = self.groups.get_mut(&comm).expect("validated at join");
+            g.seq += 1;
+            (g.epoch, g.seq, g.nodes[0], g.nodes.clone())
+        };
+        let key = ExchangeKey { epoch, comm, seq };
+        let (status, body) = own_up;
+        if self.node == leader {
+            let mut ex = Exchange {
+                id,
+                joined,
+                role: ExchangeRole::Leader {
+                    awaiting: nodes.iter().copied().filter(|&n| n != self.node).collect(),
+                    ups: vec![(self.node, (status, Payload::from_vec(body)))],
+                },
+            };
+            // Fold in up-frames that raced ahead of our local assembly.
+            if let Some(early) = self.early_frames.remove(&(key, PHASE_UP)) {
+                if let ExchangeRole::Leader { awaiting, ups } = &mut ex.role {
+                    for (node, frame) in early {
+                        if awaiting.remove(&node) {
+                            ups.push((node, frame));
+                        }
+                    }
                 }
             }
-            SubgroupExchange {
-                comm,
-                id,
-                seq,
-                joined,
-                own_up,
-                phase: ExchangePhase::AwaitUps {
-                    pending,
-                    collected: Vec::new(),
-                },
+            if matches!(&ex.role, ExchangeRole::Leader { awaiting, .. } if awaiting.is_empty()) {
+                self.finish_leader(key, ex)?;
+            } else {
+                self.exchanges.insert(key, ex);
             }
         } else {
-            let up_req =
-                self.comm
-                    .isend(leader, subgroup_tag(comm.raw(), seq, PHASE_UP), own_up)?;
-            self.outstanding_isends.push(up_req);
-            let down_req = self.comm.irecv(
-                Some(leader),
-                Some(subgroup_tag(comm.raw(), seq, PHASE_DOWN)),
-            )?;
-            SubgroupExchange {
-                comm,
+            let frame = frame_exchange(key.wire(PHASE_UP), status, &body);
+            let req = self.comm.isend(leader, TAG_EXCHANGE, frame)?;
+            self.outstanding_isends.push(req);
+            let ex = Exchange {
                 id,
-                seq,
                 joined,
-                own_up: Vec::new(),
-                phase: ExchangePhase::AwaitDown(down_req),
+                role: ExchangeRole::Member,
+            };
+            // The down-frame can only follow our own up-frame, but test
+            // the early buffer anyway so the demux has one code path.
+            match self
+                .early_frames
+                .remove(&(key, PHASE_DOWN))
+                .and_then(|mut frames| frames.pop())
+            {
+                Some((_, frame)) => self.finish_member(key.comm, ex, frame)?,
+                None => {
+                    self.exchanges.insert(key, ex);
+                }
             }
-        };
-        // Single-node groups (and already-arrived frames) complete at once.
-        if !self.advance_exchange(&mut ex)? {
-            self.exchanges.push(ex);
         }
         Ok(())
     }
 
-    /// Advance every in-flight exchange a step; completed ones deliver their
-    /// replies and are dropped.
-    fn progress_subgroup_exchanges(&mut self) -> Result<bool> {
-        if self.exchanges.is_empty() {
-            return Ok(false);
-        }
-        let mut did_work = false;
-        let exchanges = std::mem::take(&mut self.exchanges);
-        for mut ex in exchanges {
-            if self.advance_exchange(&mut ex)? {
-                did_work = true;
-            } else {
-                self.exchanges.push(ex);
-            }
-        }
-        Ok(did_work)
-    }
-
-    /// Poll one exchange's outstanding substrate requests; returns true once
-    /// it has completed (results delivered to every local joiner).
-    fn advance_exchange(&mut self, ex: &mut SubgroupExchange) -> Result<bool> {
-        match &mut ex.phase {
-            ExchangePhase::AwaitUps { pending, collected } => {
-                let mut i = 0;
-                while i < pending.len() {
-                    let (node, req) = pending[i];
-                    if self.comm.test(req)? {
-                        let (frame, _) = self.comm.take_recv(req).ok_or_else(|| {
-                            DcgnError::Internal("subgroup up-frame vanished".into())
-                        })?;
-                        collected.push((node, frame));
-                        pending.swap_remove(i);
-                    } else {
-                        i += 1;
-                    }
-                }
-                if !pending.is_empty() {
-                    return Ok(false);
-                }
-                self.finish_leader(ex)?;
-                Ok(true)
-            }
-            ExchangePhase::AwaitDown(req) => {
-                let req = *req;
-                if !self.comm.test(req)? {
-                    return Ok(false);
-                }
-                let (frame, _) = self
-                    .comm
-                    .take_recv(req)
-                    .ok_or_else(|| DcgnError::Internal("subgroup down-frame vanished".into()))?;
-                let joined = std::mem::take(&mut ex.joined);
-                // Wrap the wire frame once; the delivered body (and every
-                // chunk decoded from it) is a zero-copy view into it.
-                let frame = Payload::from_vec(frame);
-                match parse_frame(frame.as_slice()) {
-                    Err(msg) => fail_joined(joined, DcgnError::InvalidArgument(msg)),
-                    Ok(_) => {
-                        let body = frame.slice(1..frame.len());
-                        let group = self
-                            .groups
-                            .get(&ex.comm)
-                            .expect("group outlives its exchanges")
-                            .clone();
-                        self.deliver_subgroup(ex.comm, ex.id, joined, &group, body)?;
-                    }
-                }
-                Ok(true)
-            }
-        }
-    }
-
-    /// Leader: all up-frames (and our own) are in — combine them, ship each
-    /// participating node its down-frame, and deliver local results.
-    fn finish_leader(&mut self, ex: &mut SubgroupExchange) -> Result<()> {
-        let collected = match &mut ex.phase {
-            ExchangePhase::AwaitUps { collected, .. } => std::mem::take(collected),
-            ExchangePhase::AwaitDown(_) => unreachable!("leader state"),
+    /// Demultiplex one received exchange frame onto the in-flight exchange
+    /// it names, or buffer it until this node starts that exchange.
+    fn route_exchange_frame(&mut self, src_node: usize, wire: Payload) -> Result<()> {
+        let (id, status) = parse_exchange_header(wire.as_slice())?;
+        let key = ExchangeKey {
+            epoch: id.comm_epoch,
+            comm: CommId::from_raw(id.comm),
+            seq: id.seq,
         };
-        let joined = std::mem::take(&mut ex.joined);
+        let phase = id.phase;
+        let body = wire.slice(EXCHANGE_HEADER_BYTES..wire.len());
+        let frame: ExFrame = (status, body);
+        match self.exchanges.entry(key) {
+            Entry::Occupied(mut slot) => match (&mut slot.get_mut().role, phase) {
+                (ExchangeRole::Leader { awaiting, ups }, PHASE_UP) => {
+                    if awaiting.remove(&src_node) {
+                        ups.push((src_node, frame));
+                        if awaiting.is_empty() {
+                            let (key, ex) = slot.remove_entry();
+                            self.finish_leader(key, ex)?;
+                        }
+                    }
+                    // A duplicate (or non-member) up-frame is dropped: the
+                    // exact key already proves it named this exchange, so
+                    // it cannot belong anywhere else.
+                    Ok(())
+                }
+                (ExchangeRole::Member, PHASE_DOWN) => {
+                    let (key, ex) = slot.remove_entry();
+                    self.finish_member(key.comm, ex, frame)
+                }
+                // A role/phase mismatch (e.g. a member receiving an
+                // up-frame) cannot occur under the protocol; keep the frame
+                // out of the exchange rather than corrupting it.
+                _ => Ok(()),
+            },
+            Entry::Vacant(_) => {
+                self.early_frames
+                    .entry((key, phase))
+                    .or_default()
+                    .push((src_node, frame));
+                Ok(())
+            }
+        }
+    }
+
+    /// Leader: all up-frames (and our own) are in — verify that every node
+    /// executed the same collective, combine the contributions, ship each
+    /// participating node its down-frame, and deliver local results.
+    fn finish_leader(&mut self, key: ExchangeKey, ex: Exchange) -> Result<()> {
+        let ups = match ex.role {
+            ExchangeRole::Leader { ups, .. } => ups,
+            ExchangeRole::Member => unreachable!("leader state"),
+        };
         let group = self
             .groups
-            .get(&ex.comm)
+            .get(&key.comm)
             .expect("group outlives its exchanges")
             .clone();
-        let down_tag = subgroup_tag(ex.comm.raw(), ex.seq, PHASE_DOWN);
 
-        // Unwrap status frames; the first error (local or remote) fails the
-        // whole subgroup — and *only* this subgroup, because the error is
-        // echoed to every participating node instead of leaving them blocked.
-        let mut payloads: HashMap<usize, Vec<u8>> = HashMap::new();
-        let mut error: Option<String> = None;
-        for (node, frame) in
-            std::iter::once((self.node, std::mem::take(&mut ex.own_up))).chain(collected)
-        {
-            match parse_frame(&frame) {
-                Ok(payload) => {
-                    payloads.insert(node, payload.to_vec());
-                }
-                Err(msg) => {
-                    error.get_or_insert(msg);
-                }
+        // Unwrap status frames and verify the cross-node collective
+        // identity.  The first error — a local validation failure, a
+        // mismatch echo from a joining node, or peers disagreeing about
+        // which collective runs — fails the whole communicator, and *only*
+        // this communicator, because it is echoed to every participating
+        // node instead of leaving them blocked.
+        let mut payloads: HashMap<usize, Payload> = HashMap::new();
+        let mut error: Option<(u8, Vec<u8>)> = None;
+        for (node, (status, body)) in ups {
+            match status {
+                ST_OK => match CollectiveId::decode(body.as_slice()) {
+                    Some(peer_id) if peer_id == ex.id => {
+                        payloads.insert(node, body.slice(COLLECTIVE_ID_BYTES..body.len()));
+                    }
+                    Some(peer_id) if error.is_none() => {
+                        error = Some(if peer_id.kind != ex.id.kind {
+                            (
+                                ST_MISMATCH,
+                                vec![ex.id.kind.wire_code(), peer_id.kind.wire_code()],
+                            )
+                        } else {
+                            (
+                                ST_ERR,
+                                format!(
+                                    "collective identity mismatch across nodes: node {node} \
+                                     ran {} with root {:?}, op {:?}, dtype {:?}; the leader \
+                                     expected root {:?}, op {:?}, dtype {:?}",
+                                    peer_id.kind.name(),
+                                    peer_id.root,
+                                    peer_id.op,
+                                    peer_id.dtype,
+                                    ex.id.root,
+                                    ex.id.op,
+                                    ex.id.dtype
+                                )
+                                .into_bytes(),
+                            )
+                        });
+                    }
+                    None if error.is_none() => {
+                        error = Some((
+                            ST_ERR,
+                            format!("malformed exchange up-frame from node {node}").into_bytes(),
+                        ));
+                    }
+                    _ => {}
+                },
+                status if error.is_none() => error = Some((status, body.to_vec())),
+                _ => {}
             }
         }
-        let downs = match error {
-            Some(msg) => Err(msg),
-            None => self.combine_subgroup(ex.id, &group, &payloads),
+        let down = match error {
+            Some(err) => Err(err),
+            None => match self.combine(ex.id, &group, &payloads) {
+                Ok(downs) => Ok(downs),
+                Err(msg) => Err((ST_ERR, msg.into_bytes())),
+            },
         };
-        match downs {
-            Err(msg) => {
+        match down {
+            // Errors (and uniform results below) are framed exactly once:
+            // shipping the same pooled frame to every node clones a
+            // reference, not the body.
+            Err((status, body)) => {
+                let frame = Payload::from_vec(frame_exchange(key.wire(PHASE_DOWN), status, &body));
                 for &node in &group.nodes {
                     if node != self.node {
-                        let req = self.comm.isend(node, down_tag, frame_error(&msg))?;
+                        let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
                         self.outstanding_isends.push(req);
                     }
                 }
-                fail_joined(joined, DcgnError::InvalidArgument(msg));
+                fail_joined(ex.joined, frame_to_error(status, &body));
                 Ok(())
             }
-            Ok(mut downs) => {
+            Ok(Downs::Uniform(body)) => {
+                let frame = Payload::from_vec(frame_exchange(key.wire(PHASE_DOWN), ST_OK, &body));
                 for &node in &group.nodes {
                     if node != self.node {
-                        let payload = downs.remove(&node).unwrap_or_default();
-                        let req = self.comm.isend(node, down_tag, frame_up(Ok(payload)))?;
+                        let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
+                        self.outstanding_isends.push(req);
+                    }
+                }
+                // Local delivery is a view of the same frame.
+                let own = frame.slice(EXCHANGE_HEADER_BYTES..frame.len());
+                self.deliver(key.comm, ex.id, ex.joined, &group, own)
+            }
+            Ok(Downs::PerNode(mut downs)) => {
+                for &node in &group.nodes {
+                    if node != self.node {
+                        let body = downs.remove(&node).unwrap_or_default();
+                        let frame = frame_exchange(key.wire(PHASE_DOWN), ST_OK, &body);
+                        let req = self.comm.isend(node, TAG_EXCHANGE, frame)?;
                         self.outstanding_isends.push(req);
                     }
                 }
                 let own = downs.remove(&self.node).unwrap_or_default();
-                self.deliver_subgroup(ex.comm, ex.id, joined, &group, Payload::from_vec(own))
+                self.deliver(key.comm, ex.id, ex.joined, &group, Payload::from_vec(own))
             }
         }
     }
 
-    /// Combine the per-node up-payloads of a subgroup collective into the
-    /// per-node down-payloads.  `Err` carries a diagnostic that fails every
-    /// member of the subgroup (on every node).
-    fn combine_subgroup(
+    /// Member: the leader's down-frame arrived — deliver results (or the
+    /// echoed error) to every local joiner.
+    fn finish_member(&mut self, comm: CommId, ex: Exchange, frame: ExFrame) -> Result<()> {
+        let (status, body) = frame;
+        match status {
+            ST_OK => {
+                let group = self
+                    .groups
+                    .get(&comm)
+                    .expect("group outlives its exchanges")
+                    .clone();
+                self.deliver(comm, ex.id, ex.joined, &group, body)
+            }
+            status => {
+                fail_joined(ex.joined, frame_to_error(status, body.as_slice()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Combine the per-node up-payloads of a collective into the down
+    /// distribution.  `Err` carries a diagnostic that fails every member of
+    /// the communicator (on every node).
+    fn combine(
         &self,
         id: CollectiveId,
         group: &CommGroup,
-        payloads: &HashMap<usize, Vec<u8>>,
-    ) -> std::result::Result<HashMap<usize, Vec<u8>>, String> {
+        payloads: &HashMap<usize, Payload>,
+    ) -> std::result::Result<Downs, String> {
         let size = group.members.len();
         let root_node = |root: Option<usize>| {
             let root = root.expect("rooted collective");
@@ -1386,32 +1337,25 @@ impl CommThread {
         let merged = || {
             let mut table: Vec<Vec<u8>> = vec![Vec::new(); size];
             for payload in payloads.values() {
-                decode_rank_frames_into(payload, &mut table);
+                decode_rank_frames_into(payload.as_slice(), &mut table);
             }
             table
-        };
-        let uniform = |payload: Vec<u8>| {
-            group
-                .nodes
-                .iter()
-                .map(|&n| (n, payload.clone()))
-                .collect::<HashMap<_, _>>()
         };
         let empty_except = |node: usize, payload: Vec<u8>| {
             let mut downs: HashMap<usize, Vec<u8>> =
                 group.nodes.iter().map(|&n| (n, Vec::new())).collect();
             downs.insert(node, payload);
-            downs
+            Downs::PerNode(downs)
         };
         Ok(match id.kind {
-            CollectiveKind::Barrier => uniform(Vec::new()),
+            CollectiveKind::Barrier => Downs::Uniform(Vec::new()),
             CollectiveKind::Broadcast => {
                 let node = root_node(id.root);
-                uniform(payloads.get(&node).cloned().unwrap_or_default())
+                Downs::Uniform(payloads.get(&node).map_or_else(Vec::new, Payload::to_vec))
             }
             CollectiveKind::Allgather | CollectiveKind::Split => {
                 let table = merged();
-                uniform(encode_rank_frames(
+                Downs::Uniform(encode_rank_frames(
                     table.iter().enumerate().map(|(s, d)| (s, d.as_slice())),
                 ))
             }
@@ -1425,20 +1369,22 @@ impl CommThread {
                 let node = root_node(id.root);
                 let mut table: Vec<Vec<u8>> = vec![Vec::new(); size];
                 decode_rank_frames_into(
-                    payloads.get(&node).map_or(&[][..], |p| p.as_slice()),
+                    payloads.get(&node).map_or(&[][..], Payload::as_slice),
                     &mut table,
                 );
-                group
-                    .nodes
-                    .iter()
-                    .map(|&n| {
-                        let frames = group.members.iter().enumerate().filter_map(|(s, &m)| {
-                            (self.rank_map.node_of(m) == Some(n))
-                                .then_some((s, table[s].as_slice()))
-                        });
-                        (n, encode_rank_frames(frames))
-                    })
-                    .collect()
+                Downs::PerNode(
+                    group
+                        .nodes
+                        .iter()
+                        .map(|&n| {
+                            let frames = group.members.iter().enumerate().filter_map(|(s, &m)| {
+                                (self.rank_map.node_of(m) == Some(n))
+                                    .then_some((s, table[s].as_slice()))
+                            });
+                            (n, encode_rank_frames(frames))
+                        })
+                        .collect(),
+                )
             }
             CollectiveKind::Reduce | CollectiveKind::Allreduce => {
                 let op = id.op.expect("reduction carries an operator");
@@ -1447,14 +1393,14 @@ impl CommThread {
                 // Fold in node order, so the result is deterministic.  Each
                 // up-payload leads with its (op, dtype) identity header.
                 for &node in &group.nodes {
-                    let frame = payloads.get(&node).map_or(&[][..], |p| p.as_slice());
+                    let frame = payloads.get(&node).map_or(&[][..], Payload::as_slice);
                     let bytes = parse_reduce_frame(frame, op, dtype).map_err(|e| e.to_string())?;
                     match &mut acc {
                         None => acc = Some(bytes.to_vec()),
                         Some(acc) => {
                             if acc.len() != bytes.len() {
                                 return Err(format!(
-                                    "reduce length mismatch across subgroup nodes: \
+                                    "reduce length mismatch across nodes: \
                                      node {node} contributed {} values, expected {}",
                                     bytes.len() / dtype.element_bytes(),
                                     acc.len() / dtype.element_bytes()
@@ -1468,7 +1414,7 @@ impl CommThread {
                 if id.kind == CollectiveKind::Reduce {
                     empty_except(root_node(id.root), result)
                 } else {
-                    uniform(result)
+                    Downs::Uniform(result)
                 }
             }
         })
@@ -1477,7 +1423,7 @@ impl CommThread {
     /// Turn this node's down-payload into per-member results and reply to
     /// every local joiner.  The payload is shared, so scattering it to N
     /// local ranks clones references, not bytes.
-    fn deliver_subgroup(
+    fn deliver(
         &mut self,
         comm: CommId,
         id: CollectiveId,
@@ -1549,10 +1495,11 @@ impl CommThread {
         Ok(())
     }
 
-    /// This node's local contribution to a subgroup exchange (the payload it
-    /// would send toward the leader).  `Err` carries a local validation
-    /// failure, which the protocol echoes to the whole subgroup.
-    fn build_subgroup_up(
+    /// This node's local contribution to an exchange (the payload it sends
+    /// toward the leader, after the encoded [`CollectiveId`]).  `Err`
+    /// carries a local validation failure, which the protocol echoes to the
+    /// whole communicator.
+    fn build_up(
         &self,
         assembly: &CollectiveAssembly,
         group: &CommGroup,
@@ -1594,8 +1541,9 @@ impl CommThread {
                     .dtype
                     .expect("reduction carries an element type");
                 // Carry the (op, dtype) identity on the wire: nodes whose
-                // ranks disagree on the reduction fail the whole subgroup
-                // loudly instead of folding reinterpreted bytes.
+                // ranks disagree on the reduction fail the whole
+                // communicator loudly instead of folding reinterpreted
+                // bytes.
                 let partial =
                     combine_local_reduce(assembly, op, dtype).map_err(|e| e.to_string())?;
                 frame_reduce(op, dtype, &partial)
@@ -1607,10 +1555,10 @@ impl CommThread {
     /// and encode each local member's new membership.  `colors[s]` is the
     /// `(color, key)` pair of parent sub-rank `s`.
     fn apply_split(&mut self, parent: CommId, colors: &[(u32, u32)]) -> HashMap<usize, Vec<u8>> {
-        let (parent_members, split_seq) = {
+        let (parent_members, parent_epoch, split_seq) = {
             let g = self.groups.get_mut(&parent).expect("parent registered");
             g.splits += 1;
-            (g.members.clone(), g.splits)
+            (g.members.clone(), g.epoch, g.splits)
         };
         let mut infos = HashMap::new();
         for (color, members) in group::split_groups(&parent_members, colors) {
@@ -1639,6 +1587,7 @@ impl CommThread {
                     members,
                     nodes,
                     local_members,
+                    epoch: child_epoch(parent_epoch, split_seq, color),
                     seq: 0,
                     splits: 0,
                     freed: HashSet::new(),
@@ -1646,21 +1595,6 @@ impl CommThread {
             );
         }
         infos
-    }
-}
-
-impl CollectiveKind {
-    fn name(&self) -> &'static str {
-        match self {
-            CollectiveKind::Barrier => "barrier",
-            CollectiveKind::Broadcast => "broadcast",
-            CollectiveKind::Gather => "gather",
-            CollectiveKind::Scatter => "scatter",
-            CollectiveKind::Allgather => "allgather",
-            CollectiveKind::Reduce => "reduce",
-            CollectiveKind::Allreduce => "allreduce",
-            CollectiveKind::Split => "comm_split",
-        }
     }
 }
 
@@ -1735,21 +1669,15 @@ fn classify_collective(kind: RequestKind) -> Result<(CommId, CollectiveId, Contr
             id(CollectiveKind::Split, None),
             Contribution::Bytes(Payload::from_vec(encode_color_key(color, key))),
         ),
-        RequestKind::Send { .. } | RequestKind::Recv { .. } | RequestKind::CommFree { .. } => {
-            return Err(DcgnError::Internal(
-                "non-collective request routed to the collective engine".into(),
-            ))
+        kind @ (RequestKind::Send { .. }
+        | RequestKind::Recv { .. }
+        | RequestKind::CommFree { .. }) => {
+            return Err(DcgnError::Internal(format!(
+                "non-collective request ({}) routed to the collective engine",
+                kind.name()
+            )))
         }
     })
-}
-
-/// Parse the rank-indexed `(color, key)` table of a world split.
-fn parse_color_table(per_rank: &[Vec<u8>]) -> Result<Vec<(u32, u32)>> {
-    per_rank
-        .iter()
-        .map(|entry| decode_color_key(entry))
-        .collect::<Option<Vec<_>>>()
-        .ok_or_else(|| DcgnError::Internal("malformed comm_split contribution".into()))
 }
 
 /// Local-combine for reduce/allreduce: fold every joined rank's typed vector
@@ -1789,9 +1717,9 @@ fn result_payload_len(result: &CollectiveResult) -> usize {
     }
 }
 
-/// Encode `(rank, bytes)` pairs as `[rank u32][len u32][bytes]…` — the wire
-/// framing every chunked collective uses to move per-rank data between nodes.
-/// Subgroup exchanges index frames by sub-rank instead of global rank.
+/// Encode `(sub-rank, bytes)` pairs as `[rank u32][len u32][bytes]…` — the
+/// framing every chunked collective uses to move per-rank data inside
+/// exchange frames.
 fn encode_rank_frames<'a>(frames: impl Iterator<Item = (usize, &'a [u8])>) -> Vec<u8> {
     let mut blob = Vec::new();
     for (rank, data) in frames {
@@ -1802,12 +1730,9 @@ fn encode_rank_frames<'a>(frames: impl Iterator<Item = (usize, &'a [u8])>) -> Ve
     blob
 }
 
-/// Decode rank frames into a rank-indexed table, ignoring malformed or
-/// out-of-range entries.
 /// Walk `[rank u32][len u32][bytes]…` frames, yielding each frame's rank
 /// and the byte range of its payload within `blob`.  Iteration stops at a
-/// truncated tail; rank filtering is the consumer's job (table sizes
-/// differ between global-rank and sub-rank uses).
+/// truncated tail; rank filtering is the consumer's job.
 fn rank_frames(blob: &[u8]) -> impl Iterator<Item = (usize, std::ops::Range<usize>)> + '_ {
     let mut off = 0;
     std::iter::from_fn(move || {
@@ -1822,6 +1747,8 @@ fn rank_frames(blob: &[u8]) -> impl Iterator<Item = (usize, std::ops::Range<usiz
     })
 }
 
+/// Decode rank frames into a rank-indexed table, ignoring malformed or
+/// out-of-range entries.
 fn decode_rank_frames_into(blob: &[u8], per_rank: &mut [Vec<u8>]) {
     for (rank, range) in rank_frames(blob) {
         if rank < per_rank.len() {
@@ -1846,38 +1773,101 @@ fn decode_rank_frames_payload(blob: &Payload, size: usize) -> Vec<Payload> {
 mod tests {
     use super::*;
 
-    /// Exhaustive variant list; the match forces an update here (and thus in
-    /// the assertions below) whenever a `CollectiveKind` is added, turning a
-    /// missing `COLLECTIVE_TABLE` row from a runtime panic into a test
-    /// failure.
-    const ALL_KINDS: [CollectiveKind; 8] = [
-        CollectiveKind::Barrier,
-        CollectiveKind::Broadcast,
-        CollectiveKind::Gather,
-        CollectiveKind::Scatter,
-        CollectiveKind::Allgather,
-        CollectiveKind::Reduce,
-        CollectiveKind::Allreduce,
-        CollectiveKind::Split,
-    ];
+    #[test]
+    fn collective_id_roundtrips_on_the_wire() {
+        let ids = [
+            CollectiveId {
+                kind: CollectiveKind::Barrier,
+                root: None,
+                op: None,
+                dtype: None,
+            },
+            CollectiveId {
+                kind: CollectiveKind::Broadcast,
+                root: Some(7),
+                op: None,
+                dtype: None,
+            },
+            CollectiveId {
+                kind: CollectiveKind::Reduce,
+                root: Some(0),
+                op: Some(ReduceOp::Max),
+                dtype: Some(ReduceDtype::I64),
+            },
+            CollectiveId {
+                kind: CollectiveKind::Allreduce,
+                root: None,
+                op: Some(ReduceOp::Sum),
+                dtype: Some(ReduceDtype::F32),
+            },
+            CollectiveId {
+                kind: CollectiveKind::Split,
+                root: None,
+                op: None,
+                dtype: None,
+            },
+        ];
+        for id in ids {
+            assert_eq!(CollectiveId::decode(&id.encode()), Some(id));
+        }
+        // Truncated and garbage inputs fail to decode instead of aliasing.
+        assert_eq!(CollectiveId::decode(&[0u8; 4]), None);
+        let mut bad = ids[0].encode();
+        bad[0] = 0xEE;
+        assert_eq!(CollectiveId::decode(&bad), None);
+    }
 
     #[test]
-    fn every_collective_kind_has_a_table_row() {
-        assert_eq!(COLLECTIVE_TABLE.len(), ALL_KINDS.len());
+    fn every_collective_kind_wire_code_roundtrips() {
+        const ALL_KINDS: [CollectiveKind; 8] = [
+            CollectiveKind::Barrier,
+            CollectiveKind::Broadcast,
+            CollectiveKind::Gather,
+            CollectiveKind::Scatter,
+            CollectiveKind::Allgather,
+            CollectiveKind::Reduce,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Split,
+        ];
         for kind in ALL_KINDS {
-            // Exhaustiveness guard: adding a variant breaks this match.
-            match kind {
-                CollectiveKind::Barrier
-                | CollectiveKind::Broadcast
-                | CollectiveKind::Gather
-                | CollectiveKind::Scatter
-                | CollectiveKind::Allgather
-                | CollectiveKind::Reduce
-                | CollectiveKind::Allreduce
-                | CollectiveKind::Split => {}
-            }
-            assert_eq!(spec_for(kind).kind, kind);
+            assert_eq!(CollectiveKind::from_wire_code(kind.wire_code()), Some(kind));
+            assert_eq!(CollectiveKind::wire_name(kind.wire_code()), kind.name());
         }
+        assert_eq!(CollectiveKind::from_wire_code(200), None);
+        assert_eq!(CollectiveKind::wire_name(200), "unknown");
+    }
+
+    #[test]
+    fn child_epochs_are_deterministic_and_chained() {
+        assert_eq!(child_epoch(0, 1, 0), child_epoch(0, 1, 0));
+        assert_ne!(child_epoch(0, 1, 0), child_epoch(0, 2, 0));
+        assert_ne!(child_epoch(0, 1, 0), child_epoch(0, 1, 1));
+        let child = child_epoch(0, 1, 0);
+        assert_ne!(child_epoch(child, 1, 0), child_epoch(0, 1, 0));
+    }
+
+    #[test]
+    fn non_ok_frames_decode_to_clean_errors() {
+        let err = frame_to_error(ST_ERR, b"boom");
+        assert!(matches!(err, DcgnError::InvalidArgument(msg) if msg == "boom"));
+        let mism = frame_to_error(
+            ST_MISMATCH,
+            &[
+                CollectiveKind::Barrier.wire_code(),
+                CollectiveKind::Broadcast.wire_code(),
+            ],
+        );
+        assert_eq!(
+            mism,
+            DcgnError::CollectiveMismatch {
+                in_progress: "barrier",
+                requested: "broadcast",
+            }
+        );
+        assert!(matches!(
+            frame_to_error(ST_MISMATCH, &[]),
+            DcgnError::Internal(_)
+        ));
     }
 
     #[test]
@@ -1927,7 +1917,7 @@ mod tests {
     fn test_recv(
         dst: usize,
         src: Option<usize>,
-        tag: u32,
+        tag: Option<u32>,
         seq: u64,
     ) -> (PendingRecv, Receiver<Reply>) {
         let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
@@ -1961,7 +1951,7 @@ mod tests {
         m.push_msg(test_msg(0, 1, 7, seq, 0xA));
         let seq = m.stamp();
         m.push_msg(test_msg(0, 1, 7, seq, 0xB));
-        let (recv, _rx) = test_recv(0, Some(1), 7, m.stamp());
+        let (recv, _rx) = test_recv(0, Some(1), Some(7), m.stamp());
         assert_eq!(m.take_msg_for(&recv).unwrap().data.as_slice(), &[0xA]);
         assert_eq!(m.take_msg_for(&recv).unwrap().data.as_slice(), &[0xB]);
         assert!(m.take_msg_for(&recv).is_none());
@@ -1974,7 +1964,7 @@ mod tests {
         m.push_msg(test_msg(0, 2, 0, seq, 0xC));
         let seq = m.stamp();
         m.push_msg(test_msg(0, 1, 0, seq, 0xD));
-        let (wild, _rx) = test_recv(0, None, 0, m.stamp());
+        let (wild, _rx) = test_recv(0, None, Some(0), m.stamp());
         // Source 2's message arrived first, so the wildcard gets it despite
         // source 1 sorting lower.
         assert_eq!(m.take_msg_for(&wild).unwrap().src, 2);
@@ -1982,13 +1972,29 @@ mod tests {
     }
 
     #[test]
+    fn matcher_wildcard_tag_takes_earliest_arrival_across_tags() {
+        let mut m = Matcher::default();
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 9, seq, 0xE));
+        let seq = m.stamp();
+        m.push_msg(test_msg(0, 1, 3, seq, 0xF));
+        // Any-tag receive from source 1: arrival order, not tag order.
+        let (wild_tag, _rx) = test_recv(0, Some(1), None, m.stamp());
+        assert_eq!(m.take_msg_for(&wild_tag).unwrap().tag, 9);
+        // Fully wildcard receive drains the rest.
+        let (wild, _rx) = test_recv(0, None, None, m.stamp());
+        assert_eq!(m.take_msg_for(&wild).unwrap().tag, 3);
+        assert!(m.take_msg_for(&wild).is_none());
+    }
+
+    #[test]
     fn matcher_ignores_wrong_dst_tag_and_src() {
         let mut m = Matcher::default();
         let seq = m.stamp();
         m.push_msg(test_msg(0, 1, 7, seq, 0xE));
-        let (wrong_tag, _a) = test_recv(0, Some(1), 8, m.stamp());
-        let (wrong_dst, _b) = test_recv(1, Some(1), 7, m.stamp());
-        let (wrong_src, _c) = test_recv(0, Some(2), 7, m.stamp());
+        let (wrong_tag, _a) = test_recv(0, Some(1), Some(8), m.stamp());
+        let (wrong_dst, _b) = test_recv(1, Some(1), Some(7), m.stamp());
+        let (wrong_src, _c) = test_recv(0, Some(2), Some(7), m.stamp());
         assert!(m.take_msg_for(&wrong_tag).is_none());
         assert!(m.take_msg_for(&wrong_dst).is_none());
         assert!(m.take_msg_for(&wrong_src).is_none());
@@ -1998,9 +2004,9 @@ mod tests {
     #[test]
     fn matcher_prefers_earlier_posted_recv_between_exact_and_wildcard() {
         let mut m = Matcher::default();
-        let (wild, _a) = test_recv(0, None, 0, m.stamp());
+        let (wild, _a) = test_recv(0, None, Some(0), m.stamp());
         m.push_recv(wild);
-        let (exact, _b) = test_recv(0, Some(3), 0, m.stamp());
+        let (exact, _b) = test_recv(0, Some(3), Some(0), m.stamp());
         m.push_recv(exact);
         assert_eq!(m.pending_recvs(), 2);
         // The wildcard was posted first, so it wins the first message.
@@ -2008,12 +2014,26 @@ mod tests {
         assert_eq!(m.take_recv_for(0, 3, 0).unwrap().src, Some(3));
         assert_eq!(m.pending_recvs(), 0);
         // Reversed posting order: the exact receive wins.
-        let (exact, _c) = test_recv(0, Some(3), 0, m.stamp());
+        let (exact, _c) = test_recv(0, Some(3), Some(0), m.stamp());
         m.push_recv(exact);
-        let (wild, _d) = test_recv(0, None, 0, m.stamp());
+        let (wild, _d) = test_recv(0, None, Some(0), m.stamp());
         m.push_recv(wild);
         assert_eq!(m.take_recv_for(0, 3, 0).unwrap().src, Some(3));
         assert!(m.take_recv_for(0, 3, 0).unwrap().src.is_none());
+    }
+
+    #[test]
+    fn matcher_any_tag_recv_competes_on_posting_order() {
+        let mut m = Matcher::default();
+        let (any_tag, _a) = test_recv(0, Some(1), None, m.stamp());
+        m.push_recv(any_tag);
+        let (exact, _b) = test_recv(0, Some(1), Some(5), m.stamp());
+        m.push_recv(exact);
+        // The any-tag receive was posted first, so it wins the tag-5
+        // message; the exact receive stays queued for the next one.
+        assert!(m.take_recv_for(0, 1, 5).unwrap().tag.is_none());
+        assert_eq!(m.take_recv_for(0, 1, 5).unwrap().tag, Some(5));
+        assert!(m.take_recv_for(0, 1, 5).is_none());
     }
 
     #[test]
@@ -2021,7 +2041,7 @@ mod tests {
         let mut m = Matcher::default();
         let rxs: Vec<_> = (0..3)
             .map(|i| {
-                let (recv, rx) = test_recv(i, None, 0, m.stamp());
+                let (recv, rx) = test_recv(i, None, None, m.stamp());
                 m.push_recv(recv);
                 rx
             })
@@ -2032,17 +2052,6 @@ mod tests {
     }
 
     #[test]
-    fn subgroup_frames_roundtrip_status_and_payload() {
-        assert_eq!(parse_frame(&frame_up(Ok(vec![7, 8]))), Ok(&[7u8, 8][..]));
-        assert_eq!(
-            parse_frame(&frame_up(Err("boom".into()))),
-            Err("boom".to_string())
-        );
-        assert_eq!(parse_frame(&frame_error("bad")), Err("bad".to_string()));
-        assert!(parse_frame(&[]).is_err());
-    }
-
-    #[test]
     fn color_key_encoding_roundtrips() {
         assert_eq!(decode_color_key(&encode_color_key(3, 9)), Some((3, 9)));
         assert_eq!(
@@ -2050,10 +2059,5 @@ mod tests {
             Some((u32::MAX, 0))
         );
         assert_eq!(decode_color_key(&[1, 2, 3]), None);
-        assert!(parse_color_table(&[encode_color_key(1, 2), vec![0; 3]]).is_err());
-        assert_eq!(
-            parse_color_table(&[encode_color_key(1, 2)]).unwrap(),
-            vec![(1, 2)]
-        );
     }
 }

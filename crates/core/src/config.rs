@@ -60,6 +60,12 @@ pub struct DcgnConfig {
     pub gpu_grid_blocks: Option<usize>,
     /// Number of logical threads per GPU block.
     pub gpu_block_threads: usize,
+    /// Completion records per GPU mailbox slot — how many nonblocking
+    /// (`isend`/`irecv`) requests one slot can have outstanding at once.
+    /// Defaults to [`crate::gpu::MAILBOX_REQS_PER_SLOT`]; a kernel
+    /// publishing past this depth without harvesting faults cleanly instead
+    /// of deadlocking.
+    pub mailbox_reqs_per_slot: usize,
 }
 
 impl DcgnConfig {
@@ -71,6 +77,7 @@ impl DcgnConfig {
             cost: CostModel::zero(),
             gpu_grid_blocks: None,
             gpu_block_threads: 32,
+            mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
         }
     }
 
@@ -81,6 +88,7 @@ impl DcgnConfig {
             cost: CostModel::zero(),
             gpu_grid_blocks: None,
             gpu_block_threads: 32,
+            mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
         }
     }
 
@@ -112,6 +120,15 @@ impl DcgnConfig {
         self
     }
 
+    /// Builder-style override of the per-slot nonblocking-request depth (the
+    /// number of completion records each GPU mailbox slot carries).  Depth 1
+    /// still works — a kernel that publishes a second `isend`/`irecv`
+    /// without harvesting the first faults cleanly instead of deadlocking.
+    pub fn with_mailbox_depth(mut self, reqs_per_slot: usize) -> Self {
+        self.mailbox_reqs_per_slot = reqs_per_slot;
+        self
+    }
+
     /// Builder-style override of the simulated device used on every node.
     pub fn with_device(mut self, device: DeviceConfig) -> Self {
         for node in &mut self.nodes {
@@ -138,6 +155,11 @@ impl DcgnConfig {
         if self.total_ranks() == 0 {
             return Err(DcgnError::InvalidConfig(
                 "job has no ranks (no CPU-kernel threads and no GPU slots)".into(),
+            ));
+        }
+        if self.mailbox_reqs_per_slot == 0 {
+            return Err(DcgnError::InvalidConfig(
+                "mailbox_reqs_per_slot must be at least 1".into(),
             ));
         }
         for (i, node) in self.nodes.iter().enumerate() {

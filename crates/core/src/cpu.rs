@@ -291,6 +291,13 @@ impl CpuCtx {
 
     /// Post a nonblocking receive with an explicit source filter and tag.
     pub fn irecv_tagged(&self, src: Option<usize>, tag: u32) -> Result<RequestHandle> {
+        self.irecv_filtered(src, Some(tag))
+    }
+
+    /// Post a nonblocking receive with wildcard-capable source *and* tag
+    /// filters (`None` = any) — the CPU-side mirror of the GPU mailbox's
+    /// `ANY_TAG` receives.
+    pub fn irecv_filtered(&self, src: Option<usize>, tag: Option<u32>) -> Result<RequestHandle> {
         if let Some(s) = src {
             self.check_rank(s)?;
         }

@@ -65,8 +65,11 @@ use crate::rank::RankMap;
 /// with a single batched read.
 pub const MAILBOX_STATUS_BYTES: usize = 4;
 
-/// Maximum nonblocking requests a slot can have outstanding at once (the
-/// depth of its completion-record column).
+/// Default maximum of nonblocking requests a slot can have outstanding at
+/// once (the depth of its completion-record column).  Configurable per job
+/// via [`crate::DcgnConfig::with_mailbox_depth`]; a kernel publishing past
+/// the configured depth without harvesting faults cleanly instead of
+/// deadlocking.
 pub const MAILBOX_REQS_PER_SLOT: usize = 4;
 
 /// Bytes of one per-request completion record:
@@ -76,12 +79,10 @@ pub const MAILBOX_COMPLETION_BYTES: usize = 16;
 /// Bytes of one slot's request body, stored after the completion columns.
 pub const MAILBOX_BODY_BYTES: usize = 64;
 
-/// Total bytes of the mailbox region for `slots` slots.
-pub fn mailbox_region_bytes(slots: usize) -> usize {
-    slots
-        * (MAILBOX_STATUS_BYTES
-            + MAILBOX_REQS_PER_SLOT * MAILBOX_COMPLETION_BYTES
-            + MAILBOX_BODY_BYTES)
+/// Total bytes of the mailbox region for `slots` slots with
+/// `reqs_per_slot` completion records each.
+pub fn mailbox_region_bytes(slots: usize, reqs_per_slot: usize) -> usize {
+    slots * (MAILBOX_STATUS_BYTES + reqs_per_slot * MAILBOX_COMPLETION_BYTES + MAILBOX_BODY_BYTES)
 }
 
 /// Offset of `slot`'s status word within the mailbox region.
@@ -90,13 +91,13 @@ fn status_offset(slot: usize) -> usize {
 }
 
 /// Offset of `slot`'s `req`-th completion record within the mailbox region.
-fn completion_offset(slots: usize, slot: usize, req: usize) -> usize {
-    slots * MAILBOX_STATUS_BYTES + (slot * MAILBOX_REQS_PER_SLOT + req) * MAILBOX_COMPLETION_BYTES
+fn completion_offset(slots: usize, reqs_per_slot: usize, slot: usize, req: usize) -> usize {
+    slots * MAILBOX_STATUS_BYTES + (slot * reqs_per_slot + req) * MAILBOX_COMPLETION_BYTES
 }
 
 /// Offset of `slot`'s request body within the mailbox region.
-fn body_offset(slots: usize, slot: usize) -> usize {
-    slots * (MAILBOX_STATUS_BYTES + MAILBOX_REQS_PER_SLOT * MAILBOX_COMPLETION_BYTES)
+fn body_offset(slots: usize, reqs_per_slot: usize, slot: usize) -> usize {
+    slots * (MAILBOX_STATUS_BYTES + reqs_per_slot * MAILBOX_COMPLETION_BYTES)
         + slot * MAILBOX_BODY_BYTES
 }
 
@@ -243,6 +244,12 @@ fn decode_reduce_word(word: u32) -> Option<(ReduceOp, ReduceDtype)> {
 /// Peer value meaning "any source".
 pub const PEER_ANY: u32 = u32::MAX;
 
+/// Tag value meaning "any tag" in the `RECV`/`IRECV` mailbox records — the
+/// device-visible wildcard of the tagged point-to-point API
+/// ([`GpuCtx::recv_tagged`] and friends).  User tags must stay below this
+/// value (and below the substrate's internal tag space).
+pub const ANY_TAG: u32 = u32::MAX;
+
 // Field offsets within a slot's request body.  The result block
 // (`RESULT_LEN`/`RESULT_SRC`/`ERROR`) is contiguous so the host writes a
 // completion in one transfer.
@@ -290,6 +297,9 @@ pub(crate) struct GpuLayout {
     pub gpu_index: usize,
     /// Number of slots the GPU is virtualised into.
     pub slots: usize,
+    /// Completion records per slot (the nonblocking-request depth), from
+    /// [`crate::DcgnConfig::mailbox_reqs_per_slot`].
+    pub reqs_per_slot: usize,
     /// DCGN rank of slot 0 (slots are consecutive).
     pub slot_rank_base: usize,
     /// Total DCGN ranks in the job.
@@ -367,9 +377,11 @@ impl<'a> GpuCtx<'a> {
     }
 
     fn body_ptr(&self, slot: usize) -> DevicePtr {
-        self.layout
-            .mailbox_base
-            .add(body_offset(self.layout.slots, slot))
+        self.layout.mailbox_base.add(body_offset(
+            self.layout.slots,
+            self.layout.reqs_per_slot,
+            slot,
+        ))
     }
 
     /// Claim a slot's mailbox (serialises concurrent blocks sharing a slot),
@@ -441,32 +453,69 @@ impl<'a> GpuCtx<'a> {
     }
 
     /// Send `len` bytes starting at device pointer `data` to DCGN rank `dst`
-    /// using `slot` (the paper's `dcgn::gpu::send`).
+    /// using `slot` (the paper's `dcgn::gpu::send`; untagged = tag 0).
     pub fn send(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) {
-        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, 0, 0, 0, data, len);
+        self.send_tagged(slot, dst, 0, data, len)
+    }
+
+    /// Send with an explicit message tag: the tag rides in the mailbox
+    /// record's `aux` word and matches against the receiver's tag filter
+    /// (CPU `recv_tagged` / GPU [`GpuCtx::recv_tagged`] / [`ANY_TAG`]).
+    pub fn send_tagged(&self, slot: usize, dst: usize, tag: u32, data: DevicePtr, len: usize) {
+        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, tag, 0, 0, data, len);
         self.check(err, "send");
     }
 
     /// Receive into `len` bytes of device memory at `data` from DCGN rank
-    /// `src` using `slot` (the paper's `dcgn::gpu::recv`).  Returns the
-    /// completion status.
+    /// `src` using `slot` (the paper's `dcgn::gpu::recv`; untagged = tag 0).
+    /// Returns the completion status.
     pub fn recv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, src as u32, 0, 0, 0, 0, data, len);
+        self.recv_tagged(slot, src, 0, data, len)
+    }
+
+    /// Receive a message carrying `tag` (or any tag, for [`ANY_TAG`]) from
+    /// DCGN rank `src`.  An exact-tag receive reports the (known) matched
+    /// tag in its status; an `ANY_TAG` match reports 0, because the matched
+    /// tag is not round-tripped through the mailbox (the completion record
+    /// has no spare word) — encode it in the payload if a wildcard receiver
+    /// needs it.
+    pub fn recv_tagged(
+        &self,
+        slot: usize,
+        src: usize,
+        tag: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> CommStatus {
+        let (got, from, err) =
+            self.transact(slot, opcode::RECV, src as u32, 0, tag, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
-            tag: 0,
+            tag: if tag == ANY_TAG { 0 } else { tag },
             len: got,
         }
     }
 
-    /// Receive from any rank.
+    /// Receive from any rank (untagged = tag 0).
     pub fn recv_any(&self, slot: usize, data: DevicePtr, len: usize) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, 0, 0, 0, data, len);
+        self.recv_any_tagged(slot, 0, data, len)
+    }
+
+    /// Receive a message carrying `tag` (or any tag, for [`ANY_TAG`]) from
+    /// any rank (tag reporting as in [`GpuCtx::recv_tagged`]).
+    pub fn recv_any_tagged(
+        &self,
+        slot: usize,
+        tag: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> CommStatus {
+        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, tag, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
-            tag: 0,
+            tag: if tag == ANY_TAG { 0 } else { tag },
             len: got,
         }
     }
@@ -480,9 +529,12 @@ impl<'a> GpuCtx<'a> {
     // ------------------------------------------------------------------
 
     fn completion_ptr(&self, slot: usize, req: usize) -> DevicePtr {
-        self.layout
-            .mailbox_base
-            .add(completion_offset(self.layout.slots, slot, req))
+        self.layout.mailbox_base.add(completion_offset(
+            self.layout.slots,
+            self.layout.reqs_per_slot,
+            slot,
+            req,
+        ))
     }
 
     /// Publish phase: claim a completion record and the slot's mailbox,
@@ -501,20 +553,25 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> GpuRequest {
-        // Bound on fruitless claim passes (~50 µs nap each).  All records
-        // staying unclaimable this long means their owners never harvest —
-        // typically this very kernel publishing past MAILBOX_REQS_PER_SLOT
-        // outstanding requests, which no host progress can ever unblock.
+        // Bound on fruitless claim passes (~50 µs nap each, so ~5 s — in
+        // line with the host's abandoned-request grace, so a slot whose
+        // records are legitimately held by slow concurrent blocks is not
+        // faulted prematurely).  All records staying unclaimable this long
+        // means their owners never harvest — typically this very kernel
+        // publishing past the configured per-slot depth of outstanding
+        // requests, which no host progress can ever unblock: fault, don't
+        // deadlock.
         const CLAIM_NAP_LIMIT: u32 = 100_000;
 
         let b = self.block;
+        let depth = self.layout.reqs_per_slot;
         // Claim a free completion record (bounded per-slot concurrency:
-        // with all MAILBOX_REQS_PER_SLOT records in flight, publish waits
-        // until one is harvested).  Each claim bumps the record's
-        // generation, so handles from earlier claims go stale.
+        // with all `reqs_per_slot` records in flight, publish waits until
+        // one is harvested).  Each claim bumps the record's generation, so
+        // handles from earlier claims go stale.
         let mut naps = 0u32;
         let (index, gen) = 'claim: loop {
-            for req in 0..MAILBOX_REQS_PER_SLOT {
+            for req in 0..depth {
                 let ptr = self.completion_ptr(slot, req);
                 let word = b.read_u32(ptr);
                 if word & 0b11 == req_state::FREE {
@@ -527,9 +584,9 @@ impl<'a> GpuCtx<'a> {
             naps += 1;
             assert!(
                 naps <= CLAIM_NAP_LIMIT,
-                "slot {slot} on device {}: all {MAILBOX_REQS_PER_SLOT} completion records \
-                 stayed in flight — did this kernel publish more than \
-                 MAILBOX_REQS_PER_SLOT requests without test()/wait()ing any?",
+                "slot {slot} on device {}: all {depth} completion record(s) stayed in \
+                 flight — did this kernel publish more than the configured mailbox \
+                 depth ({depth}) of requests without test()/wait()ing any?",
                 b.device_id()
             );
             b.nap();
@@ -554,22 +611,60 @@ impl<'a> GpuCtx<'a> {
     }
 
     /// Start a nonblocking send of `len` device bytes at `data` to DCGN rank
-    /// `dst`.  Returns immediately; the buffer must stay unmodified until
-    /// the returned request completes ([`GpuCtx::wait`]/[`GpuCtx::test`]).
+    /// `dst` (untagged = tag 0).  Returns immediately; the buffer must stay
+    /// unmodified until the returned request completes
+    /// ([`GpuCtx::wait`]/[`GpuCtx::test`]).
     pub fn isend(&self, slot: usize, dst: usize, data: DevicePtr, len: usize) -> GpuRequest {
-        self.publish_async(slot, opcode::ISEND, dst as u32, 0, data, len)
+        self.isend_tagged(slot, dst, 0, data, len)
+    }
+
+    /// Start a nonblocking tagged send.
+    pub fn isend_tagged(
+        &self,
+        slot: usize,
+        dst: usize,
+        tag: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> GpuRequest {
+        self.publish_async(slot, opcode::ISEND, dst as u32, tag, data, len)
     }
 
     /// Post a nonblocking receive from DCGN rank `src` into `len` bytes of
-    /// device memory at `data`.  The buffer must not be read until the
-    /// request completes.
+    /// device memory at `data` (untagged = tag 0).  The buffer must not be
+    /// read until the request completes.
     pub fn irecv(&self, slot: usize, src: usize, data: DevicePtr, len: usize) -> GpuRequest {
-        self.publish_async(slot, opcode::IRECV, src as u32, 0, data, len)
+        self.irecv_tagged(slot, src, 0, data, len)
     }
 
-    /// Post a nonblocking receive from any rank.
+    /// Post a nonblocking receive matching `tag` (or any tag, for
+    /// [`ANY_TAG`]) from DCGN rank `src`.
+    pub fn irecv_tagged(
+        &self,
+        slot: usize,
+        src: usize,
+        tag: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> GpuRequest {
+        self.publish_async(slot, opcode::IRECV, src as u32, tag, data, len)
+    }
+
+    /// Post a nonblocking receive from any rank (untagged = tag 0).
     pub fn irecv_any(&self, slot: usize, data: DevicePtr, len: usize) -> GpuRequest {
         self.publish_async(slot, opcode::IRECV, PEER_ANY, 0, data, len)
+    }
+
+    /// Post a nonblocking receive matching `tag` (or [`ANY_TAG`]) from any
+    /// rank.
+    pub fn irecv_any_tagged(
+        &self,
+        slot: usize,
+        tag: u32,
+        data: DevicePtr,
+        len: usize,
+    ) -> GpuRequest {
+        self.publish_async(slot, opcode::IRECV, PEER_ANY, tag, data, len)
     }
 
     /// Poll phase, nonblocking: returns the completion status once the host
@@ -621,6 +716,48 @@ impl<'a> GpuCtx<'a> {
             }
         }
         self.harvest_completion(req, ptr)
+    }
+
+    /// Wait for every request, returning the completions in argument order —
+    /// the device-side mirror of `CpuCtx::waitall`.  Each handle is
+    /// consumed; a stale handle faults like [`GpuCtx::wait`].
+    pub fn waitall(&self, reqs: &[GpuRequest]) -> Vec<CommStatus> {
+        reqs.iter().map(|&req| self.wait(req)).collect()
+    }
+
+    /// Wait until *one* of the requests completes; returns its index within
+    /// `reqs` and its completion status (the other handles stay valid) —
+    /// the device-side mirror of `CpuCtx::waitany`.  Polls every request's
+    /// completion word device-side with the same yield-then-sleep
+    /// escalation as [`GpuCtx::wait`].
+    ///
+    /// # Panics
+    /// Panics on an empty request list, a mailbox error, or a stale handle.
+    pub fn waitany(&self, reqs: &[GpuRequest]) -> (usize, CommStatus) {
+        assert!(
+            !reqs.is_empty(),
+            "dcgn::gpu::waitany needs at least one request handle"
+        );
+        const SPIN_YIELDS: u32 = 128;
+        let mut polls = 0u32;
+        let mut sleep = Duration::from_micros(2);
+        loop {
+            for (i, &req) in reqs.iter().enumerate() {
+                let ptr = self.completion_ptr(req.slot, req.index);
+                let word = self.block.read_u32(ptr.add(COMP_STATE));
+                if word != req_word(req.gen, req_state::PENDING) {
+                    self.check_fresh(req, word);
+                    return (i, self.harvest_completion(req, ptr));
+                }
+            }
+            polls += 1;
+            if polls <= SPIN_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(sleep);
+                sleep = (sleep * 2).min(Duration::from_micros(50));
+            }
+        }
     }
 
     /// Fault on a completion word that no longer belongs to `req` (its
@@ -1260,9 +1397,13 @@ struct SweepCounters {
 
 impl GpuKernelThread {
     /// Allocate and zero the struct-of-arrays mailbox region for `slots`
-    /// slots on `device`.
-    pub fn allocate_mailboxes(device: &Device, slots: usize) -> Result<DevicePtr> {
-        let bytes = mailbox_region_bytes(slots);
+    /// slots of `reqs_per_slot` completion records each on `device`.
+    pub fn allocate_mailboxes(
+        device: &Device,
+        slots: usize,
+        reqs_per_slot: usize,
+    ) -> Result<DevicePtr> {
+        let bytes = mailbox_region_bytes(slots, reqs_per_slot);
         let ptr = device.malloc(bytes)?;
         device.memcpy_htod(ptr, &vec![0u8; bytes])?;
         Ok(ptr)
@@ -1290,9 +1431,11 @@ impl GpuKernelThread {
     }
 
     fn body_ptr(&self, slot: usize) -> DevicePtr {
-        self.layout
-            .mailbox_base
-            .add(body_offset(self.layout.slots, slot))
+        self.layout.mailbox_base.add(body_offset(
+            self.layout.slots,
+            self.layout.reqs_per_slot,
+            slot,
+        ))
     }
 
     /// Pull `len` device bytes into a pooled payload.  Payloads bound for a
@@ -1348,9 +1491,10 @@ impl GpuKernelThread {
         let mut async_req = None;
         // Split-protocol requests carry their completion-record index in the
         // `peer2` word.
+        let reqs_per_slot = self.layout.reqs_per_slot;
         let check_req_index = || -> Result<usize> {
             let index = peer2 as usize;
-            if index >= MAILBOX_REQS_PER_SLOT {
+            if index >= reqs_per_slot {
                 return Err(DcgnError::Internal(format!(
                     "completion record {index} out of range on slot {slot}"
                 )));
@@ -1387,7 +1531,7 @@ impl GpuKernelThread {
                         } else {
                             Some(peer as usize)
                         },
-                        tag: aux,
+                        tag: if aux == ANY_TAG { None } else { Some(aux) },
                     },
                     batch,
                 ));
@@ -1528,7 +1672,7 @@ impl GpuKernelThread {
                         } else {
                             Some(peer as usize)
                         },
-                        tag: aux,
+                        tag: if aux == ANY_TAG { None } else { Some(aux) },
                     },
                     batch,
                 ));
@@ -1555,7 +1699,7 @@ impl GpuKernelThread {
                         } else {
                             Some(peer2 as usize)
                         },
-                        tag: aux,
+                        tag: if aux == ANY_TAG { None } else { Some(aux) },
                     },
                     batch,
                 ));
@@ -1617,10 +1761,12 @@ impl GpuKernelThread {
                 }
             }
         }
-        let record = self
-            .layout
-            .mailbox_base
-            .add(completion_offset(self.layout.slots, slot, req));
+        let record = self.layout.mailbox_base.add(completion_offset(
+            self.layout.slots,
+            self.layout.reqs_per_slot,
+            slot,
+            req,
+        ));
         let mut fields = [0u8; 12];
         fields[0..4].copy_from_slice(&error.to_le_bytes());
         fields[4..8].copy_from_slice(&result_len.to_le_bytes());
@@ -1926,23 +2072,32 @@ mod tests {
         assert_eq!(status_offset(3), 12);
         // Completion records sit right after the status column, densely
         // packed by (slot, record).
-        assert_eq!(completion_offset(slots, 0, 0), slots * MAILBOX_STATUS_BYTES);
+        let reqs = MAILBOX_REQS_PER_SLOT;
         assert_eq!(
-            completion_offset(slots, 1, 2),
-            slots * MAILBOX_STATUS_BYTES + (MAILBOX_REQS_PER_SLOT + 2) * MAILBOX_COMPLETION_BYTES
+            completion_offset(slots, reqs, 0, 0),
+            slots * MAILBOX_STATUS_BYTES
+        );
+        assert_eq!(
+            completion_offset(slots, reqs, 1, 2),
+            slots * MAILBOX_STATUS_BYTES + (reqs + 2) * MAILBOX_COMPLETION_BYTES
         );
         // Bodies follow all completion columns.
         assert_eq!(
-            body_offset(slots, 0),
+            body_offset(slots, reqs, 0),
             slots * (MAILBOX_STATUS_BYTES + comp_bytes)
         );
         assert_eq!(
-            body_offset(slots, 2),
+            body_offset(slots, reqs, 2),
             slots * (MAILBOX_STATUS_BYTES + comp_bytes) + 2 * MAILBOX_BODY_BYTES
         );
         assert_eq!(
-            mailbox_region_bytes(slots),
+            mailbox_region_bytes(slots, reqs),
             slots * (MAILBOX_STATUS_BYTES + comp_bytes + MAILBOX_BODY_BYTES)
+        );
+        // A shallower completion column shrinks the region accordingly.
+        assert_eq!(
+            mailbox_region_bytes(slots, 1),
+            slots * (MAILBOX_STATUS_BYTES + MAILBOX_COMPLETION_BYTES + MAILBOX_BODY_BYTES)
         );
     }
 
@@ -1996,9 +2151,9 @@ mod tests {
     #[test]
     fn mailbox_allocation_is_zeroed() {
         let device = Device::new_default(0);
-        let ptr = GpuKernelThread::allocate_mailboxes(&device, 4).unwrap();
+        let ptr = GpuKernelThread::allocate_mailboxes(&device, 4, MAILBOX_REQS_PER_SLOT).unwrap();
         let bytes = device
-            .memcpy_dtoh_vec(ptr, mailbox_region_bytes(4))
+            .memcpy_dtoh_vec(ptr, mailbox_region_bytes(4, MAILBOX_REQS_PER_SLOT))
             .unwrap();
         assert!(bytes.iter().all(|&b| b == 0));
     }
@@ -2023,7 +2178,8 @@ mod tests {
         slots: usize,
     ) -> (GpuKernelThread, crossbeam::channel::Receiver<CommCommand>) {
         let device = Device::new_default(0);
-        let mailbox_base = GpuKernelThread::allocate_mailboxes(&device, slots).unwrap();
+        let mailbox_base =
+            GpuKernelThread::allocate_mailboxes(&device, slots, MAILBOX_REQS_PER_SLOT).unwrap();
         let rank_map = Arc::new(RankMap::new(&DcgnConfig::homogeneous(1, 0, 1, slots)));
         let (work_tx, work_rx) = crossbeam::channel::unbounded();
         (
@@ -2033,6 +2189,7 @@ mod tests {
                     node: 0,
                     gpu_index: 0,
                     slots,
+                    reqs_per_slot: MAILBOX_REQS_PER_SLOT,
                     slot_rank_base: 0,
                     total_ranks: slots,
                     mailbox_base,

@@ -20,15 +20,17 @@
 //! * **Sleep-based polling** ([`gpu`]): the GPU cannot signal the host, so a
 //!   GPU-kernel thread polls per-slot mailboxes in device memory on a
 //!   configurable interval and writes completions back.
-//! * **Generic collective engine** ([`cpu::CpuCtx`] / [`gpu::GpuCtx`]): both
-//!   rank kinds expose the full collective set — `barrier`, `broadcast`,
-//!   `gather`, `scatter`, `allgather`, `reduce` and `allreduce` (with
-//!   [`ReduceOp`] operators) — routed through one table-driven assembly path
-//!   in the comm thread: every local rank *joins*, contributions are
-//!   *locally combined*, one node-level *substrate exchange* runs through
-//!   `dcgn_rmpi`'s collectives, and per-rank results are *scattered back*.
-//!   Adding a collective means adding a dispatch-table row, not a new
-//!   per-operation state machine.
+//! * **One collective exchange engine** ([`cpu::CpuCtx`] / [`gpu::GpuCtx`]):
+//!   both rank kinds expose the full collective set — `barrier`,
+//!   `broadcast`, `gather`, `scatter`, `allgather`, `reduce` and `allreduce`
+//!   (with [`ReduceOp`] operators) — and every one of them, over the world
+//!   or any subgroup, runs through the comm thread's single asynchronous
+//!   exchange engine: local ranks *join*, contributions are *locally
+//!   combined*, status-framed contribution frames flow to the group's
+//!   leader node, which *combines* them and fans results (or the first
+//!   error) back out, and per-rank results are *scattered back* as
+//!   zero-copy payload views.  An erroneous collective fails every
+//!   participating node cleanly instead of hanging peers.
 //! * **Nonblocking point-to-point** ([`cpu::RequestHandle`] /
 //!   [`gpu::GpuRequest`]): `isend`/`irecv` return a request handle
 //!   immediately so kernels overlap compute with communication; completion
@@ -46,10 +48,14 @@
 //! * **Communicator groups** ([`group::Comm`] / [`group::CommId`]): the
 //!   `MPI_Comm_split` analogue.  `comm_split(color, key)` — itself a
 //!   collective riding the engine — partitions a communicator into subgroups
-//!   ordered by `(key, parent rank)`.  The comm thread keys assemblies by
-//!   communicator id, so *disjoint groups execute collectives concurrently*,
-//!   and subgroup exchanges are tagged with their communicator so their
-//!   substrate traffic can never collide.
+//!   ordered by `(key, parent rank)`.  The comm thread keys assemblies and
+//!   exchanges by communicator, so *groups execute collectives
+//!   concurrently* (disjoint subgroups against each other and against the
+//!   world), and every exchange frame carries its exact
+//!   `(comm_epoch, comm_id, seq, phase)` identity
+//!   ([`dcgn_rmpi::ExchangeId`]), so concurrent exchanges can never
+//!   cross-talk and cross-node disagreement surfaces as a clean
+//!   collective-mismatch error on every rank.
 //!
 //! ## Collective quick reference
 //!

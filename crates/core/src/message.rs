@@ -73,8 +73,12 @@ pub(crate) enum Reply {
 pub(crate) enum RequestKind {
     /// Point-to-point send.
     Send { dst: usize, tag: u32, data: Payload },
-    /// Point-to-point receive.
-    Recv { src: Option<usize>, tag: u32 },
+    /// Point-to-point receive.  `None` filters are wildcards: any source
+    /// and/or any tag (the GPU mailbox's `ANY_TAG` decodes to `tag: None`).
+    Recv {
+        src: Option<usize>,
+        tag: Option<u32>,
+    },
     /// Barrier across the communicator's ranks.
     Barrier { comm: CommId },
     /// Broadcast from sub-rank `root`; `data` is `Some` only at the root.
@@ -195,8 +199,9 @@ const _: () = assert!(P2P_HEADER_BYTES == PAYLOAD_HEADROOM);
 
 /// Frame a DCGN point-to-point payload for transport through the node-level
 /// MPI substrate.  Consumes the payload; when it was staged with headroom
-/// (the normal case for inter-node sends) the body is not copied.
-pub(crate) fn frame_p2p(src: usize, dst: usize, tag: u32, payload: Payload) -> Vec<u8> {
+/// (the normal case for inter-node sends) the body is not copied, and the
+/// returned frame shares the same pooled allocation.
+pub(crate) fn frame_p2p(src: usize, dst: usize, tag: u32, payload: Payload) -> Payload {
     let mut header = [0u8; P2P_HEADER_BYTES];
     header[0..4].copy_from_slice(&(src as u32).to_le_bytes());
     header[4..8].copy_from_slice(&(dst as u32).to_le_bytes());
@@ -205,19 +210,20 @@ pub(crate) fn frame_p2p(src: usize, dst: usize, tag: u32, payload: Payload) -> V
 }
 
 /// Decode an inter-node DCGN point-to-point frame.  The returned body is a
-/// zero-copy view into the wire buffer.
-pub(crate) fn decode_p2p(wire: Vec<u8>) -> Result<(usize, usize, u32, Payload), DcgnError> {
+/// zero-copy view into the wire buffer, which itself arrived as a pooled
+/// payload from the substrate — the receive path never clones the bytes.
+pub(crate) fn decode_p2p(wire: Payload) -> Result<(usize, usize, u32, Payload), DcgnError> {
     if wire.len() < P2P_HEADER_BYTES {
         return Err(DcgnError::Internal(format!(
             "short point-to-point frame: {} bytes",
             wire.len()
         )));
     }
-    let src = u32::from_le_bytes(wire[0..4].try_into().expect("4 bytes")) as usize;
-    let dst = u32::from_le_bytes(wire[4..8].try_into().expect("4 bytes")) as usize;
-    let tag = u32::from_le_bytes(wire[8..12].try_into().expect("4 bytes"));
-    let frame = Payload::from_vec(wire);
-    let body = frame.slice(P2P_HEADER_BYTES..frame.len());
+    let bytes = wire.as_slice();
+    let src = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let dst = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let body = wire.slice(P2P_HEADER_BYTES..wire.len());
     Ok((src, dst, tag, body))
 }
 
@@ -240,7 +246,14 @@ mod tests {
         let payload = Payload::copy_with_headroom(&[0xCD; 64]);
         let body_addr = payload.as_slice().as_ptr() as usize;
         let wire = frame_p2p(1, 2, 3, payload);
-        assert_eq!(wire[P2P_HEADER_BYTES..].as_ptr() as usize, body_addr);
+        assert_eq!(
+            wire.as_slice()[P2P_HEADER_BYTES..].as_ptr() as usize,
+            body_addr
+        );
+        // Decoding hands back a view of the same allocation — the body
+        // bytes never move on the receive side either.
+        let (_, _, _, body) = decode_p2p(wire).unwrap();
+        assert_eq!(body.as_slice().as_ptr() as usize, body_addr);
     }
 
     #[test]
@@ -253,7 +266,7 @@ mod tests {
 
     #[test]
     fn short_frame_is_rejected() {
-        assert!(decode_p2p(vec![0u8; 8]).is_err());
+        assert!(decode_p2p(Payload::copy_from_slice(&[0u8; 8])).is_err());
     }
 
     #[test]
@@ -267,7 +280,11 @@ mod tests {
             .name(),
             "send"
         );
-        assert!(!RequestKind::Recv { src: None, tag: 0 }.is_collective());
+        assert!(!RequestKind::Recv {
+            src: None,
+            tag: None
+        }
+        .is_collective());
         let world = CommId::WORLD;
         assert!(!RequestKind::CommFree { comm: world }.is_collective());
         assert_eq!(RequestKind::CommFree { comm: world }.name(), "comm_free");

@@ -189,7 +189,9 @@ impl Runtime {
             for gpu_index in 0..node_cfg.gpus {
                 let device = Device::new(node * 16 + gpu_index, node_cfg.device.clone(), cost);
                 let slots = node_cfg.slots_per_gpu;
-                let mailbox_base = GpuKernelThread::allocate_mailboxes(&device, slots)?;
+                let reqs_per_slot = self.config.mailbox_reqs_per_slot;
+                let mailbox_base =
+                    GpuKernelThread::allocate_mailboxes(&device, slots, reqs_per_slot)?;
                 let slot_rank_base = self
                     .rank_map
                     .gpu_slot_rank(node, gpu_index, 0)
@@ -198,6 +200,7 @@ impl Runtime {
                     node,
                     gpu_index,
                     slots,
+                    reqs_per_slot,
                     slot_rank_base,
                     total_ranks: rank_map.total_ranks(),
                     mailbox_base,

@@ -14,8 +14,10 @@
 
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod cluster;
 pub mod fabric;
 
+pub use buffer::{pool_stats, Payload, PayloadBuf, PoolStats, PAYLOAD_HEADROOM};
 pub use cluster::{Cluster, NodeHandle};
 pub use fabric::{Delivery, Endpoint, EndpointId, Fabric, RecvError, TrafficStats, WakeNotifier};

@@ -309,7 +309,7 @@ impl Communicator {
             if relative & mask != 0 {
                 let src = (rank + size - mask) % size;
                 let (bytes, _) = self.recv(Some(src), Some(TAG_BCAST))?;
-                *data = bytes;
+                *data = bytes.into_vec();
                 break;
             }
             mask <<= 1;
@@ -345,7 +345,7 @@ impl Communicator {
             self.wait_all(&only_reqs)?;
             for (src, req) in reqs {
                 let (bytes, _) = self.take_recv(req).ok_or(RmpiError::UnknownRequest)?;
-                out[src] = bytes;
+                out[src] = bytes.into_vec();
             }
             Ok(Some(out))
         } else {
@@ -392,7 +392,7 @@ impl Communicator {
             Ok(chunks[root].clone())
         } else {
             let (bytes, _) = self.recv(Some(root), Some(TAG_SCATTER))?;
-            Ok(bytes)
+            Ok(bytes.into_vec())
         }
     }
 
@@ -445,8 +445,8 @@ impl Communicator {
                 Some(TAG_ALLGATHER + step as u32),
             )?;
             let origin = (rank + size - step - 1) % size;
-            out[origin] = incoming.clone();
-            forward = incoming;
+            out[origin] = incoming.to_vec();
+            forward = incoming.into_vec();
         }
         Ok(out)
     }
@@ -475,7 +475,7 @@ impl Communicator {
                 Some(from),
                 Some(TAG_ALLTOALL + step as u32),
             )?;
-            out[from] = incoming;
+            out[from] = incoming.into_vec();
         }
         Ok(out)
     }
@@ -506,7 +506,7 @@ impl Communicator {
                     // disagreeing on the reduction fail loudly instead of
                     // folding reinterpreted bytes.
                     let (frame, _) = self.recv(Some(src), Some(TAG_REDUCE))?;
-                    let bytes = parse_reduce_frame(&frame, op, dtype)?;
+                    let bytes = parse_reduce_frame(frame.as_slice(), op, dtype)?;
                     dtype.fold(op, &mut acc, bytes)?;
                 }
             } else {

@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dcgn_netsim::{Delivery, Endpoint, EndpointId};
+use dcgn_netsim::{Delivery, Endpoint, EndpointId, Payload};
 
 use crate::packet::{Packet, RmpiError, Status};
 use crate::Result;
@@ -13,41 +13,20 @@ use crate::Result;
 /// must stay below this value; `ANY_TAG` receives never match internal tags.
 pub const TAG_INTERNAL_BASE: u32 = 0x8000_0000;
 
-/// Marker bit distinguishing subgroup-exchange tags (see [`subgroup_tag`])
-/// from this crate's own internal collective tags, which all sit in
-/// `TAG_INTERNAL_BASE..TAG_INTERNAL_BASE + 0x1000`.
-pub const TAG_SUBGROUP_BIT: u32 = 0x4000_0000;
-
-/// Tag for one phase of a layered subgroup exchange.
+/// The single tag carried by every frame of a layered collective exchange.
 ///
-/// Layers above the substrate (e.g. DCGN's communicator groups) run
-/// collectives over *subsets* of the world using point-to-point traffic.
-/// Several such exchanges may be in flight concurrently between the same
-/// pair of ranks, so each packet's tag must identify its exchange: the
-/// communicator id, the communicator's collective sequence number and the
-/// protocol phase are all mixed (FNV-1a) into the tag.  The result always
-/// carries [`TAG_INTERNAL_BASE`] (so user wildcard receives can never steal
-/// it) and [`TAG_SUBGROUP_BIT`] (so it can never collide with this crate's
-/// internal collective tags).
-///
-/// Distinct exchanges are separated *probabilistically*: the mix is
-/// truncated to 30 bits, so two exchanges concurrently in flight between
-/// the same pair of ranks collide with probability ~`n²/2³¹` for `n` such
-/// exchanges.  Carrying the full identity inside the frames (and verifying
-/// on receipt) would make this exact; see ROADMAP.
-pub fn subgroup_tag(comm: u64, seq: u64, phase: u32) -> u32 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in comm
-        .to_le_bytes()
-        .into_iter()
-        .chain(seq.to_le_bytes())
-        .chain(phase.to_le_bytes())
-    {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    TAG_INTERNAL_BASE | TAG_SUBGROUP_BIT | ((h as u32) & (TAG_SUBGROUP_BIT - 1))
-}
+/// Layers above the substrate (DCGN's communicator engine) run collectives
+/// over subsets of the world using point-to-point traffic, with many
+/// exchanges concurrently in flight between the same pair of ranks.  Those
+/// frames are *not* told apart by tag: each one carries its full
+/// [`crate::ExchangeId`] — `(comm_epoch, comm_id, seq, phase)` — in an
+/// explicit header ([`crate::frame_exchange`]), and the receiving engine
+/// demultiplexes on that exact identity.  The tag's only job is to keep
+/// exchange traffic away from user receives (it sits above
+/// [`TAG_INTERNAL_BASE`], so `ANY_TAG` can never steal it) and away from
+/// this crate's own collective tags (which all sit in
+/// `TAG_INTERNAL_BASE..TAG_INTERNAL_BASE + 0x1000`).
+pub const TAG_EXCHANGE: u32 = TAG_INTERNAL_BASE | 0x4000_0000;
 
 /// Handle to a nonblocking operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,14 +41,14 @@ enum SendState {
 struct SendOp {
     dst: usize,
     tag: u32,
-    data: Option<Vec<u8>>,
+    data: Option<Payload>,
     state: SendState,
 }
 
 enum RecvState {
     Posted,
     WaitingData { send_id: u64, src: usize, tag: u32 },
-    Complete { data: Vec<u8>, status: Status },
+    Complete { data: Payload, status: Status },
 }
 
 struct RecvOp {
@@ -84,7 +63,7 @@ enum Op {
 }
 
 enum UnexpectedKind {
-    Eager(Vec<u8>),
+    Eager(Payload),
     Rts { send_id: u64 },
 }
 
@@ -174,8 +153,12 @@ impl Communicator {
     // Nonblocking API
     // ------------------------------------------------------------------
 
-    /// Start a nonblocking send of `data` to `dst` with `tag`.
-    pub fn isend(&mut self, dst: usize, tag: u32, data: Vec<u8>) -> Result<Request> {
+    /// Start a nonblocking send of `data` to `dst` with `tag`.  The payload
+    /// is a pooled, shared buffer: handing it to the substrate moves a
+    /// reference (the caller typically built it in place with framing
+    /// headroom), and the receiver gets views of the same allocation.
+    pub fn isend(&mut self, dst: usize, tag: u32, data: impl Into<Payload>) -> Result<Request> {
+        let data = data.into();
         if dst >= self.size() {
             return Err(RmpiError::InvalidRank(dst));
         }
@@ -238,8 +221,8 @@ impl Communicator {
     }
 
     /// Wait for a receive request to complete and return its payload and
-    /// status.
-    pub fn wait_recv(&mut self, req: Request) -> Result<(Vec<u8>, Status)> {
+    /// status.  The payload is a zero-copy view of the delivered frame.
+    pub fn wait_recv(&mut self, req: Request) -> Result<(Payload, Status)> {
         self.progress_until(&[req.0], "recv completion")?;
         match self.ops.remove(&req.0) {
             Some(Op::Recv(RecvOp {
@@ -270,7 +253,8 @@ impl Communicator {
 
     /// Collect the payload of a completed receive request (after
     /// [`Communicator::wait_all`] or a successful [`Communicator::test`]).
-    pub fn take_recv(&mut self, req: Request) -> Option<(Vec<u8>, Status)> {
+    /// The payload is a zero-copy view of the delivered frame.
+    pub fn take_recv(&mut self, req: Request) -> Option<(Payload, Status)> {
         match self.ops.get(&req.0) {
             Some(Op::Recv(RecvOp {
                 state: RecvState::Complete { .. },
@@ -292,12 +276,12 @@ impl Communicator {
 
     /// Blocking send of `data` to `dst` with `tag`.
     pub fn send(&mut self, dst: usize, tag: u32, data: &[u8]) -> Result<()> {
-        let req = self.isend(dst, tag, data.to_vec())?;
+        let req = self.isend(dst, tag, Payload::copy_from_slice(data))?;
         self.wait_send(req)
     }
 
     /// Blocking receive returning the payload and status.
-    pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<(Vec<u8>, Status)> {
+    pub fn recv(&mut self, src: Option<usize>, tag: Option<u32>) -> Result<(Payload, Status)> {
         let req = self.irecv(src, tag)?;
         self.wait_recv(req)
     }
@@ -317,7 +301,7 @@ impl Communicator {
                 message: data.len(),
             });
         }
-        buf[..data.len()].copy_from_slice(&data);
+        buf[..data.len()].copy_from_slice(data.as_slice());
         Ok(status)
     }
 
@@ -330,8 +314,8 @@ impl Communicator {
         data: &[u8],
         src: Option<usize>,
         recv_tag: Option<u32>,
-    ) -> Result<(Vec<u8>, Status)> {
-        let send_req = self.isend(dst, send_tag, data.to_vec())?;
+    ) -> Result<(Payload, Status)> {
+        let send_req = self.isend(dst, send_tag, Payload::copy_from_slice(data))?;
         let recv_req = self.irecv(src, recv_tag)?;
         self.wait_all(&[send_req, recv_req])?;
         self.take_recv(recv_req).ok_or(RmpiError::UnknownRequest)
@@ -349,7 +333,7 @@ impl Communicator {
         recv_tag: Option<u32>,
     ) -> Result<Status> {
         let (data, status) = self.sendrecv(dst, send_tag, buf, src, recv_tag)?;
-        *buf = data;
+        *buf = data.into_vec();
         Ok(status)
     }
 
@@ -361,7 +345,7 @@ impl Communicator {
         &mut self,
         src: Option<usize>,
         tag: Option<u32>,
-    ) -> Result<Option<(Vec<u8>, Status)>> {
+    ) -> Result<Option<(Payload, Status)>> {
         self.progress_pass()?;
         let idx = self.unexpected.iter().position(|u| {
             matches!(u.kind, UnexpectedKind::Eager(_)) && Self::matches(src, tag, u.src, u.tag)
@@ -442,7 +426,7 @@ impl Communicator {
                 // Eager: ship the payload immediately; the send is complete
                 // from the sender's point of view.
                 let data = match self.ops.get_mut(&id) {
-                    Some(Op::Send(s)) => s.data.take().unwrap_or_default(),
+                    Some(Op::Send(s)) => s.data.take().unwrap_or_else(Payload::empty),
                     _ => continue,
                 };
                 let pkt = Packet::Eager { tag, data };
@@ -543,7 +527,9 @@ impl Communicator {
                 });
                 if let Some(id) = op_id {
                     let (dst, tag, data) = match self.ops.get_mut(&id) {
-                        Some(Op::Send(s)) => (s.dst, s.tag, s.data.take().unwrap_or_default()),
+                        Some(Op::Send(s)) => {
+                            (s.dst, s.tag, s.data.take().unwrap_or_else(Payload::empty))
+                        }
                         _ => return,
                     };
                     let dst_ep = self.ep_of(dst);
@@ -637,25 +623,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn subgroup_tags_stay_in_their_reserved_space() {
-        for (comm, seq, phase) in [(0u64, 1u64, 0u32), (u64::MAX, 7, 1), (42, 1000, 1)] {
-            let tag = subgroup_tag(comm, seq, phase);
-            assert!(tag >= TAG_INTERNAL_BASE, "internal space");
-            assert!(tag & TAG_SUBGROUP_BIT != 0, "subgroup marker bit");
-            // Never collides with this crate's own collective tags, which
-            // all have the subgroup bit clear.
-            assert!(tag - TAG_INTERNAL_BASE >= 0x1000);
-        }
-    }
-
-    #[test]
-    fn subgroup_tags_distinguish_comm_seq_and_phase() {
-        let base = subgroup_tag(1, 1, 0);
-        assert_eq!(base, subgroup_tag(1, 1, 0), "deterministic");
-        assert_ne!(base, subgroup_tag(2, 1, 0), "comm id mixed in");
-        assert_ne!(base, subgroup_tag(1, 2, 0), "sequence mixed in");
-        assert_ne!(base, subgroup_tag(1, 1, 1), "phase mixed in");
-        // ANY_TAG wildcard matching never steals a subgroup frame.
-        assert!(!Communicator::matches(None, None, 0, base));
+    #[allow(clippy::assertions_on_constants)] // compile-time tag-space guard
+    fn exchange_tag_stays_in_its_reserved_space() {
+        assert!(TAG_EXCHANGE >= TAG_INTERNAL_BASE, "internal space");
+        // Never collides with this crate's own collective tags, which all
+        // sit in TAG_INTERNAL_BASE..TAG_INTERNAL_BASE + 0x1000.
+        assert!(TAG_EXCHANGE - TAG_INTERNAL_BASE >= 0x1000);
+        // ANY_TAG wildcard matching never steals an exchange frame, but an
+        // explicit receive for the tag does.
+        assert!(!Communicator::matches(None, None, 0, TAG_EXCHANGE));
+        assert!(Communicator::matches(
+            None,
+            Some(TAG_EXCHANGE),
+            0,
+            TAG_EXCHANGE
+        ));
     }
 }

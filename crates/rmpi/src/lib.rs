@@ -35,8 +35,11 @@ pub mod typed;
 pub mod world;
 
 pub use collectives::{frame_reduce, parse_reduce_frame, ReduceDtype, ReduceOp};
-pub use comm::{subgroup_tag, Communicator, Request, TAG_INTERNAL_BASE, TAG_SUBGROUP_BIT};
-pub use packet::{Packet, RmpiError, Status, ANY_SOURCE, ANY_TAG};
+pub use comm::{Communicator, Request, TAG_EXCHANGE, TAG_INTERNAL_BASE};
+pub use packet::{
+    frame_exchange, parse_exchange_header, ExchangeId, Packet, RmpiError, Status, ANY_SOURCE,
+    ANY_TAG, EXCHANGE_HEADER_BYTES,
+};
 pub use typed::{
     bytes_to_f32s, bytes_to_f64s, bytes_to_i64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes,
     i64s_to_bytes, u32s_to_bytes, ReduceElement,

@@ -1,6 +1,9 @@
-//! Wire-level packet types, status, and error definitions.
+//! Wire-level packet types, status, and error definitions, plus the
+//! deterministic exchange-frame header used by layered collective engines.
 
 use std::fmt;
+
+use dcgn_netsim::Payload;
 
 /// Wildcard source rank: match a message from any rank.
 pub const ANY_SOURCE: Option<usize> = None;
@@ -23,8 +26,10 @@ pub enum Packet {
     Eager {
         /// Message tag.
         tag: u32,
-        /// Payload bytes.
-        data: Vec<u8>,
+        /// Payload bytes (a pooled, shared buffer — moving the packet moves
+        /// a reference, and the receiver hands out views of the same
+        /// allocation instead of copying out a fresh `Vec`).
+        data: Payload,
     },
     /// Rendezvous request-to-send announcing a large message.
     Rts {
@@ -46,8 +51,8 @@ pub enum Packet {
         send_id: u64,
         /// Message tag (repeated for sanity checks).
         tag: u32,
-        /// Payload bytes.
-        data: Vec<u8>,
+        /// Payload bytes (pooled and shared, like [`Packet::Eager`]).
+        data: Payload,
     },
 }
 
@@ -61,6 +66,80 @@ impl Packet {
             Packet::RdvData { data, .. } => HEADER_BYTES + data.len(),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-frame identity.
+// ---------------------------------------------------------------------------
+
+/// Deterministic identity of one phase of a layered collective exchange,
+/// carried **inside** every exchange frame (see [`frame_exchange`]).
+///
+/// Layers above the substrate (DCGN's communicator engine) run collectives
+/// over subsets of the world using point-to-point traffic, with several
+/// exchanges concurrently in flight between the same pair of ranks.  An
+/// earlier design told those exchanges apart by hashing this identity into a
+/// 30-bit message *tag*, which separated concurrent exchanges only
+/// probabilistically.  Carrying the full identity in the frame (and keying
+/// the receiver's demultiplexer on it) makes the separation exact: a frame
+/// can only ever be folded into the exchange it names, and disagreement
+/// between peers surfaces as a clean collective-mismatch error instead of a
+/// silent cross-talk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExchangeId {
+    /// Registration epoch of the communicator on its member nodes (0 for the
+    /// world; split products derive theirs deterministically from the
+    /// parent's).  Guards against a recycled communicator id ever matching a
+    /// stale frame.
+    pub comm_epoch: u32,
+    /// Raw communicator id the exchange runs over.
+    pub comm: u64,
+    /// The communicator's collective sequence number.
+    pub seq: u64,
+    /// Protocol phase (e.g. contribution vs result leg of a star exchange).
+    pub phase: u32,
+}
+
+/// Bytes of the exchange-frame header:
+/// `[comm_epoch u32][comm u64][seq u64][phase u32][status u8][pad u8 × 3]`.
+pub const EXCHANGE_HEADER_BYTES: usize = 28;
+
+/// Frame an exchange payload: the full [`ExchangeId`] plus a one-byte status
+/// code, followed by the body.
+pub fn frame_exchange(id: ExchangeId, status: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(EXCHANGE_HEADER_BYTES + body.len());
+    out.extend_from_slice(&id.comm_epoch.to_le_bytes());
+    out.extend_from_slice(&id.comm.to_le_bytes());
+    out.extend_from_slice(&id.seq.to_le_bytes());
+    out.extend_from_slice(&id.phase.to_le_bytes());
+    out.push(status);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parse an exchange frame's header, returning its identity and status code.
+/// The body is the remainder of the frame
+/// (`frame[EXCHANGE_HEADER_BYTES..]`), left to the caller so it can be
+/// sliced zero-copy out of a pooled buffer.
+pub fn parse_exchange_header(frame: &[u8]) -> crate::Result<(ExchangeId, u8)> {
+    if frame.len() < EXCHANGE_HEADER_BYTES {
+        return Err(RmpiError::InvalidArgument(format!(
+            "short exchange frame: {} bytes",
+            frame.len()
+        )));
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(frame[off..off + 4].try_into().expect("4 bytes"));
+    let u64_at = |off: usize| u64::from_le_bytes(frame[off..off + 8].try_into().expect("8 bytes"));
+    Ok((
+        ExchangeId {
+            comm_epoch: u32_at(0),
+            comm: u64_at(4),
+            seq: u64_at(12),
+            phase: u32_at(20),
+        },
+        frame[24],
+    ))
 }
 
 /// Completion information for a receive, mirroring `MPI_Status`.
@@ -127,7 +206,7 @@ mod tests {
     fn wire_bytes_accounts_for_header_and_payload() {
         let eager = Packet::Eager {
             tag: 0,
-            data: vec![0u8; 100],
+            data: Payload::copy_from_slice(&[0u8; 100]),
         };
         assert_eq!(eager.wire_bytes(), HEADER_BYTES + 100);
         let rts = Packet::Rts {
@@ -141,9 +220,43 @@ mod tests {
         let data = Packet::RdvData {
             send_id: 1,
             tag: 0,
-            data: vec![0u8; 1 << 20],
+            data: Payload::copy_from_slice(&vec![0u8; 1 << 20]),
         };
         assert_eq!(data.wire_bytes(), HEADER_BYTES + (1 << 20));
+    }
+
+    #[test]
+    fn exchange_frames_roundtrip_identity_status_and_body() {
+        let id = ExchangeId {
+            comm_epoch: 7,
+            comm: u64::MAX - 3,
+            seq: 99,
+            phase: 1,
+        };
+        let frame = frame_exchange(id, 2, &[0xAB, 0xCD]);
+        assert_eq!(frame.len(), EXCHANGE_HEADER_BYTES + 2);
+        let (got, status) = parse_exchange_header(&frame).unwrap();
+        assert_eq!(got, id);
+        assert_eq!(status, 2);
+        assert_eq!(&frame[EXCHANGE_HEADER_BYTES..], &[0xAB, 0xCD]);
+        // Every identity field is distinguishing — no hashing, no collisions.
+        for other in [
+            ExchangeId {
+                comm_epoch: 8,
+                ..id
+            },
+            ExchangeId { comm: 1, ..id },
+            ExchangeId { seq: 100, ..id },
+            ExchangeId { phase: 0, ..id },
+        ] {
+            assert_ne!(
+                parse_exchange_header(&frame_exchange(other, 2, &[]))
+                    .unwrap()
+                    .0,
+                id
+            );
+        }
+        assert!(parse_exchange_header(&[0u8; EXCHANGE_HEADER_BYTES - 1]).is_err());
     }
 
     #[test]

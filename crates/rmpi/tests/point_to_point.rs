@@ -89,7 +89,7 @@ fn any_source_and_any_tag_wildcards() {
     let mut seen = Vec::new();
     for _ in 0..2 {
         let (data, status) = r0.recv(ANY_SOURCE, ANY_TAG).unwrap();
-        seen.push((status.source, status.tag, data));
+        seen.push((status.source, status.tag, data.into_vec()));
     }
     seen.sort();
     assert_eq!(seen[0].0, 1);
@@ -112,7 +112,7 @@ fn per_sender_message_order_is_preserved() {
     });
     for i in 0..50u32 {
         let (data, _) = r1.recv(Some(0), Some(1)).unwrap();
-        assert_eq!(u32::from_le_bytes(data.try_into().unwrap()), i);
+        assert_eq!(u32::from_le_bytes(data.as_slice().try_into().unwrap()), i);
     }
     t.join().unwrap();
 }
@@ -299,10 +299,58 @@ fn many_ranks_ring_pass() {
             let prev = (comm.rank() + n - 1) % n;
             let token = vec![comm.rank() as u8];
             let (incoming, _) = comm.sendrecv(next, 0, &token, Some(prev), Some(0)).unwrap();
-            incoming[0] as usize
+            incoming.as_slice()[0] as usize
         },
     );
     for (rank, &got) in results.iter().enumerate() {
         assert_eq!(got, (rank + n - 1) % n);
     }
+}
+
+#[test]
+fn eager_delivery_is_zero_copy_end_to_end() {
+    // The payload handed to isend is a pooled buffer; the receiver's
+    // payload must be a view of the *same allocation* — the substrate moves
+    // the frame, it never copies the bytes out on the receive side.
+    let mut comms = two_ranks();
+    let mut r1 = comms.remove(1);
+    let mut r0 = comms.remove(0);
+    let sent = dcgn_netsim::Payload::copy_with_headroom(&[0xEE; 512]);
+    let sent_ptr = sent.as_slice().as_ptr() as usize;
+    let req = r0.isend(1, 4, sent).unwrap();
+    let (got, status) = r1.recv(Some(0), Some(4)).unwrap();
+    r0.wait_send(req).unwrap();
+    assert_eq!(status.len, 512);
+    assert_eq!(got, vec![0xEE; 512]);
+    assert_eq!(
+        got.as_slice().as_ptr() as usize,
+        sent_ptr,
+        "eager receive must alias the sender's pooled buffer, not copy it"
+    );
+}
+
+#[test]
+fn rendezvous_delivery_is_zero_copy_end_to_end() {
+    // Same guarantee above the eager threshold: the RTS/CTS handshake moves
+    // envelopes, and the RdvData packet moves the pooled payload itself.
+    let mut comms = two_ranks();
+    let mut r1 = comms.remove(1);
+    let mut r0 = comms.remove(0);
+    let size = r0.eager_threshold() + 1;
+    let sent = dcgn_netsim::Payload::copy_with_headroom(&vec![0xDD; size]);
+    let sent_ptr = sent.as_slice().as_ptr() as usize;
+    let send_req = r0.isend(1, 4, sent).unwrap();
+    let recv_req = r1.irecv(Some(0), Some(4)).unwrap();
+    let t = std::thread::spawn(move || {
+        r0.wait_send(send_req).unwrap();
+        r0
+    });
+    let (got, status) = r1.wait_recv(recv_req).unwrap();
+    t.join().unwrap();
+    assert_eq!(status.len, size);
+    assert_eq!(
+        got.as_slice().as_ptr() as usize,
+        sent_ptr,
+        "rendezvous receive must alias the sender's pooled buffer"
+    );
 }

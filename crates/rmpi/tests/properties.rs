@@ -27,7 +27,7 @@ proptest! {
             } else {
                 let (data, status) = comm.recv(Some(0), Some(tag)).unwrap();
                 assert_eq!(status.len, data.len());
-                data
+                data.into_vec()
             }
         });
         prop_assert_eq!(&results[1], &expected);

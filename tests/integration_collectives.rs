@@ -465,32 +465,33 @@ fn typed_reduce_dtype_disagreement_is_a_collective_mismatch() {
 #[test]
 fn typed_reduce_cross_node_dtype_disagreement_fails_loudly() {
     // Ranks on *different nodes* disagree on the element type (same element
-    // size, so no length mismatch could save us): the typed-reduction wire
-    // frames carry the (op, dtype) identity, so the folding node must fail
-    // with an identity-mismatch error instead of reinterpreting the peer's
-    // bytes.  Rooted reduce keeps the non-root node's exit clean.
+    // size, so no length mismatch could save us): the exchange up-frames
+    // carry the collective's full (op, dtype) identity, so the leader must
+    // fail with an identity-mismatch error instead of reinterpreting the
+    // peer's bytes — and, because world collectives ride the same exchange
+    // engine as subgroups, the error is echoed to *every* node: the
+    // non-root rank errors too instead of silently finishing.
     let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 0, 0)).unwrap();
     let errors = Arc::new(AtomicUsize::new(0));
     let e = Arc::clone(&errors);
     runtime
         .launch_cpu_only(move |ctx| {
-            if ctx.rank() == 0 {
-                match ctx.reduce_t::<f32>(0, &[1.5], ReduceOp::Sum) {
-                    Err(err) => {
-                        let msg = err.to_string();
-                        assert!(msg.contains("identity mismatch"), "unexpected: {msg}");
-                        e.fetch_add(1, Ordering::SeqCst);
-                    }
-                    Ok(v) => panic!("dtype disagreement produced a value: {v:?}"),
-                }
+            let outcome = if ctx.rank() == 0 {
+                ctx.reduce_t::<f32>(0, &[1.5], ReduceOp::Sum).map(|_| ())
             } else {
-                // The non-root ships its (tagged) partial and finishes.
-                let out = ctx.reduce_t::<u32>(0, &[2], ReduceOp::Sum).unwrap();
-                assert!(out.is_none());
+                ctx.reduce_t::<u32>(0, &[2], ReduceOp::Sum).map(|_| ())
+            };
+            match outcome {
+                Err(err) => {
+                    let msg = err.to_string();
+                    assert!(msg.contains("identity mismatch"), "unexpected: {msg}");
+                    e.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(()) => panic!("dtype disagreement completed on rank {}", ctx.rank()),
             }
         })
         .unwrap();
-    assert_eq!(errors.load(Ordering::SeqCst), 1);
+    assert_eq!(errors.load(Ordering::SeqCst), 2);
 }
 
 #[test]

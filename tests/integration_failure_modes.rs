@@ -2,9 +2,24 @@
 //! fail loudly (never hang, never silently corrupt) when applications misuse
 //! it or when configurations are extreme.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use dcgn::{CostModel, DcgnConfig, DcgnError, DeviceConfig, DevicePtr, NodeConfig, Runtime};
+
+/// Run `f` on a watchdog thread and fail the test if it has not returned
+/// within `timeout` — the guard that turns a silent hang into a loud
+/// failure.  (On timeout the worker thread leaks; the test is failing
+/// anyway.)
+fn with_timeout<T: Send + 'static>(timeout: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(timeout)
+        .expect("launch exceeded the watchdog timeout — collective containment hung")
+}
 
 #[test]
 fn invalid_configurations_are_rejected_before_launch() {
@@ -116,6 +131,234 @@ fn cross_node_subgroup_mismatch_is_contained() {
             ctx.barrier().unwrap();
         })
         .unwrap();
+}
+
+/// World allreduce where the ranks of `bad_node` contribute mismatched
+/// vector lengths: every rank of every node must observe a clean error —
+/// world collectives ride the same exchange engine as subgroups, so the
+/// aborting node's error up-frame is echoed to every peer instead of
+/// leaving them blocked inside a substrate exchange.
+fn world_length_mismatch_all_ranks_error(nodes: usize, cpus_per_node: usize) {
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    let total = nodes * cpus_per_node;
+    with_timeout(Duration::from_secs(60), move || {
+        let mut runtime =
+            Runtime::new(DcgnConfig::homogeneous(nodes, cpus_per_node, 0, 0)).unwrap();
+        runtime.set_request_timeout(Duration::from_secs(20));
+        runtime
+            .launch_cpu_only(move |ctx| {
+                // Node 0's ranks disagree among themselves (1 vs 3 values);
+                // every other node's ranks agree with each other.
+                let len = if ctx.node() == 0 && ctx.rank() % 2 == 1 {
+                    3
+                } else {
+                    1
+                };
+                let err = ctx
+                    .allreduce(&vec![1.0; len], dcgn::ReduceOp::Sum)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, DcgnError::InvalidArgument(_)),
+                    "want InvalidArgument on rank {}, got {err:?}",
+                    ctx.rank()
+                );
+                e.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+    });
+    assert_eq!(
+        errors.load(Ordering::SeqCst),
+        total,
+        "every rank must error"
+    );
+}
+
+#[test]
+fn world_reduce_length_mismatch_errors_on_every_rank_single_node() {
+    world_length_mismatch_all_ranks_error(1, 2);
+}
+
+#[test]
+fn world_reduce_length_mismatch_errors_on_every_node() {
+    // The decisive case the old blocking substrate path could not handle:
+    // node 1's ranks are blameless, yet they must *error* (not hang) when
+    // node 0 aborts the world collective locally.
+    world_length_mismatch_all_ranks_error(2, 2);
+}
+
+#[test]
+fn world_reduce_length_mismatch_errors_on_three_nodes() {
+    world_length_mismatch_all_ranks_error(3, 2);
+}
+
+#[test]
+fn world_dtype_mismatch_aborts_every_node_without_timeout() {
+    // Node 0's two ranks join the same world reduce with different element
+    // types.  The join detects the identity mismatch, fails *both* local
+    // ranks immediately (not just the late joiner), and echoes the abort
+    // through the exchange so node 1's blameless ranks error out too —
+    // nobody waits for a request timeout.
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    with_timeout(Duration::from_secs(60), move || {
+        let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+        runtime.set_request_timeout(Duration::from_secs(20));
+        runtime
+            .launch_cpu_only(move |ctx| {
+                let outcome = if ctx.node() == 0 && ctx.rank() % 2 == 1 {
+                    ctx.allreduce_t::<f32>(&[1.0], dcgn::ReduceOp::Sum)
+                        .map(|_| ())
+                } else {
+                    ctx.allreduce_t::<f64>(&[1.0], dcgn::ReduceOp::Sum)
+                        .map(|_| ())
+                };
+                match outcome {
+                    Err(DcgnError::CollectiveMismatch { .. } | DcgnError::InvalidArgument(_)) => {
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!(
+                        "rank {}: expected a mismatch error, got {other:?}",
+                        ctx.rank()
+                    ),
+                }
+            })
+            .unwrap();
+    });
+    assert_eq!(errors.load(Ordering::SeqCst), 4, "every rank must error");
+}
+
+#[test]
+fn world_kind_mismatch_across_nodes_is_a_collective_mismatch_everywhere() {
+    // Whole nodes disagree about *which* world collective runs: node 0
+    // enters a barrier, node 1 an allreduce.  No single node can see the
+    // mismatch locally; the leader detects it from the collective identity
+    // carried inside the up-frames and echoes CollectiveMismatch to every
+    // participant.
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    with_timeout(Duration::from_secs(60), move || {
+        let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+        runtime.set_request_timeout(Duration::from_secs(20));
+        runtime
+            .launch_cpu_only(move |ctx| {
+                let outcome = if ctx.node() == 0 {
+                    ctx.barrier()
+                } else {
+                    ctx.allreduce(&[1.0], dcgn::ReduceOp::Sum).map(|_| ())
+                };
+                match outcome {
+                    Err(DcgnError::CollectiveMismatch {
+                        in_progress,
+                        requested,
+                    }) => {
+                        let pair = [in_progress, requested];
+                        assert!(pair.contains(&"barrier") && pair.contains(&"allreduce"));
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!(
+                        "rank {}: expected CollectiveMismatch, got {other:?}",
+                        ctx.rank()
+                    ),
+                }
+            })
+            .unwrap();
+    });
+    assert_eq!(errors.load(Ordering::SeqCst), 4, "every rank must error");
+}
+
+#[test]
+fn world_collectives_still_work_after_a_contained_failure() {
+    // A failed world collective must not poison the engine: the very next
+    // world collective on the same communicator succeeds on every node.
+    with_timeout(Duration::from_secs(60), move || {
+        let mut runtime = Runtime::new(DcgnConfig::homogeneous(2, 2, 0, 0)).unwrap();
+        runtime.set_request_timeout(Duration::from_secs(20));
+        runtime
+            .launch_cpu_only(|ctx| {
+                let len = if ctx.rank() == 0 { 2 } else { 1 };
+                assert!(ctx.allreduce(&vec![1.0; len], dcgn::ReduceOp::Sum).is_err());
+                // Everyone agrees again: the engine recovers.
+                let sum = ctx.allreduce(&[1.0], dcgn::ReduceOp::Sum).unwrap();
+                assert_eq!(sum, vec![4.0]);
+                ctx.barrier().unwrap();
+            })
+            .unwrap();
+    });
+}
+
+#[test]
+fn mailbox_depth_one_overrun_faults_instead_of_deadlocking() {
+    // At the configured minimum depth of one completion record, publishing a
+    // second nonblocking request without harvesting the first can never
+    // make progress; the claim loop must fault the launch, not deadlock it.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(1, 0, 1, 2).with_mailbox_depth(1)).unwrap();
+    let result = with_timeout(Duration::from_secs(60), move || {
+        runtime.launch_gpu_only(move |ctx| {
+            match ctx.block().block_id() {
+                0 => {
+                    let buf = DevicePtr::NULL.add(1 << 20);
+                    ctx.block().write(buf, &[1u8; 8]);
+                    let first = ctx.isend(0, 1, buf, 8);
+                    // Depth 1: this second publish can never claim a record.
+                    let second = ctx.isend(0, 1, buf.add(64), 8);
+                    ctx.wait(first);
+                    ctx.wait(second);
+                }
+                1 => {
+                    let _ = ctx.recv_any(1, DevicePtr::NULL.add(2 << 20), 64);
+                }
+                _ => {}
+            }
+        })
+    });
+    match result {
+        Err(DcgnError::Device(msg)) => {
+            assert!(msg.contains("completion record"), "unexpected: {msg}");
+        }
+        other => panic!("expected a depth-overrun fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn mailbox_depth_one_sequential_nonblocking_traffic_works() {
+    // Depth 1 is a legal configuration: publish → wait → publish → wait
+    // never needs a second record in flight.
+    with_timeout(Duration::from_secs(60), move || {
+        let runtime =
+            Runtime::new(DcgnConfig::homogeneous(1, 1, 1, 1).with_mailbox_depth(1)).unwrap();
+        runtime
+            .launch(
+                |ctx| {
+                    if ctx.rank() == 0 {
+                        for i in 0..3u8 {
+                            ctx.send(1, &[i; 16]).unwrap();
+                        }
+                    }
+                },
+                |ctx| {
+                    const SLOT: usize = 0;
+                    if ctx.block().block_id() != 0 {
+                        return;
+                    }
+                    let buf = DevicePtr::NULL.add(8 << 10);
+                    for i in 0..3u8 {
+                        let req = ctx.irecv(SLOT, 0, buf, 16);
+                        let status = ctx.wait(req);
+                        assert_eq!(status.len, 16);
+                        let mut got = [0u8; 16];
+                        ctx.block().read(buf, &mut got);
+                        assert_eq!(got, [i; 16]);
+                    }
+                },
+            )
+            .unwrap();
+    });
+}
+
+#[test]
+fn zero_mailbox_depth_is_rejected() {
+    assert!(Runtime::new(DcgnConfig::homogeneous(1, 0, 1, 1).with_mailbox_depth(0)).is_err());
 }
 
 #[test]

@@ -507,10 +507,136 @@ fn gpu_publish_overrun_faults_instead_of_hanging() {
     match result {
         Err(DcgnError::Device(msg)) => {
             assert!(
-                msg.contains("completion records"),
+                msg.contains("completion record"),
                 "unexpected message: {msg}"
             );
         }
         other => panic!("expected a publish-overrun fault, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Tagged GPU point-to-point and device-side waitall/waitany
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gpu_tagged_recv_matches_by_tag_and_any_tag_takes_the_rest() {
+    // A CPU rank ships two differently-tagged messages to a GPU slot in
+    // order; the kernel pulls the *second* tag first (out of arrival
+    // order), then drains the remaining message with the ANY_TAG wildcard.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 1, 1)).unwrap();
+    runtime
+        .launch(
+            |ctx| {
+                if ctx.rank() == 0 {
+                    // Nonblocking sends: intra-node sends complete only when
+                    // matched, and the GPU matches them out of order.
+                    let a = ctx.isend_tagged(1, 7, &[0xA7; 32]).unwrap();
+                    let b = ctx.isend_tagged(1, 9, &[0xB9; 32]).unwrap();
+                    ctx.waitall(&[a, b]).unwrap();
+                }
+            },
+            |ctx| {
+                const SLOT: usize = 0;
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(8 << 10);
+                // Tag 9 first, despite the tag-7 message arriving earlier.
+                let status = ctx.recv_tagged(SLOT, 0, 9, buf, 32);
+                assert_eq!(status.len, 32);
+                assert_eq!(ctx.block().read_vec(buf, 32), vec![0xB9; 32]);
+                // The wildcard then drains the tag-7 message.
+                let status = ctx.recv_any_tagged(SLOT, dcgn::gpu::ANY_TAG, buf, 32);
+                assert_eq!(status.len, 32);
+                assert_eq!(ctx.block().read_vec(buf, 32), vec![0xA7; 32]);
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn gpu_nonblocking_tags_roundtrip_to_cpu_tagged_receives() {
+    // The nonblocking publish path carries tags too: a GPU slot isends two
+    // tagged payloads, the CPU receives them by tag in reverse order.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&hits);
+    runtime
+        .launch(
+            move |ctx| {
+                // CPU ranks 0 (node 0) and 2 (node 1); GPU slots 1 and 3.
+                if ctx.rank() == 0 {
+                    let (low, _) = ctx.recv_tagged(Some(3), 21).unwrap();
+                    assert_eq!(low, vec![21u8; 64]);
+                    let (high, _) = ctx.recv_tagged(Some(3), 22).unwrap();
+                    assert_eq!(high, vec![22u8; 64]);
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            |ctx| {
+                const SLOT: usize = 0;
+                if ctx.block().block_id() != 0 || ctx.rank(SLOT) != 3 {
+                    return;
+                }
+                let a = DevicePtr::NULL.add(16 << 10);
+                let b = DevicePtr::NULL.add(24 << 10);
+                ctx.block().write(a, &[21u8; 64]);
+                ctx.block().write(b, &[22u8; 64]);
+                let r1 = ctx.isend_tagged(SLOT, 0, 21, a, 64);
+                let r2 = ctx.isend_tagged(SLOT, 0, 22, b, 64);
+                ctx.waitall(&[r1, r2]);
+            },
+        )
+        .unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn gpu_waitany_harvests_whichever_completes_first() {
+    // The kernel posts a receive that can complete at once and one that
+    // completes only after the first has been acknowledged back to the
+    // peer: waitany must pick them in completion order, not posting order.
+    let runtime = Runtime::new(DcgnConfig::homogeneous(2, 1, 1, 1)).unwrap();
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    runtime
+        .launch(
+            |ctx| {
+                if ctx.rank() == 0 {
+                    // First leg: satisfy the kernel's tag-5 receive.
+                    ctx.send_tagged(1, 5, &[5u8; 16]).unwrap();
+                    // Second leg only after the kernel acknowledged it.
+                    let (ack, _) = ctx.recv(1).unwrap();
+                    assert_eq!(ack, vec![0xAC; 4]);
+                    ctx.send_tagged(1, 6, &[6u8; 16]).unwrap();
+                }
+            },
+            move |ctx| {
+                const SLOT: usize = 0;
+                if ctx.block().block_id() != 0 || ctx.rank(SLOT) != 1 {
+                    return;
+                }
+                let b5 = DevicePtr::NULL.add(8 << 10);
+                let b6 = DevicePtr::NULL.add(12 << 10);
+                let r6 = ctx.irecv_tagged(SLOT, 0, 6, b6, 16);
+                let r5 = ctx.irecv_tagged(SLOT, 0, 5, b5, 16);
+                // Only tag 5 has been sent: waitany must return it even
+                // though r6 was posted first.
+                let (idx, status) = ctx.waitany(&[r6, r5]);
+                assert_eq!((idx, status.len), (1, 16));
+                o.lock().push(5u32);
+                // Release the second leg, then the remaining handle.
+                let ack = DevicePtr::NULL.add(16 << 10);
+                ctx.block().write(ack, &[0xAC; 4]);
+                ctx.send(SLOT, 0, ack, 4);
+                let (idx, status) = ctx.waitany(&[r6]);
+                assert_eq!((idx, status.len), (0, 16));
+                o.lock().push(6u32);
+                assert_eq!(ctx.block().read_vec(b5, 16), vec![5u8; 16]);
+                assert_eq!(ctx.block().read_vec(b6, 16), vec![6u8; 16]);
+            },
+        )
+        .unwrap();
+    assert_eq!(*order.lock(), vec![5, 6]);
 }
