@@ -1,0 +1,76 @@
+//! Node-count scaling of the exchange plans: each world collective
+//! (barrier, broadcast, allreduce) is swept over 2–32 single-rank nodes
+//! under each forced plan.  The star's leader serializes one send per
+//! member, so its cost grows linearly with the node count; the binomial
+//! tree (and for allreduce, recursive doubling / ring) keeps every node's
+//! fan-out logarithmic or constant — at 32 nodes the tree plans must beat
+//! the star decisively, while staying within noise of it at 2–4 nodes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcgn::{CostModel, ExchangePlan, LinkCost};
+use dcgn_bench::{bench_samples, dcgn_plan_collective_time, quick_mode, ScalingOp};
+
+/// The usual scaled-down model, but with the inter-node latency inflated to
+/// 1.5 ms so the *modeled* wire time — where the plans actually differ —
+/// dominates the real thread-scheduling overhead of hosting 32 simulated
+/// nodes on a small machine.  Ratios between plans are what this sweep
+/// reports; absolute numbers are meaningless at this latency.
+fn scaling_cost() -> CostModel {
+    let mut cost = CostModel::g92_scaled(20.0);
+    cost.network = LinkCost::from_us_and_mbps(1500, 1400.0);
+    cost
+}
+
+fn bench_plan_scaling(c: &mut Criterion) {
+    let cost = scaling_cost();
+    let size = 1 << 10;
+    let mut group = c.benchmark_group("plan_scaling");
+    group.sample_size(bench_samples(10));
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    // Quick mode trims the sweep to its endpoints so the CI smoke job
+    // still covers both the small-size parity and the 32-node gap.
+    let node_counts: &[usize] = if quick_mode() {
+        &[2, 32]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+    let plans = [("star", ExchangePlan::Star), ("tree", ExchangePlan::Tree)];
+    let ops = [
+        ScalingOp::Barrier,
+        ScalingOp::Broadcast,
+        ScalingOp::Allreduce,
+    ];
+
+    for &nodes in node_counts {
+        for op in ops {
+            for (label, plan) in plans {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_{}", op.label(), label), nodes),
+                    &nodes,
+                    |b, &n| b.iter(|| dcgn_plan_collective_time(op, n, size, plan, cost, 2)),
+                );
+            }
+            // The allreduce kind also has the dedicated schedules.
+            if op == ScalingOp::Allreduce {
+                for (label, plan) in [
+                    ("rd", ExchangePlan::RecursiveDoubling),
+                    ("ring", ExchangePlan::Ring),
+                ] {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("{}_{}", op.label(), label), nodes),
+                        &nodes,
+                        |b, &n| b.iter(|| dcgn_plan_collective_time(op, n, size, plan, cost, 2)),
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_scaling);
+criterion_main!(benches);

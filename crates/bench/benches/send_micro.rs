@@ -9,8 +9,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcgn::CostModel;
 use dcgn_bench::{
-    bench_samples, dcgn_allreduce_time, dcgn_isend_overlap_time, dcgn_send_time, mpi_send_time,
-    EndpointKind,
+    bench_samples, dcgn_allreduce_time, dcgn_isend_overlap_time, dcgn_send_time, dcgn_waitany_time,
+    mpi_send_time, EndpointKind,
 };
 
 fn bench_sends(c: &mut Criterion) {
@@ -54,6 +54,26 @@ fn bench_isend_overlap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked-`waitany` wake-up latency: every iteration posts an `irecv`,
+/// pings the echo peer, and blocks in `waitany` until the reply lands.  The
+/// old fixed 20 µs poll sleep put a hard floor under this number; the
+/// condvar wake from the comm thread is what this entry tracks.
+fn bench_waitany_wake(c: &mut Criterion) {
+    let cost = CostModel::zero();
+    let iters = 64;
+    let mut group = c.benchmark_group("waitany_wake");
+    group.sample_size(bench_samples(10));
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_with_input(
+        BenchmarkId::new("blocked_roundtrip", iters),
+        &iters,
+        |b, &n| b.iter(|| dcgn_waitany_time(64, cost, n)),
+    );
+    group.finish();
+}
+
 /// World vs subgroup allreduce through the one exchange engine: since the
 /// world-collective migration, both take the identical keyed asynchronous
 /// path, so their medians should track each other — and the committed-report
@@ -83,6 +103,7 @@ criterion_group!(
     benches,
     bench_sends,
     bench_isend_overlap,
+    bench_waitany_wake,
     bench_allreduce_engine
 );
 criterion_main!(benches);

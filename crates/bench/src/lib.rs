@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dcgn::{CostModel, DcgnConfig, DevicePtr, NodeConfig, Runtime};
+use dcgn::{CostModel, DcgnConfig, DevicePtr, ExchangePlan, NodeConfig, Runtime};
 use dcgn_rmpi::{MpiWorld, RankPlacement};
 use parking_lot::Mutex;
 
@@ -233,6 +233,80 @@ pub fn dcgn_isend_overlap_time(
             ctx.barrier().unwrap();
         })
         .expect("overlap launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
+/// Average latency of one blocked `waitany` round trip between two CPU
+/// ranks: rank 0 posts an `irecv`, pings rank 1, then blocks in `waitany`
+/// until the echo lands, so every iteration exercises the blocked-wait
+/// wake-up path (not the already-complete fast path).
+///
+/// With the old fixed 20 µs poll sleep each blocked wait paid at least one
+/// full sleep period, putting a hard >20 µs floor under this number; the
+/// condvar wake from the comm thread removes that floor.
+pub fn dcgn_waitany_time(size: usize, cost: CostModel, iters: usize) -> Duration {
+    dcgn_wait_roundtrip_time(size, cost, iters, None)
+}
+
+/// The same round trip, but rank 0 completes the receive by polling
+/// `test()` with a fixed sleep between probes — the shape `waitany` had
+/// before the condvar wake.  Measured next to [`dcgn_waitany_time`] under
+/// identical load it isolates what the blocked wake-up is worth, without
+/// depending on absolute timings of the host machine.
+pub fn dcgn_polled_wait_time(
+    size: usize,
+    cost: CostModel,
+    iters: usize,
+    poll_sleep: Duration,
+) -> Duration {
+    dcgn_wait_roundtrip_time(size, cost, iters, Some(poll_sleep))
+}
+
+fn dcgn_wait_roundtrip_time(
+    size: usize,
+    cost: CostModel,
+    iters: usize,
+    poll_sleep: Option<Duration>,
+) -> Duration {
+    let config = DcgnConfig::homogeneous(1, 2, 0, 0).with_cost(cost);
+    let runtime = Runtime::new(config).expect("waitany config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m = Arc::clone(&measured);
+
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let me = ctx.rank();
+            let peer = 1 - me;
+            let payload = vec![0x5Au8; size];
+            ctx.barrier().unwrap();
+            if me == 0 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let recv = ctx.irecv(peer).unwrap();
+                    ctx.send(peer, &payload).unwrap();
+                    match poll_sleep {
+                        None => {
+                            let (idx, _) = ctx.waitany(&[recv]).unwrap();
+                            assert_eq!(idx, 0);
+                        }
+                        Some(sleep) => {
+                            while ctx.test(recv).unwrap().is_none() {
+                                std::thread::sleep(sleep);
+                            }
+                        }
+                    }
+                }
+                *m.lock() = start.elapsed();
+            } else {
+                for _ in 0..iters {
+                    let (data, _) = ctx.recv(peer).unwrap();
+                    ctx.send(peer, &data).unwrap();
+                }
+            }
+            ctx.barrier().unwrap();
+        })
+        .expect("waitany launch");
     let total = *measured.lock();
     total / iters as u32
 }
@@ -489,6 +563,79 @@ pub fn mpi_barrier_time(
     results[0] / iters as u32
 }
 
+// ---------------------------------------------------------------------------
+// Exchange-plan scaling (node-count sweep)
+// ---------------------------------------------------------------------------
+
+/// Which world collective a plan-scaling measurement runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingOp {
+    /// Empty up/down frames — pure fan-in/fan-out latency.
+    Barrier,
+    /// Uniform down payload of `size` bytes from rank 0.
+    Broadcast,
+    /// `size / 8` summed `f64` elements per rank.
+    Allreduce,
+}
+
+impl ScalingOp {
+    /// Short label used in benchmark ids ("barrier" / "bcast" / "allreduce").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingOp::Barrier => "barrier",
+            ScalingOp::Broadcast => "bcast",
+            ScalingOp::Allreduce => "allreduce",
+        }
+    }
+}
+
+/// Average time of one world collective on `nodes` nodes (one CPU rank
+/// each) under a forced exchange `plan`, measured at rank 0 after a warm-up
+/// barrier.  The node-count sweep of this harness is what demonstrates the
+/// tree plans' logarithmic fan-out against the star's serialized one.
+pub fn dcgn_plan_collective_time(
+    op: ScalingOp,
+    nodes: usize,
+    size: usize,
+    plan: ExchangePlan,
+    cost: CostModel,
+    iters: usize,
+) -> Duration {
+    let config = DcgnConfig::homogeneous(nodes, 1, 0, 0)
+        .with_cost(cost)
+        .with_exchange_plan(plan);
+    let runtime = Runtime::new(config).expect("plan scaling config");
+    let measured: Arc<Mutex<Duration>> = Arc::new(Mutex::new(Duration::ZERO));
+    let m = Arc::clone(&measured);
+
+    runtime
+        .launch_cpu_only(move |ctx| {
+            let rank = ctx.rank();
+            let count = size.div_ceil(8).max(1);
+            let mut bcast_buf = vec![0x6Du8; size.max(1)];
+            let reduce_in = vec![1.0f64; count];
+            ctx.barrier().unwrap();
+            let start = Instant::now();
+            for _ in 0..iters {
+                match op {
+                    ScalingOp::Barrier => ctx.barrier().unwrap(),
+                    ScalingOp::Broadcast => ctx.broadcast(0, &mut bcast_buf).unwrap(),
+                    ScalingOp::Allreduce => {
+                        let sum = ctx.allreduce(&reduce_in, dcgn::ReduceOp::Sum).unwrap();
+                        assert_eq!(sum[0], nodes as f64);
+                    }
+                }
+            }
+            if rank == 0 {
+                *m.lock() = start.elapsed();
+            }
+            ctx.barrier().unwrap();
+        })
+        .expect("plan scaling launch");
+    let total = *measured.lock();
+    total / iters as u32
+}
+
 /// Format a duration in the unit the paper uses for the given magnitude.
 pub fn format_duration(d: Duration) -> String {
     let us = d.as_secs_f64() * 1e6;
@@ -549,6 +696,32 @@ mod tests {
         assert!(
             overlapped.as_secs_f64() < blocking.as_secs_f64() * 0.8,
             "overlap {overlapped:?} hides too little of blocking {blocking:?}"
+        );
+    }
+
+    #[test]
+    fn blocked_waitany_wakes_faster_than_the_old_poll_sleep_floor() {
+        // Before the condvar wake, a blocked `waitany` polled with a fixed
+        // 20 µs sleep, so every round trip that actually blocked paid at
+        // least one full sleep period on top of its cross-thread hops
+        // (measured ~56 µs per round trip with the sleep restored, vs
+        // ~30 µs with the event wake).  Rebuild the old shape with a
+        // `test()` + 20 µs sleep loop and race it against the blocked wait
+        // under identical machine load — a relative comparison, so absolute
+        // wall-clock noise on a busy single-core host cannot fail it.  Each
+        // side takes the better of three interleaved runs.
+        let cost = CostModel::zero();
+        let sleep = Duration::from_micros(20);
+        let mut blocked = Duration::MAX;
+        let mut polled = Duration::MAX;
+        for _ in 0..3 {
+            blocked = blocked.min(dcgn_waitany_time(64, cost, 128));
+            polled = polled.min(dcgn_polled_wait_time(64, cost, 128, sleep));
+        }
+        assert!(
+            blocked < polled,
+            "blocked waitany averaged {blocked:?} per round trip vs {polled:?} \
+             for the old 20 µs poll-sleep loop; the event wake should win"
         );
     }
 

@@ -9,12 +9,32 @@
 //! Collectives are keyed by communicator ([`CommId`]): every group assembles
 //! independently in its own [`CollectiveAssembly`], so two communicators can
 //! execute collectives concurrently.  **Every** cross-node collective — the
-//! world included — runs through one asynchronous star exchange around the
-//! group's leader node: participants ship a status-framed contribution
-//! up-frame, the leader combines and ships per-node down-frames, and the
-//! engine progresses incrementally so independent exchanges overlap and an
+//! world included — runs through one asynchronous exchange engine.  The
+//! engine executes one of several *plans*, chosen deterministically from
+//! `(kind, payload size, node count)` by [`CommThread::select_plan`] (or
+//! forced via [`ExchangePlan`] config / `DCGN_FORCE_PLAN`):
+//!
+//! * **star** — participants ship a status-framed contribution up-frame to
+//!   the group's leader node, which combines and ships per-node down-frames
+//!   (optimal for small groups: two hops, no relaying);
+//! * **tree** — a leader-rooted binomial tree: interior nodes concatenate
+//!   their subtree's opaque up-entries into bundles, the leader combines
+//!   exactly as under the star, and down-frames relay back through the tree
+//!   (O(log n) critical path at the leader instead of O(n) serialized sends);
+//! * **recursive doubling** — allreduce only: pairwise fold rounds over a
+//!   power-of-two core, with extras folding in/out at the edges (latency-
+//!   optimal for small vectors);
+//! * **ring** — allreduce only: reduce-scatter then allgather around a ring
+//!   (bandwidth-optimal for large vectors).
+//!
+//! All plans progress incrementally so independent exchanges overlap, and an
 //! erroneous collective fails *every* participating node instead of leaving
-//! peers blocked inside a substrate call.
+//! peers blocked inside a substrate call: any node that detects a problem —
+//! a mismatched collective identity, an unparseable frame, a frame its
+//! schedule has no step for (the signature of plans diverging across nodes)
+//! — broadcasts a [`PHASE_ABORT`] frame directly to every group node and
+//! tombstones the exchange, so failure containment is identical under every
+//! plan.
 //!
 //! Exchange frames all travel under one MPI tag ([`TAG_EXCHANGE`]) and carry
 //! their full identity — `(comm_epoch, comm_id, seq, phase)`, the
@@ -34,15 +54,20 @@ use crossbeam::channel::{Receiver, Sender};
 use dcgn_rmpi::{
     bytes_to_u32s, frame_exchange, frame_reduce, parse_exchange_header, parse_reduce_frame,
     u32s_to_bytes, Communicator, ExchangeId, ReduceDtype, ReduceOp, Request as MpiRequest,
-    EXCHANGE_HEADER_BYTES, TAG_EXCHANGE,
+    EXCHANGE_HEADER_BYTES, PHASE_ABORT, PHASE_DOWN, PHASE_RD_FOLD_IN, PHASE_RD_FOLD_OUT,
+    PHASE_RD_ROUND_BASE, PHASE_RING_BASE, PHASE_UP, TAG_EXCHANGE,
 };
 use dcgn_simtime::CostModel;
 
 use crate::buffer::Payload;
+use crate::config::ExchangePlan;
 use crate::error::{DcgnError, Result};
-use crate::group::{self, CommId};
+use crate::group::{
+    self, binomial_children, binomial_parent, binomial_subtree, prev_power_of_two, CommId,
+};
 use crate::message::{
-    decode_p2p, frame_p2p, CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind,
+    decode_p2p, frame_p2p, CollectiveResult, CommCommand, CommStatus, CompletionEvent, Reply,
+    Request, RequestKind,
 };
 use crate::rank::RankMap;
 
@@ -178,6 +203,11 @@ impl Matcher {
 
     /// Pop the earliest-posted receive a new message can match: the exact
     /// bucket competes with every wildcard bucket on posting order.
+    ///
+    /// The posting stamp is the *only* tiebreaker — no wildcard shape is
+    /// privileged over another.  In particular, when a `(src, ANY_TAG)`
+    /// receive and an `(ANY_SOURCE, tag)` receive can both take the same
+    /// message, whichever was posted first wins, in either posting order.
     fn take_recv_for(&mut self, dst: usize, src: usize, tag: u32) -> Option<PendingRecv> {
         let candidates = [
             (dst, Some(src), Some(tag)),
@@ -432,11 +462,28 @@ const ST_ERR: u8 = 1;
 /// (`[in_progress][requested]`), decoded back into
 /// [`DcgnError::CollectiveMismatch`] on every participant.
 const ST_MISMATCH: u8 = 2;
+/// Bundle marker (tree plan): the body is `[node u32][len u32][bytes]…`
+/// entries keyed by *physical node*.  Up-bundles additionally lead with the
+/// sender's encoded [`CollectiveId`] and carry a status byte at the head of
+/// every entry; down-bundles are plain per-node result bodies that interior
+/// nodes split by child subtree.
+const ST_BUNDLE: u8 = 3;
 
-/// Phase of contribution frames (toward the leader node).
-const PHASE_UP: u32 = 0;
-/// Phase of result frames (from the leader node).
-const PHASE_DOWN: u32 = 1;
+// ---------------------------------------------------------------------------
+// Plan selection.
+// ---------------------------------------------------------------------------
+
+/// Node count at which the default table switches from the star to the
+/// binomial tree.  Below this the leader's serialized fan-out is at most
+/// three sends, and the tree's extra hop latency is not worth paying.
+const TREE_MIN_NODES: usize = 5;
+
+/// Up-frame body size (id header + reduce frame) at which an allreduce
+/// switches from latency-optimal recursive doubling to bandwidth-optimal
+/// ring.  Every correct node computes the same body size, so the choice is
+/// deterministic across the group; a divergence *is* a length mismatch and
+/// is caught by the abort net.
+const RING_MIN_UP_BYTES: usize = 32 * 1024;
 
 /// Exact identity of one in-flight exchange: the communicator's registration
 /// epoch, the communicator and its collective sequence number.  The phase is
@@ -476,14 +523,75 @@ enum Downs {
 
 /// Role-specific progress state of one in-flight exchange.
 enum ExchangeRole {
-    /// Leader: collecting the up-frame of every participating node
-    /// (including its own, staged at start).
+    /// Root of the star or tree: collecting the up-frame of every
+    /// participating node (its own staged at start; under the tree plan the
+    /// frames of whole subtrees arrive bundled through the root's children).
     Leader {
         awaiting: HashSet<usize>,
         ups: Vec<(usize, ExFrame)>,
     },
-    /// Non-leader: up-frame sent, waiting for the leader's down-frame.
+    /// Star non-leader: up-frame sent, waiting for the leader's down-frame.
     Member,
+    /// Tree non-root: aggregating its subtree's entries before bundling them
+    /// to its parent, then relaying the parent's down-frame to its children.
+    TreeNode(TreeState),
+    /// Recursive-doubling allreduce participant.
+    Rd(RdState),
+    /// Ring allreduce participant.
+    Ring(RingState),
+}
+
+/// Progress state of a non-root node in the binomial tree plan.
+struct TreeState {
+    /// Parent node id (bundles go up to it, down-frames come from it).
+    parent: usize,
+    /// Children whose up-bundle has not arrived yet.
+    awaiting: HashSet<usize>,
+    /// Accumulated bundle entries — this node's own plus every received
+    /// child bundle's, concatenated verbatim (child id prefixes stripped).
+    entries: Vec<u8>,
+}
+
+/// Where a recursive-doubling participant is in its schedule.
+enum RdStage {
+    /// Core node with an extra partner: waiting for the extra's fold-in
+    /// before round 0.
+    AwaitFoldIn,
+    /// Waiting for the partner of round `r`.
+    Round(u32),
+    /// Extra node: fold-in sent, waiting for the final result.
+    AwaitFoldOut,
+}
+
+/// Progress state of a recursive-doubling allreduce participant.
+struct RdState {
+    /// This node's position in the group's node list.
+    pos: usize,
+    /// Number of participating nodes.
+    n: usize,
+    /// Power-of-two core size (`prev_power_of_two(n)`).
+    m: usize,
+    stage: RdStage,
+    /// Running partial (raw element bytes).
+    acc: Vec<u8>,
+    /// Frames for later stages that raced ahead of this node, keyed by
+    /// phase.  At most one sender exists per phase, so a map suffices.
+    future: HashMap<u32, ExFrame>,
+}
+
+/// Progress state of a ring allreduce participant.
+struct RingState {
+    /// This node's position in the group's node list.
+    pos: usize,
+    /// Number of participating nodes.
+    n: usize,
+    /// Next step whose frame this node is waiting for (`0..2(n-1)`).
+    step: u32,
+    /// The full vector: reduce-scatter folds chunks in place, allgather
+    /// overwrites them.
+    acc: Vec<u8>,
+    /// Frames from a predecessor running ahead, keyed by phase.
+    future: HashMap<u32, ExFrame>,
 }
 
 /// One communicator's collective mid-exchange across nodes.  Several can be
@@ -492,9 +600,12 @@ enum ExchangeRole {
 /// communicators (and the world) overlap.
 struct Exchange {
     id: CollectiveId,
-    /// `(rank, reply channel)` of every joined local member (empty for an
-    /// abort echo, whose joiners were already failed at join time).
+    /// `(rank, reply channel)` of every joined local member.
     joined: Vec<(usize, Sender<Reply>)>,
+    /// The schedule this node derived for the collective.  Every correct
+    /// node derives the same plan from the same `(kind, size, node count)`;
+    /// a divergence surfaces as an unexpected-phase abort.
+    plan: ExchangePlan,
     role: ExchangeRole,
 }
 
@@ -515,6 +626,150 @@ fn frame_to_error(status: u8, body: &[u8]) -> DcgnError {
         ST_ERR => DcgnError::InvalidArgument(String::from_utf8_lossy(body).into_owned()),
         other => DcgnError::Internal(format!("malformed exchange frame (status {other})")),
     }
+}
+
+/// Human-readable plan name for diagnostics.
+fn plan_name(plan: ExchangePlan) -> &'static str {
+    match plan {
+        ExchangePlan::Star => "star",
+        ExchangePlan::Tree => "tree",
+        ExchangePlan::RecursiveDoubling => "recursive-doubling",
+        ExchangePlan::Ring => "ring",
+    }
+}
+
+/// Append one `[node u32][len u32][body]` bundle entry.  Up-bundles prefix
+/// each body with its status byte (`status: Some`); down-bundles carry plain
+/// per-node bodies (`status: None`).
+fn encode_bundle_entry(out: &mut Vec<u8>, node: usize, status: Option<u8>, body: &[u8]) {
+    let len = body.len() + usize::from(status.is_some());
+    out.extend_from_slice(&(node as u32).to_le_bytes());
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    if let Some(st) = status {
+        out.push(st);
+    }
+    out.extend_from_slice(body);
+}
+
+/// `(status, body)` of the abort frame a failed validation broadcasts to the
+/// rest of the group.
+type AbortFrame = (u8, Vec<u8>);
+
+/// Validate a tree up-bundle against the local collective identity.  The
+/// entries stay opaque to interior nodes, but the bundle's own id prefix must
+/// agree — a subtree running a different collective is caught at its parent
+/// instead of deadlocking the root.  On success returns the raw entry bytes
+/// (id prefix stripped); on failure the abort `(status, body)` to broadcast.
+fn check_up_bundle(
+    own: CollectiveId,
+    src_node: usize,
+    frame: &ExFrame,
+) -> std::result::Result<&[u8], AbortFrame> {
+    let (status, body) = frame;
+    if *status != ST_OK {
+        return Err((*status, body.to_vec()));
+    }
+    let blob = body.as_slice();
+    let Some(peer) = CollectiveId::decode(blob) else {
+        return Err((
+            ST_ERR,
+            format!("malformed tree bundle from node {src_node}").into_bytes(),
+        ));
+    };
+    if peer != own {
+        return Err(if peer.kind != own.kind {
+            (
+                ST_MISMATCH,
+                vec![own.kind.wire_code(), peer.kind.wire_code()],
+            )
+        } else {
+            (
+                ST_ERR,
+                format!(
+                    "collective identity mismatch across nodes: node {src_node}'s subtree \
+                     disagrees about root, operator or element type"
+                )
+                .into_bytes(),
+            )
+        });
+    }
+    Ok(&blob[COLLECTIVE_ID_BYTES..])
+}
+
+/// Unbundle a verified tree up-bundle into the leader's `(node, up-frame)`
+/// list.  Entry payloads are zero-copy views of the bundle.  `None` means a
+/// malformed entry (every entry leads with its status byte).
+fn decode_bundle_ups(body: &Payload) -> Option<Vec<(usize, ExFrame)>> {
+    let blob = body.as_slice();
+    let mut out = Vec::new();
+    for (node, range) in rank_frames(&blob[COLLECTIVE_ID_BYTES..]) {
+        if range.is_empty() {
+            return None;
+        }
+        let start = COLLECTIVE_ID_BYTES + range.start;
+        let end = COLLECTIVE_ID_BYTES + range.end;
+        out.push((node, (blob[start], body.slice(start + 1..end))));
+    }
+    Some(out)
+}
+
+/// Validate an rd/ring allreduce frame: OK status, matching collective
+/// identity, parseable reduce payload.  `skip` is the byte count between the
+/// id and the reduce frame (4 for the ring's `total_len`, 0 for rd).
+/// Returns `(total_len, element bytes)` — `total_len` is 0 when `skip < 4` —
+/// or the abort `(status, body)` to broadcast.
+fn check_reduce_frame(
+    own: CollectiveId,
+    frame: &ExFrame,
+    skip: usize,
+) -> std::result::Result<(u32, &[u8]), AbortFrame> {
+    let (status, body) = frame;
+    if *status != ST_OK {
+        return Err((*status, body.to_vec()));
+    }
+    let blob = body.as_slice();
+    let Some(peer) = CollectiveId::decode(blob) else {
+        return Err((ST_ERR, b"malformed allreduce exchange frame".to_vec()));
+    };
+    if peer != own {
+        return Err(if peer.kind != own.kind {
+            (
+                ST_MISMATCH,
+                vec![own.kind.wire_code(), peer.kind.wire_code()],
+            )
+        } else {
+            (
+                ST_ERR,
+                b"allreduce identity mismatch across nodes (operator or element type)".to_vec(),
+            )
+        });
+    }
+    if blob.len() < COLLECTIVE_ID_BYTES + skip {
+        return Err((ST_ERR, b"short allreduce exchange frame".to_vec()));
+    }
+    let total = if skip >= 4 {
+        u32::from_le_bytes(
+            blob[COLLECTIVE_ID_BYTES..COLLECTIVE_ID_BYTES + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        )
+    } else {
+        0
+    };
+    let op = own.op.expect("allreduce carries an operator");
+    let dtype = own.dtype.expect("allreduce carries an element type");
+    match parse_reduce_frame(&blob[COLLECTIVE_ID_BYTES + skip..], op, dtype) {
+        Ok(bytes) => Ok((total, bytes)),
+        Err(e) => Err((ST_ERR, e.to_string().into_bytes())),
+    }
+}
+
+/// Byte range of ring chunk `chunk` within the state's full vector.  Chunks
+/// partition the vector element-wise; sizes differ by at most one element.
+fn ring_chunk(state: &RingState, dtype: ReduceDtype, chunk: usize) -> std::ops::Range<usize> {
+    let elem = dtype.element_bytes();
+    let e = state.acc.len() / elem;
+    (chunk * e / state.n * elem)..((chunk + 1) * e / state.n * elem)
 }
 
 fn encode_color_key(color: u32, key: u32) -> Vec<u8> {
@@ -559,13 +814,25 @@ pub(crate) struct CommThread {
     /// Exchanges in flight across nodes, keyed by exact identity.
     exchanges: HashMap<ExchangeKey, Exchange>,
     /// Exchange frames that arrived before this node started the exchange
-    /// they name (its local assembly had not completed yet), keyed by
-    /// `(key, phase)` and carrying the sending node.
-    early_frames: HashMap<(ExchangeKey, u32), Vec<(usize, ExFrame)>>,
+    /// they name (its local assembly had not completed yet), carrying the
+    /// phase and sending node.  Drained through the regular dispatch path
+    /// the moment the exchange starts.
+    early_frames: HashMap<ExchangeKey, Vec<(u32, usize, ExFrame)>>,
+    /// Tombstones of aborted exchanges: the error every local joiner (and
+    /// late frame) of that exact exchange resolves to.  Keys can never
+    /// recur (sequence numbers are monotonic per communicator), so entries
+    /// are purged only with their communicator or at shutdown.
+    aborted: HashMap<ExchangeKey, DcgnError>,
+    /// Plan override from the job config / `DCGN_FORCE_PLAN`.
+    forced_plan: Option<ExchangePlan>,
+    /// Completion event local kernel threads block on in `waitany`; bumped
+    /// whenever this thread did any work (every reply precedes a bump).
+    completion: Arc<CompletionEvent>,
     local_done: bool,
 }
 
 impl CommThread {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         node: usize,
         rank_map: Arc<RankMap>,
@@ -573,6 +840,8 @@ impl CommThread {
         work_rx: Receiver<CommCommand>,
         work_tx: Sender<CommCommand>,
         cost: CostModel,
+        forced_plan: Option<ExchangePlan>,
+        completion: Arc<CompletionEvent>,
     ) -> Self {
         // Ring our own work queue whenever the fabric queues a delivery for
         // this node, so the idle wait below is woken by event for substrate
@@ -606,6 +875,9 @@ impl CommThread {
             active: HashMap::new(),
             exchanges: HashMap::new(),
             early_frames: HashMap::new(),
+            aborted: HashMap::new(),
+            forced_plan,
+            completion,
             local_done: false,
         }
     }
@@ -656,7 +928,10 @@ impl CommThread {
             //    safety net.
             if !did_work {
                 match self.work_rx.recv_timeout(IDLE_FALLBACK) {
-                    Ok(cmd) => self.handle_command(cmd)?,
+                    Ok(cmd) => {
+                        self.handle_command(cmd)?;
+                        did_work = true;
+                    }
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                         // The runtime dropped its handles; treat it as a
@@ -664,6 +939,14 @@ impl CommThread {
                         self.local_done = true;
                     }
                 }
+            }
+
+            // Ring the completion event after any productive iteration:
+            // every kernel-visible reply sent above happens before this
+            // bump, so a kernel blocked in `waitany` that read the tick
+            // before its reply landed is guaranteed a wake.
+            if did_work {
+                self.completion.bump();
             }
         }
     }
@@ -685,6 +968,7 @@ impl CommThread {
                     fail_joined(ex.joined, DcgnError::ShuttingDown);
                 }
                 self.early_frames.clear();
+                self.aborted.clear();
                 for recv in self.matcher.drain_recvs() {
                     let _ = recv.reply_tx.send(Reply::Error(DcgnError::ShuttingDown));
                 }
@@ -847,6 +1131,7 @@ impl CommThread {
         }
         if group.freed.len() == group.local_members {
             self.groups.remove(&comm);
+            self.aborted.retain(|key, _| key.comm != comm);
         }
         let _ = reply_tx.send(Reply::CollectiveDone(CollectiveResult::Unit));
         Ok(())
@@ -995,25 +1280,30 @@ impl CommThread {
                 if assembly.id != id {
                     // Local ranks disagree about the collective.  Fail the
                     // *whole* assembly — the late rank and everyone already
-                    // joined — and echo the mismatch through the exchange so
-                    // the communicator's other nodes error out too instead
-                    // of waiting for an up-frame that will never come.
+                    // joined — and broadcast an abort for the exchange this
+                    // collective would have been, so the communicator's
+                    // other nodes error out under *any* plan instead of
+                    // waiting for frames that will never come.
                     let aborted = slot.remove();
                     let err = DcgnError::CollectiveMismatch {
                         in_progress: aborted.id.kind.name(),
                         requested: id.kind.name(),
                     };
                     let _ = req.reply_tx.send(Reply::Error(err.clone()));
-                    let codes = [aborted.id.kind.wire_code(), id.kind.wire_code()];
+                    let codes = vec![aborted.id.kind.wire_code(), id.kind.wire_code()];
                     for (_, _, reply_tx) in aborted.joined {
                         let _ = reply_tx.send(Reply::Error(err.clone()));
                     }
-                    return self.start_exchange_with(
-                        comm,
-                        aborted.id,
-                        Vec::new(),
-                        (ST_MISMATCH, codes.to_vec()),
-                    );
+                    // Consume this collective's sequence number, exactly as
+                    // starting the exchange would have (peers bump theirs
+                    // when their own assemblies complete, so keys align).
+                    let (epoch, seq) = {
+                        let g = self.groups.get_mut(&comm).expect("validated above");
+                        g.seq += 1;
+                        (g.epoch, g.seq)
+                    };
+                    let key = ExchangeKey { epoch, comm, seq };
+                    return self.broadcast_abort(key, ST_MISMATCH, codes).map(|_| ());
                 }
                 assembly.joined.push((src_rank, contribution, req.reply_tx));
             }
@@ -1072,9 +1362,44 @@ impl CommThread {
         self.start_exchange_with(comm, assembly.id, joined, up)
     }
 
-    /// Enter an exchange with an explicit up-frame (the regular path and the
-    /// join-mismatch abort echo share this).  Bumps the communicator's
-    /// collective sequence number.
+    /// Pick the schedule for a collective from `(op, payload size, node
+    /// count)`.  Every correct node computes the same answer from the same
+    /// inputs; a forced plan (config / `DCGN_FORCE_PLAN`) overrides the
+    /// table, with rd/ring applying to allreduce only.
+    fn select_plan(&self, id: CollectiveId, up_body_len: usize, n: usize) -> ExchangePlan {
+        if n <= 1 {
+            return ExchangePlan::Star;
+        }
+        if let Some(forced) = self.forced_plan {
+            match forced {
+                ExchangePlan::Star | ExchangePlan::Tree => return forced,
+                ExchangePlan::RecursiveDoubling | ExchangePlan::Ring
+                    if id.kind == CollectiveKind::Allreduce =>
+                {
+                    return forced
+                }
+                // A forced allreduce schedule cannot shape other kinds;
+                // they fall through to the default table.
+                _ => {}
+            }
+        }
+        if n < TREE_MIN_NODES {
+            ExchangePlan::Star
+        } else if id.kind == CollectiveKind::Allreduce {
+            if up_body_len < RING_MIN_UP_BYTES {
+                ExchangePlan::RecursiveDoubling
+            } else {
+                ExchangePlan::Ring
+            }
+        } else {
+            ExchangePlan::Tree
+        }
+    }
+
+    /// Enter an exchange with an explicit up-frame.  Bumps the
+    /// communicator's collective sequence number, selects the plan, performs
+    /// the plan's initial sends, and drains any frames that raced ahead of
+    /// this node's local assembly.
     fn start_exchange_with(
         &mut self,
         comm: CommId,
@@ -1082,57 +1407,195 @@ impl CommThread {
         joined: Vec<(usize, Sender<Reply>)>,
         own_up: (u8, Vec<u8>),
     ) -> Result<()> {
-        let (epoch, seq, leader, nodes) = {
+        let (epoch, seq, nodes) = {
             let g = self.groups.get_mut(&comm).expect("validated at join");
             g.seq += 1;
-            (g.epoch, g.seq, g.nodes[0], g.nodes.clone())
+            (g.epoch, g.seq, g.nodes.clone())
         };
         let key = ExchangeKey { epoch, comm, seq };
+        // A peer may already have aborted this very collective (e.g. a join
+        // mismatch on its node) before we assembled locally.
+        if let Some(err) = self.aborted.get(&key) {
+            let err = err.clone();
+            self.early_frames.remove(&key);
+            fail_joined(joined, err);
+            return Ok(());
+        }
         let (status, body) = own_up;
-        if self.node == leader {
-            let mut ex = Exchange {
-                id,
-                joined,
-                role: ExchangeRole::Leader {
-                    awaiting: nodes.iter().copied().filter(|&n| n != self.node).collect(),
-                    ups: vec![(self.node, (status, Payload::from_vec(body)))],
-                },
-            };
-            // Fold in up-frames that raced ahead of our local assembly.
-            if let Some(early) = self.early_frames.remove(&(key, PHASE_UP)) {
-                if let ExchangeRole::Leader { awaiting, ups } = &mut ex.role {
-                    for (node, frame) in early {
-                        if awaiting.remove(&node) {
-                            ups.push((node, frame));
-                        }
+        let n = nodes.len();
+        let pos = nodes
+            .iter()
+            .position(|&nd| nd == self.node)
+            .expect("this node hosts a member");
+        let plan = self.select_plan(id, body.len(), n);
+
+        let ex = match plan {
+            ExchangePlan::Star => {
+                if pos == 0 {
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::Leader {
+                            awaiting: nodes
+                                .iter()
+                                .copied()
+                                .filter(|&nd| nd != self.node)
+                                .collect(),
+                            ups: vec![(self.node, (status, Payload::from_vec(body)))],
+                        },
+                    }
+                } else {
+                    let frame = frame_exchange(key.wire(PHASE_UP), status, &body);
+                    let req = self.comm.isend(nodes[0], TAG_EXCHANGE, frame)?;
+                    self.outstanding_isends.push(req);
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::Member,
                     }
                 }
             }
-            if matches!(&ex.role, ExchangeRole::Leader { awaiting, .. } if awaiting.is_empty()) {
-                self.finish_leader(key, ex)?;
-            } else {
-                self.exchanges.insert(key, ex);
-            }
-        } else {
-            let frame = frame_exchange(key.wire(PHASE_UP), status, &body);
-            let req = self.comm.isend(leader, TAG_EXCHANGE, frame)?;
-            self.outstanding_isends.push(req);
-            let ex = Exchange {
-                id,
-                joined,
-                role: ExchangeRole::Member,
-            };
-            // The down-frame can only follow our own up-frame, but test
-            // the early buffer anyway so the demux has one code path.
-            match self
-                .early_frames
-                .remove(&(key, PHASE_DOWN))
-                .and_then(|mut frames| frames.pop())
-            {
-                Some((_, frame)) => self.finish_member(key.comm, ex, frame)?,
-                None => {
-                    self.exchanges.insert(key, ex);
+            ExchangePlan::Tree => {
+                let children: Vec<usize> = binomial_children(pos, n)
+                    .into_iter()
+                    .map(|p| nodes[p])
+                    .collect();
+                if pos == 0 {
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::Leader {
+                            awaiting: children.into_iter().collect(),
+                            ups: vec![(self.node, (status, Payload::from_vec(body)))],
+                        },
+                    }
+                } else {
+                    let parent = nodes[binomial_parent(pos).expect("non-root position")];
+                    let mut entries = Vec::with_capacity(9 + body.len());
+                    encode_bundle_entry(&mut entries, self.node, Some(status), &body);
+                    let mut state = TreeState {
+                        parent,
+                        awaiting: children.into_iter().collect(),
+                        entries,
+                    };
+                    if state.awaiting.is_empty() {
+                        // A leaf bundles itself up immediately.
+                        self.send_tree_bundle(key, id, &mut state)?;
+                    }
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::TreeNode(state),
+                    }
                 }
+            }
+            ExchangePlan::RecursiveDoubling | ExchangePlan::Ring => {
+                // Both allreduce schedules fold raw partials; a node whose
+                // local build failed cannot participate, so it aborts the
+                // whole exchange — identical containment to the star's
+                // error echo.
+                if status != ST_OK {
+                    let err = self.broadcast_abort(key, status, body)?;
+                    fail_joined(joined, err);
+                    return Ok(());
+                }
+                let op = id.op.expect("allreduce carries an operator");
+                let dtype = id.dtype.expect("allreduce carries an element type");
+                let partial = match parse_reduce_frame(&body[COLLECTIVE_ID_BYTES..], op, dtype) {
+                    Ok(bytes) => bytes.to_vec(),
+                    Err(e) => {
+                        let err = self.broadcast_abort(key, ST_ERR, e.to_string().into_bytes())?;
+                        fail_joined(joined, err);
+                        return Ok(());
+                    }
+                };
+                if plan == ExchangePlan::RecursiveDoubling {
+                    let m = prev_power_of_two(n);
+                    let (stage, acc) = if pos >= m {
+                        // Extra: fold into the core partner, await the result.
+                        self.send_reduce_frame(
+                            key,
+                            PHASE_RD_FOLD_IN,
+                            nodes[pos - m],
+                            id,
+                            &partial,
+                            None,
+                        )?;
+                        (RdStage::AwaitFoldOut, partial)
+                    } else if pos + m < n {
+                        // Core with an extra: its fold-in comes first.
+                        (RdStage::AwaitFoldIn, partial)
+                    } else {
+                        // Core without an extra: open round 0 immediately.
+                        self.send_reduce_frame(
+                            key,
+                            PHASE_RD_ROUND_BASE,
+                            nodes[pos ^ 1],
+                            id,
+                            &partial,
+                            None,
+                        )?;
+                        (RdStage::Round(0), partial)
+                    };
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::Rd(RdState {
+                            pos,
+                            n,
+                            m,
+                            stage,
+                            acc,
+                            future: HashMap::new(),
+                        }),
+                    }
+                } else {
+                    let state = RingState {
+                        pos,
+                        n,
+                        step: 0,
+                        acc: partial,
+                        future: HashMap::new(),
+                    };
+                    // Step 0 sends this node's own chunk around the ring.
+                    let chunk = ring_chunk(&state, dtype, pos);
+                    let payload = state.acc[chunk].to_vec();
+                    self.send_reduce_frame(
+                        key,
+                        PHASE_RING_BASE,
+                        nodes[(pos + 1) % n],
+                        id,
+                        &payload,
+                        Some(state.acc.len() as u32),
+                    )?;
+                    Exchange {
+                        id,
+                        joined,
+                        plan,
+                        role: ExchangeRole::Ring(state),
+                    }
+                }
+            }
+        };
+
+        if matches!(&ex.role, ExchangeRole::Leader { awaiting, .. } if awaiting.is_empty()) {
+            // Single-node group: the exchange completes on the spot.
+            return self.finish_leader(key, ex);
+        }
+        self.exchanges.insert(key, ex);
+        // Re-drive frames that arrived before we entered the exchange
+        // through the very path live frames take.
+        if let Some(frames) = self.early_frames.remove(&key) {
+            for (phase, src, frame) in frames {
+                if !self.exchanges.contains_key(&key) {
+                    break; // completed or aborted while draining
+                }
+                self.dispatch_exchange_frame(key, src, phase, frame)?;
             }
         }
         Ok(())
@@ -1150,38 +1613,642 @@ impl CommThread {
         let phase = id.phase;
         let body = wire.slice(EXCHANGE_HEADER_BYTES..wire.len());
         let frame: ExFrame = (status, body);
-        match self.exchanges.entry(key) {
-            Entry::Occupied(mut slot) => match (&mut slot.get_mut().role, phase) {
-                (ExchangeRole::Leader { awaiting, ups }, PHASE_UP) => {
-                    if awaiting.remove(&src_node) {
-                        ups.push((src_node, frame));
-                        if awaiting.is_empty() {
-                            let (key, ex) = slot.remove_entry();
-                            self.finish_leader(key, ex)?;
-                        }
-                    }
+        if self.aborted.contains_key(&key) {
+            // Tombstoned: every local joiner already saw the error; late
+            // frames from peers that progressed further are dropped.
+            return Ok(());
+        }
+        if self.exchanges.contains_key(&key) {
+            self.dispatch_exchange_frame(key, src_node, phase, frame)
+        } else if phase == PHASE_ABORT {
+            // Abort for an exchange we have not started: tombstone it so
+            // our joiners fail the moment they would have entered it.
+            self.aborted
+                .insert(key, frame_to_error(frame.0, frame.1.as_slice()));
+            self.early_frames.remove(&key);
+            Ok(())
+        } else {
+            self.early_frames
+                .entry(key)
+                .or_default()
+                .push((phase, src_node, frame));
+            Ok(())
+        }
+    }
+
+    /// Feed one frame into its live exchange and advance the plan's state
+    /// machine.  The exchange is taken out of the registry for the duration
+    /// so completion paths can consume it.
+    fn dispatch_exchange_frame(
+        &mut self,
+        key: ExchangeKey,
+        src_node: usize,
+        phase: u32,
+        frame: ExFrame,
+    ) -> Result<()> {
+        let Some(ex) = self.exchanges.remove(&key) else {
+            return Ok(());
+        };
+        if phase == PHASE_ABORT {
+            let err = frame_to_error(frame.0, frame.1.as_slice());
+            self.aborted.insert(key, err.clone());
+            fail_joined(ex.joined, err);
+            return Ok(());
+        }
+        if let Some(ex) = self.advance_exchange(key, ex, src_node, phase, frame)? {
+            self.exchanges.insert(key, ex);
+        }
+        Ok(())
+    }
+
+    /// One step of an exchange's role-specific state machine.  Returns the
+    /// exchange if it is still in flight, `None` once it completed or
+    /// aborted.
+    fn advance_exchange(
+        &mut self,
+        key: ExchangeKey,
+        mut ex: Exchange,
+        src_node: usize,
+        phase: u32,
+        frame: ExFrame,
+    ) -> Result<Option<Exchange>> {
+        match (&mut ex.role, phase) {
+            (ExchangeRole::Leader { awaiting, ups }, PHASE_UP) => {
+                if !awaiting.remove(&src_node) {
                     // A duplicate (or non-member) up-frame is dropped: the
                     // exact key already proves it named this exchange, so
                     // it cannot belong anywhere else.
-                    Ok(())
+                    return Ok(Some(ex));
                 }
-                (ExchangeRole::Member, PHASE_DOWN) => {
-                    let (key, ex) = slot.remove_entry();
-                    self.finish_member(key.comm, ex, frame)
+                if ex.plan == ExchangePlan::Tree {
+                    // The frame bundles the whole subtree under `src_node`.
+                    match check_up_bundle(ex.id, src_node, &frame) {
+                        Ok(_) => match decode_bundle_ups(&frame.1) {
+                            Some(entries) => ups.extend(entries),
+                            None => {
+                                let body = format!("malformed tree bundle from node {src_node}")
+                                    .into_bytes();
+                                self.abort_and_fail(key, ex, ST_ERR, body)?;
+                                return Ok(None);
+                            }
+                        },
+                        Err((st, body)) => {
+                            self.abort_and_fail(key, ex, st, body)?;
+                            return Ok(None);
+                        }
+                    }
+                } else {
+                    ups.push((src_node, frame));
                 }
-                // A role/phase mismatch (e.g. a member receiving an
-                // up-frame) cannot occur under the protocol; keep the frame
-                // out of the exchange rather than corrupting it.
-                _ => Ok(()),
-            },
-            Entry::Vacant(_) => {
-                self.early_frames
-                    .entry((key, phase))
-                    .or_default()
-                    .push((src_node, frame));
-                Ok(())
+                if matches!(&ex.role, ExchangeRole::Leader { awaiting, .. } if awaiting.is_empty())
+                {
+                    self.finish_leader(key, ex)?;
+                    return Ok(None);
+                }
+                Ok(Some(ex))
+            }
+            (ExchangeRole::Member, PHASE_DOWN) => {
+                self.finish_member(key.comm, ex, frame)?;
+                Ok(None)
+            }
+            (ExchangeRole::TreeNode(state), PHASE_UP) => {
+                if !state.awaiting.remove(&src_node) {
+                    return Ok(Some(ex));
+                }
+                match check_up_bundle(ex.id, src_node, &frame) {
+                    Ok(raw_entries) => state.entries.extend_from_slice(raw_entries),
+                    Err((st, body)) => {
+                        self.abort_and_fail(key, ex, st, body)?;
+                        return Ok(None);
+                    }
+                }
+                if state.awaiting.is_empty() {
+                    let id = ex.id;
+                    let ExchangeRole::TreeNode(state) = &mut ex.role else {
+                        unreachable!("tree state")
+                    };
+                    self.send_tree_bundle(key, id, state)?;
+                }
+                Ok(Some(ex))
+            }
+            (ExchangeRole::TreeNode(_), PHASE_DOWN) => {
+                self.finish_tree_down(key, ex, frame)?;
+                Ok(None)
+            }
+            (ExchangeRole::Rd(_), _)
+                if matches!(phase, PHASE_RD_FOLD_IN | PHASE_RD_FOLD_OUT)
+                    || phase >= PHASE_RD_ROUND_BASE =>
+            {
+                self.advance_rd(key, ex, src_node, phase, frame)
+            }
+            (ExchangeRole::Ring(_), _) if phase >= PHASE_RING_BASE => {
+                self.advance_ring(key, ex, src_node, phase, frame)
+            }
+            // Any other (role, phase) pairing means the sender derived a
+            // different schedule for this very exchange — the group
+            // disagrees about the collective.  Abort everyone.
+            _ => {
+                self.unexpected_frame_abort(key, ex, src_node, phase, frame)?;
+                Ok(None)
             }
         }
+    }
+
+    /// Bundle this node's accumulated subtree entries and ship them to its
+    /// tree parent.
+    fn send_tree_bundle(
+        &mut self,
+        key: ExchangeKey,
+        id: CollectiveId,
+        state: &mut TreeState,
+    ) -> Result<()> {
+        let mut body = Vec::with_capacity(COLLECTIVE_ID_BYTES + state.entries.len());
+        body.extend_from_slice(&id.encode());
+        body.append(&mut state.entries);
+        let frame = frame_exchange(key.wire(PHASE_UP), ST_OK, &body);
+        let req = self.comm.isend(state.parent, TAG_EXCHANGE, frame)?;
+        self.outstanding_isends.push(req);
+        Ok(())
+    }
+
+    /// Tree non-root: the parent's down-frame arrived — relay it toward the
+    /// leaves and deliver local results (or the echoed error).
+    fn finish_tree_down(&mut self, key: ExchangeKey, ex: Exchange, frame: ExFrame) -> Result<()> {
+        let group = self
+            .groups
+            .get(&key.comm)
+            .expect("group outlives its exchanges")
+            .clone();
+        let n = group.nodes.len();
+        let pos = group
+            .nodes
+            .iter()
+            .position(|&nd| nd == self.node)
+            .expect("this node hosts a member");
+        let (status, body) = frame;
+        if status == ST_BUNDLE {
+            // Per-node results: split the bundle by child subtree, keep our
+            // own entry.
+            let table: HashMap<usize, Payload> = rank_frames(body.as_slice())
+                .map(|(node, range)| (node, body.slice(range)))
+                .collect();
+            for child_pos in binomial_children(pos, n) {
+                let mut sub = Vec::new();
+                for p in binomial_subtree(child_pos, n) {
+                    let node = group.nodes[p];
+                    let bytes = table.get(&node).map_or(&[][..], Payload::as_slice);
+                    encode_bundle_entry(&mut sub, node, None, bytes);
+                }
+                let frame = frame_exchange(key.wire(PHASE_DOWN), ST_BUNDLE, &sub);
+                let req = self
+                    .comm
+                    .isend(group.nodes[child_pos], TAG_EXCHANGE, frame)?;
+                self.outstanding_isends.push(req);
+            }
+            let own = table
+                .get(&self.node)
+                .cloned()
+                .unwrap_or_else(Payload::empty);
+            self.deliver(key.comm, ex.id, ex.joined, &group, own)
+        } else {
+            // Uniform result or error echo: every subtree node gets the
+            // identical frame, so relay one pooled copy to each child.
+            let relay = Payload::from_vec(frame_exchange(
+                key.wire(PHASE_DOWN),
+                status,
+                body.as_slice(),
+            ));
+            for child_pos in binomial_children(pos, n) {
+                let req = self
+                    .comm
+                    .isend(group.nodes[child_pos], TAG_EXCHANGE, relay.clone())?;
+                self.outstanding_isends.push(req);
+            }
+            match status {
+                ST_OK => self.deliver(key.comm, ex.id, ex.joined, &group, body),
+                status => {
+                    fail_joined(ex.joined, frame_to_error(status, body.as_slice()));
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Recursive doubling: stash the frame and consume stashed frames in
+    /// schedule order (partners of later rounds may run ahead).
+    fn advance_rd(
+        &mut self,
+        key: ExchangeKey,
+        mut ex: Exchange,
+        src_node: usize,
+        phase: u32,
+        frame: ExFrame,
+    ) -> Result<Option<Exchange>> {
+        let expected = {
+            let ExchangeRole::Rd(state) = &ex.role else {
+                unreachable!("rd role")
+            };
+            let rounds = state.m.trailing_zeros();
+            if state.pos >= state.m {
+                phase == PHASE_RD_FOLD_OUT
+            } else {
+                (phase == PHASE_RD_FOLD_IN && state.pos + state.m < state.n)
+                    || (PHASE_RD_ROUND_BASE..PHASE_RD_ROUND_BASE + rounds).contains(&phase)
+            }
+        };
+        if !expected {
+            self.unexpected_frame_abort(key, ex, src_node, phase, frame)?;
+            return Ok(None);
+        }
+        let nodes = self
+            .groups
+            .get(&key.comm)
+            .expect("group outlives its exchanges")
+            .nodes
+            .clone();
+        {
+            let ExchangeRole::Rd(state) = &mut ex.role else {
+                unreachable!("rd role")
+            };
+            state.future.insert(phase, frame);
+        }
+        loop {
+            enum Act {
+                Send {
+                    phase: u32,
+                    dst: usize,
+                    payload: Vec<u8>,
+                },
+                Finish {
+                    fold_out: Option<usize>,
+                },
+                Abort {
+                    status: u8,
+                    body: Vec<u8>,
+                },
+            }
+            let act = {
+                let ExchangeRole::Rd(state) = &mut ex.role else {
+                    unreachable!("rd role")
+                };
+                let want = match state.stage {
+                    RdStage::AwaitFoldIn => PHASE_RD_FOLD_IN,
+                    RdStage::Round(r) => PHASE_RD_ROUND_BASE + r,
+                    RdStage::AwaitFoldOut => PHASE_RD_FOLD_OUT,
+                };
+                let Some(frame) = state.future.remove(&want) else {
+                    return Ok(Some(ex));
+                };
+                match check_reduce_frame(ex.id, &frame, 0) {
+                    Err((status, body)) => Act::Abort { status, body },
+                    Ok((_, peer_bytes)) => {
+                        let op = ex.id.op.expect("allreduce carries an operator");
+                        let dtype = ex.id.dtype.expect("allreduce carries an element type");
+                        let rounds = state.m.trailing_zeros();
+                        match state.stage {
+                            RdStage::AwaitFoldOut => {
+                                // The finished result from our core partner.
+                                state.acc = peer_bytes.to_vec();
+                                Act::Finish { fold_out: None }
+                            }
+                            RdStage::AwaitFoldIn | RdStage::Round(_) => {
+                                match dtype.fold(op, &mut state.acc, peer_bytes) {
+                                    Err(e) => Act::Abort {
+                                        status: ST_ERR,
+                                        body: e.to_string().into_bytes(),
+                                    },
+                                    Ok(()) => {
+                                        let next = match state.stage {
+                                            RdStage::AwaitFoldIn => 0,
+                                            RdStage::Round(r) => r + 1,
+                                            RdStage::AwaitFoldOut => unreachable!(),
+                                        };
+                                        if next < rounds {
+                                            state.stage = RdStage::Round(next);
+                                            Act::Send {
+                                                phase: PHASE_RD_ROUND_BASE + next,
+                                                dst: nodes[state.pos ^ (1 << next)],
+                                                payload: state.acc.clone(),
+                                            }
+                                        } else {
+                                            Act::Finish {
+                                                fold_out: (state.pos + state.m < state.n)
+                                                    .then(|| nodes[state.pos + state.m]),
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::Send {
+                    phase,
+                    dst,
+                    payload,
+                } => {
+                    self.send_reduce_frame(key, phase, dst, ex.id, &payload, None)?;
+                }
+                Act::Finish { fold_out } => {
+                    let ExchangeRole::Rd(state) = &mut ex.role else {
+                        unreachable!("rd role")
+                    };
+                    let result = std::mem::take(&mut state.acc);
+                    if let Some(extra) = fold_out {
+                        self.send_reduce_frame(
+                            key,
+                            PHASE_RD_FOLD_OUT,
+                            extra,
+                            ex.id,
+                            &result,
+                            None,
+                        )?;
+                    }
+                    let group = self
+                        .groups
+                        .get(&key.comm)
+                        .expect("group outlives its exchanges")
+                        .clone();
+                    self.deliver(
+                        key.comm,
+                        ex.id,
+                        ex.joined,
+                        &group,
+                        Payload::from_vec(result),
+                    )?;
+                    return Ok(None);
+                }
+                Act::Abort { status, body } => {
+                    self.abort_and_fail(key, ex, status, body)?;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Ring allreduce: stash the frame and consume stashed frames in step
+    /// order (the predecessor may run ahead).
+    fn advance_ring(
+        &mut self,
+        key: ExchangeKey,
+        mut ex: Exchange,
+        src_node: usize,
+        phase: u32,
+        frame: ExFrame,
+    ) -> Result<Option<Exchange>> {
+        let expected = {
+            let ExchangeRole::Ring(state) = &ex.role else {
+                unreachable!("ring role")
+            };
+            let steps = 2 * (state.n as u32 - 1);
+            (PHASE_RING_BASE..PHASE_RING_BASE + steps).contains(&phase)
+        };
+        if !expected {
+            self.unexpected_frame_abort(key, ex, src_node, phase, frame)?;
+            return Ok(None);
+        }
+        let nodes = self
+            .groups
+            .get(&key.comm)
+            .expect("group outlives its exchanges")
+            .nodes
+            .clone();
+        {
+            let ExchangeRole::Ring(state) = &mut ex.role else {
+                unreachable!("ring role")
+            };
+            state.future.insert(phase, frame);
+        }
+        loop {
+            enum Act {
+                Send {
+                    phase: u32,
+                    payload: Vec<u8>,
+                    total: u32,
+                },
+                Finish,
+                Abort {
+                    status: u8,
+                    body: Vec<u8>,
+                },
+            }
+            let (act, succ) = {
+                let ExchangeRole::Ring(state) = &mut ex.role else {
+                    unreachable!("ring role")
+                };
+                let succ = nodes[(state.pos + 1) % state.n];
+                let Some(frame) = state.future.remove(&(PHASE_RING_BASE + state.step)) else {
+                    return Ok(Some(ex));
+                };
+                let op = ex.id.op.expect("allreduce carries an operator");
+                let dtype = ex.id.dtype.expect("allreduce carries an element type");
+                let act = match check_reduce_frame(ex.id, &frame, 4) {
+                    Err((status, body)) => Act::Abort { status, body },
+                    Ok((total, peer_bytes)) => {
+                        let n = state.n;
+                        let s = state.step as usize;
+                        if total as usize != state.acc.len() {
+                            Act::Abort {
+                                status: ST_ERR,
+                                body: format!(
+                                    "reduce length mismatch across nodes: a peer's vector has \
+                                     {} bytes, this node's has {}",
+                                    total,
+                                    state.acc.len()
+                                )
+                                .into_bytes(),
+                            }
+                        } else {
+                            // Which chunk this step receives, and what to do
+                            // with it: fold during reduce-scatter, overwrite
+                            // during allgather.
+                            let recv_chunk = if s < n - 1 {
+                                (state.pos + n - 1 - s) % n
+                            } else {
+                                (state.pos + n - (s - (n - 1))) % n
+                            };
+                            let range = ring_chunk(state, dtype, recv_chunk);
+                            let fold_result = if peer_bytes.len() != range.len() {
+                                Err(format!(
+                                    "ring chunk length mismatch: got {} bytes, expected {}",
+                                    peer_bytes.len(),
+                                    range.len()
+                                ))
+                            } else if s < n - 1 {
+                                dtype
+                                    .fold(op, &mut state.acc[range], peer_bytes)
+                                    .map_err(|e| e.to_string())
+                            } else {
+                                state.acc[range].copy_from_slice(peer_bytes);
+                                Ok(())
+                            };
+                            match fold_result {
+                                Err(msg) => Act::Abort {
+                                    status: ST_ERR,
+                                    body: msg.into_bytes(),
+                                },
+                                Ok(()) => {
+                                    state.step += 1;
+                                    let s = state.step as usize;
+                                    if s == 2 * (n - 1) {
+                                        Act::Finish
+                                    } else {
+                                        let send_chunk = if s < n - 1 {
+                                            (state.pos + n - s) % n
+                                        } else {
+                                            (state.pos + 1 + n - (s - (n - 1))) % n
+                                        };
+                                        let range = ring_chunk(state, dtype, send_chunk);
+                                        Act::Send {
+                                            phase: PHASE_RING_BASE + state.step,
+                                            payload: state.acc[range].to_vec(),
+                                            total: state.acc.len() as u32,
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                (act, succ)
+            };
+            match act {
+                Act::Send {
+                    phase,
+                    payload,
+                    total,
+                } => {
+                    self.send_reduce_frame(key, phase, succ, ex.id, &payload, Some(total))?;
+                }
+                Act::Finish => {
+                    let ExchangeRole::Ring(state) = &mut ex.role else {
+                        unreachable!("ring role")
+                    };
+                    let result = std::mem::take(&mut state.acc);
+                    let group = self
+                        .groups
+                        .get(&key.comm)
+                        .expect("group outlives its exchanges")
+                        .clone();
+                    self.deliver(
+                        key.comm,
+                        ex.id,
+                        ex.joined,
+                        &group,
+                        Payload::from_vec(result),
+                    )?;
+                    return Ok(None);
+                }
+                Act::Abort { status, body } => {
+                    self.abort_and_fail(key, ex, status, body)?;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Frame and send one allreduce-schedule payload:
+    /// `[CollectiveId][total_len u32 (ring only)][frame_reduce(op, dtype, payload)]`.
+    fn send_reduce_frame(
+        &mut self,
+        key: ExchangeKey,
+        phase: u32,
+        dst_node: usize,
+        id: CollectiveId,
+        payload: &[u8],
+        total_len: Option<u32>,
+    ) -> Result<()> {
+        let op = id.op.expect("allreduce carries an operator");
+        let dtype = id.dtype.expect("allreduce carries an element type");
+        let mut body = Vec::with_capacity(COLLECTIVE_ID_BYTES + 6 + payload.len());
+        body.extend_from_slice(&id.encode());
+        if let Some(total) = total_len {
+            body.extend_from_slice(&total.to_le_bytes());
+        }
+        body.extend_from_slice(&frame_reduce(op, dtype, payload));
+        let frame = frame_exchange(key.wire(phase), ST_OK, &body);
+        let req = self.comm.isend(dst_node, TAG_EXCHANGE, frame)?;
+        self.outstanding_isends.push(req);
+        Ok(())
+    }
+
+    /// A frame arrived whose phase this node's plan has no step for: the
+    /// sender derived a different schedule, so the group disagrees about
+    /// the collective (kind, payload size, or membership).  Abort everyone,
+    /// as a collective mismatch when the disagreement is derivable.
+    fn unexpected_frame_abort(
+        &mut self,
+        key: ExchangeKey,
+        ex: Exchange,
+        src_node: usize,
+        phase: u32,
+        frame: ExFrame,
+    ) -> Result<()> {
+        let (status, body) = &frame;
+        let (st, ab) = if *status == ST_OK {
+            match CollectiveId::decode(body.as_slice()) {
+                Some(peer) if peer.kind != ex.id.kind => (
+                    ST_MISMATCH,
+                    vec![ex.id.kind.wire_code(), peer.kind.wire_code()],
+                ),
+                _ => (
+                    ST_ERR,
+                    format!(
+                        "node {src_node} sent an exchange frame for phase {phase}, which this \
+                         node's {} schedule has no step for — the group disagrees about the \
+                         collective",
+                        plan_name(ex.plan)
+                    )
+                    .into_bytes(),
+                ),
+            }
+        } else {
+            (*status, body.to_vec())
+        };
+        self.abort_and_fail(key, ex, st, ab)
+    }
+
+    /// Broadcast an abort for `key`, tombstone it, and fail the exchange's
+    /// local joiners with the same error.
+    fn abort_and_fail(
+        &mut self,
+        key: ExchangeKey,
+        ex: Exchange,
+        status: u8,
+        body: Vec<u8>,
+    ) -> Result<()> {
+        let err = self.broadcast_abort(key, status, body)?;
+        fail_joined(ex.joined, err);
+        Ok(())
+    }
+
+    /// Ship a [`PHASE_ABORT`] frame for `key` to every other node of its
+    /// group and tombstone the key locally; returns the error the abort
+    /// decodes to.  Works identically under every plan — abort propagation
+    /// does not ride the (possibly disagreeing) schedule.
+    fn broadcast_abort(
+        &mut self,
+        key: ExchangeKey,
+        status: u8,
+        body: Vec<u8>,
+    ) -> Result<DcgnError> {
+        let err = frame_to_error(status, &body);
+        let nodes = self
+            .groups
+            .get(&key.comm)
+            .map(|g| g.nodes.clone())
+            .unwrap_or_default();
+        let frame = Payload::from_vec(frame_exchange(key.wire(PHASE_ABORT), status, &body));
+        for &node in &nodes {
+            if node != self.node {
+                let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
+                self.outstanding_isends.push(req);
+            }
+        }
+        self.aborted.insert(key, err.clone());
+        Ok(err)
     }
 
     /// Leader: all up-frames (and our own) are in — verify that every node
@@ -1190,13 +2257,27 @@ impl CommThread {
     fn finish_leader(&mut self, key: ExchangeKey, ex: Exchange) -> Result<()> {
         let ups = match ex.role {
             ExchangeRole::Leader { ups, .. } => ups,
-            ExchangeRole::Member => unreachable!("leader state"),
+            _ => unreachable!("leader state"),
         };
         let group = self
             .groups
             .get(&key.comm)
             .expect("group outlives its exchanges")
             .clone();
+        // Under the star the leader fans out to every node directly; under
+        // the tree it feeds only its binomial children, which relay onward.
+        let fanout: Vec<usize> = match ex.plan {
+            ExchangePlan::Tree => binomial_children(0, group.nodes.len())
+                .into_iter()
+                .map(|p| group.nodes[p])
+                .collect(),
+            _ => group
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&node| node != self.node)
+                .collect(),
+        };
 
         // Unwrap status frames and verify the cross-node collective
         // identity.  The first error — a local validation failure, a
@@ -1262,30 +2343,43 @@ impl CommThread {
             // reference, not the body.
             Err((status, body)) => {
                 let frame = Payload::from_vec(frame_exchange(key.wire(PHASE_DOWN), status, &body));
-                for &node in &group.nodes {
-                    if node != self.node {
-                        let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
-                        self.outstanding_isends.push(req);
-                    }
+                for &node in &fanout {
+                    let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
+                    self.outstanding_isends.push(req);
                 }
                 fail_joined(ex.joined, frame_to_error(status, &body));
                 Ok(())
             }
             Ok(Downs::Uniform(body)) => {
                 let frame = Payload::from_vec(frame_exchange(key.wire(PHASE_DOWN), ST_OK, &body));
-                for &node in &group.nodes {
-                    if node != self.node {
-                        let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
-                        self.outstanding_isends.push(req);
-                    }
+                for &node in &fanout {
+                    let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
+                    self.outstanding_isends.push(req);
                 }
                 // Local delivery is a view of the same frame.
                 let own = frame.slice(EXCHANGE_HEADER_BYTES..frame.len());
                 self.deliver(key.comm, ex.id, ex.joined, &group, own)
             }
             Ok(Downs::PerNode(mut downs)) => {
-                for &node in &group.nodes {
-                    if node != self.node {
+                if ex.plan == ExchangePlan::Tree {
+                    // Per-node results travel as bundles split by subtree;
+                    // each interior node re-splits for its own children.
+                    let n = group.nodes.len();
+                    for child_pos in binomial_children(0, n) {
+                        let mut sub = Vec::new();
+                        for p in binomial_subtree(child_pos, n) {
+                            let node = group.nodes[p];
+                            let body = downs.remove(&node).unwrap_or_default();
+                            encode_bundle_entry(&mut sub, node, None, &body);
+                        }
+                        let frame = frame_exchange(key.wire(PHASE_DOWN), ST_BUNDLE, &sub);
+                        let req = self
+                            .comm
+                            .isend(group.nodes[child_pos], TAG_EXCHANGE, frame)?;
+                        self.outstanding_isends.push(req);
+                    }
+                } else {
+                    for &node in &fanout {
                         let body = downs.remove(&node).unwrap_or_default();
                         let frame = frame_exchange(key.wire(PHASE_DOWN), ST_OK, &body);
                         let req = self.comm.isend(node, TAG_EXCHANGE, frame)?;
@@ -2034,6 +3128,34 @@ mod tests {
         assert!(m.take_recv_for(0, 1, 5).unwrap().tag.is_none());
         assert_eq!(m.take_recv_for(0, 1, 5).unwrap().tag, Some(5));
         assert!(m.take_recv_for(0, 1, 5).is_none());
+    }
+
+    #[test]
+    fn matcher_mixed_wildcards_race_on_posting_order_alone() {
+        // A `(src, ANY_TAG)` receive and an `(ANY_SOURCE, tag)` receive
+        // both match a message from that src with that tag; the winner
+        // must be whichever was posted first, in either posting order.
+        let mut m = Matcher::default();
+        let (src_wild_tag, _a) = test_recv(0, Some(2), None, m.stamp());
+        m.push_recv(src_wild_tag);
+        let (wild_src_tag, _b) = test_recv(0, None, Some(7), m.stamp());
+        m.push_recv(wild_src_tag);
+        // (src=2, ANY_TAG) was posted first: it wins the (2, 7) message.
+        let winner = m.take_recv_for(0, 2, 7).unwrap();
+        assert_eq!((winner.src, winner.tag), (Some(2), None));
+        let loser = m.take_recv_for(0, 2, 7).unwrap();
+        assert_eq!((loser.src, loser.tag), (None, Some(7)));
+        assert_eq!(m.pending_recvs(), 0);
+        // Reversed posting order: (ANY_SOURCE, tag=7) wins instead.
+        let (wild_src_tag, _c) = test_recv(0, None, Some(7), m.stamp());
+        m.push_recv(wild_src_tag);
+        let (src_wild_tag, _d) = test_recv(0, Some(2), None, m.stamp());
+        m.push_recv(src_wild_tag);
+        let winner = m.take_recv_for(0, 2, 7).unwrap();
+        assert_eq!((winner.src, winner.tag), (None, Some(7)));
+        let loser = m.take_recv_for(0, 2, 7).unwrap();
+        assert_eq!((loser.src, loser.tag), (Some(2), None));
+        assert_eq!(m.pending_recvs(), 0);
     }
 
     #[test]

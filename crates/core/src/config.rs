@@ -47,6 +47,42 @@ impl NodeConfig {
     }
 }
 
+/// Which schedule the comm-thread exchange engine uses for a collective.
+///
+/// Normally the engine picks per `(op, payload size, node count)` — see the
+/// selection table in `comm_thread.rs` — but tests and benchmarks can force a
+/// plan via [`DcgnConfig::with_exchange_plan`] or the `DCGN_FORCE_PLAN`
+/// environment variable (`star`, `tree`, `rd`, `ring`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangePlan {
+    /// Every node sends to the leader, which combines and fans results out.
+    Star,
+    /// Binomial tree rooted at the leader: contributions bundle up the tree,
+    /// results flow down it — O(log n) critical path.
+    Tree,
+    /// Recursive-doubling allreduce (latency-optimal for small payloads).
+    /// Applies to allreduce only; other ops fall back to the default table.
+    RecursiveDoubling,
+    /// Ring allreduce (bandwidth-optimal for large payloads).  Applies to
+    /// allreduce only; other ops fall back to the default table.
+    Ring,
+}
+
+impl ExchangePlan {
+    /// Parse the `DCGN_FORCE_PLAN` spelling of a plan.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "star" => Some(ExchangePlan::Star),
+            "tree" => Some(ExchangePlan::Tree),
+            "rd" | "recursive-doubling" | "recursive_doubling" => {
+                Some(ExchangePlan::RecursiveDoubling)
+            }
+            "ring" => Some(ExchangePlan::Ring),
+            _ => None,
+        }
+    }
+}
+
 /// Complete description of a DCGN job.
 #[derive(Debug, Clone)]
 pub struct DcgnConfig {
@@ -66,6 +102,11 @@ pub struct DcgnConfig {
     /// publishing past this depth without harvesting faults cleanly instead
     /// of deadlocking.
     pub mailbox_reqs_per_slot: usize,
+    /// Force one exchange plan for every collective instead of letting the
+    /// engine pick per `(op, payload size, node count)`.  `None` (the
+    /// default) uses the selection table; the `DCGN_FORCE_PLAN` environment
+    /// variable provides the same override without code changes.
+    pub exchange_plan: Option<ExchangePlan>,
 }
 
 impl DcgnConfig {
@@ -78,6 +119,7 @@ impl DcgnConfig {
             gpu_grid_blocks: None,
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
+            exchange_plan: None,
         }
     }
 
@@ -89,6 +131,7 @@ impl DcgnConfig {
             gpu_grid_blocks: None,
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
+            exchange_plan: None,
         }
     }
 
@@ -127,6 +170,24 @@ impl DcgnConfig {
     pub fn with_mailbox_depth(mut self, reqs_per_slot: usize) -> Self {
         self.mailbox_reqs_per_slot = reqs_per_slot;
         self
+    }
+
+    /// Builder-style forcing of one exchange plan for every collective (the
+    /// programmatic twin of `DCGN_FORCE_PLAN`).
+    pub fn with_exchange_plan(mut self, plan: ExchangePlan) -> Self {
+        self.exchange_plan = Some(plan);
+        self
+    }
+
+    /// The plan override in force for this job, if any: an explicit
+    /// [`DcgnConfig::exchange_plan`] wins over the `DCGN_FORCE_PLAN`
+    /// environment variable.
+    pub fn forced_exchange_plan(&self) -> Option<ExchangePlan> {
+        self.exchange_plan.or_else(|| {
+            std::env::var("DCGN_FORCE_PLAN")
+                .ok()
+                .and_then(|s| ExchangePlan::parse(&s))
+        })
     }
 
     /// Builder-style override of the simulated device used on every node.
@@ -239,5 +300,21 @@ mod tests {
         assert_eq!(cfg.cost.poll_max_interval, Duration::from_micros(800));
         assert_eq!(cfg.gpu_grid_blocks, Some(4));
         assert_eq!(cfg.gpu_block_threads, 64);
+    }
+
+    #[test]
+    fn exchange_plan_parses_and_overrides() {
+        assert_eq!(ExchangePlan::parse("star"), Some(ExchangePlan::Star));
+        assert_eq!(ExchangePlan::parse("TREE"), Some(ExchangePlan::Tree));
+        assert_eq!(
+            ExchangePlan::parse("rd"),
+            Some(ExchangePlan::RecursiveDoubling)
+        );
+        assert_eq!(ExchangePlan::parse(" ring "), Some(ExchangePlan::Ring));
+        assert_eq!(ExchangePlan::parse("bogus"), None);
+        let cfg = DcgnConfig::homogeneous(2, 1, 0, 0);
+        assert_eq!(cfg.exchange_plan, None);
+        let cfg = cfg.with_exchange_plan(ExchangePlan::Tree);
+        assert_eq!(cfg.forced_exchange_plan(), Some(ExchangePlan::Tree));
     }
 }

@@ -22,7 +22,9 @@ use dcgn_simtime::CostModel;
 use crate::buffer::Payload;
 use crate::error::{DcgnError, Result};
 use crate::group::{self, Comm, CommId};
-use crate::message::{CollectiveResult, CommCommand, CommStatus, Reply, Request, RequestKind};
+use crate::message::{
+    CollectiveResult, CommCommand, CommStatus, CompletionEvent, Reply, Request, RequestKind,
+};
 use crate::rank::RankMap;
 
 /// Handle to an outstanding nonblocking point-to-point operation started
@@ -130,6 +132,9 @@ pub struct CpuCtx {
     work_tx: Sender<CommCommand>,
     cost: CostModel,
     request_timeout: Duration,
+    /// This node's comm-thread completion counter: `waitany` sleeps on it
+    /// between handle sweeps instead of polling on a fixed interval.
+    completion: Arc<CompletionEvent>,
     /// Built once so the world-collective wrappers don't allocate a member
     /// table per call.
     world: Comm,
@@ -146,6 +151,7 @@ impl CpuCtx {
         work_tx: Sender<CommCommand>,
         cost: CostModel,
         request_timeout: Duration,
+        completion: Arc<CompletionEvent>,
     ) -> Self {
         let world = Comm::world(rank, rank_map.total_ranks());
         CpuCtx {
@@ -154,6 +160,7 @@ impl CpuCtx {
             work_tx,
             cost,
             request_timeout,
+            completion,
             world,
             requests: Mutex::new(RequestTable::default()),
         }
@@ -390,20 +397,28 @@ impl CpuCtx {
         }
         let deadline = Instant::now() + self.request_timeout;
         loop {
+            // Read the completion counter *before* sweeping: a completion
+            // that lands mid-sweep bumps the counter past `seen`, so the
+            // wait below returns immediately instead of losing the wakeup.
+            let seen = self.completion.tick();
             for (i, &h) in handles.iter().enumerate() {
                 if let Some(done) = self.test(h)? {
                     return Ok((i, done));
                 }
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(DcgnError::Internal(format!(
                     "rank {} timed out in waitany over {} requests",
                     self.rank,
                     handles.len()
                 )));
             }
-            // No completion yet: yield briefly instead of spinning hot.
-            std::thread::sleep(Duration::from_micros(20));
+            // No completion yet: sleep until the comm thread signals one
+            // (bounded so a missed edge degrades to a periodic re-sweep).
+            let remaining = deadline - now;
+            self.completion
+                .wait_past(seen, remaining.min(Duration::from_millis(1)));
         }
     }
 

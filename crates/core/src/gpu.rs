@@ -73,11 +73,11 @@ pub const MAILBOX_STATUS_BYTES: usize = 4;
 pub const MAILBOX_REQS_PER_SLOT: usize = 4;
 
 /// Bytes of one per-request completion record:
-/// `[state u32][error u32][result_len u32][result_src u32]`.
-pub const MAILBOX_COMPLETION_BYTES: usize = 16;
+/// `[state u32][error u32][result_len u32][result_src u32][result_tag u32]`.
+pub const MAILBOX_COMPLETION_BYTES: usize = 20;
 
 /// Bytes of one slot's request body, stored after the completion columns.
-pub const MAILBOX_BODY_BYTES: usize = 64;
+pub const MAILBOX_BODY_BYTES: usize = 72;
 
 /// Total bytes of the mailbox region for `slots` slots with
 /// `reqs_per_slot` completion records each.
@@ -108,6 +108,9 @@ const COMP_STATE: usize = 0;
 const COMP_ERROR: usize = 4;
 const COMP_RESULT_LEN: usize = 8;
 const COMP_RESULT_SRC: usize = 12;
+/// Tag the completed receive actually matched — an `ANY_TAG` receive learns
+/// the sender's tag from here instead of reporting 0.
+const COMP_RESULT_TAG: usize = 16;
 
 /// States of a per-request completion word (its low 2 bits; the remaining
 /// 30 bits carry the record's claim *generation*, bumped on every claim, so
@@ -268,6 +271,8 @@ const BODY_COMM: usize = 40;
 const BODY_RESULT_LEN: usize = 48;
 const BODY_RESULT_SRC: usize = 56;
 const BODY_ERROR: usize = 60;
+/// Tag the completed receive actually matched (see [`COMP_RESULT_TAG`]).
+const BODY_RESULT_TAG: usize = 64;
 
 /// Error codes written into the `error` field of a mailbox entry.
 pub mod mailbox_error {
@@ -386,7 +391,7 @@ impl<'a> GpuCtx<'a> {
 
     /// Claim a slot's mailbox (serialises concurrent blocks sharing a slot),
     /// fill in a request, publish it, wait for completion and release the
-    /// mailbox.  Returns `(result_len, result_src, error)`.
+    /// mailbox.  Returns `(result_len, result_src, result_tag, error)`.
     #[allow(clippy::too_many_arguments)]
     fn transact(
         &self,
@@ -399,7 +404,7 @@ impl<'a> GpuCtx<'a> {
         comm: u64,
         data_ptr: DevicePtr,
         len: usize,
-    ) -> (usize, usize, u32) {
+    ) -> (usize, usize, u32, u32) {
         let status_ptr = self.status_ptr(slot);
         let body_ptr = self.body_ptr(slot);
         let b = self.block;
@@ -426,10 +431,11 @@ impl<'a> GpuCtx<'a> {
         b.wait_for_u32(status_ptr, status::COMPLETE);
         let result_len = b.read_u64(body_ptr.add(BODY_RESULT_LEN)) as usize;
         let result_src = b.read_u32(body_ptr.add(BODY_RESULT_SRC)) as usize;
+        let result_tag = b.read_u32(body_ptr.add(BODY_RESULT_TAG));
         let error = b.read_u32(body_ptr.add(BODY_ERROR));
         // Release the mailbox for the next request on this slot.
         b.write_u32(status_ptr, status::EMPTY);
-        (result_len, result_src, error)
+        (result_len, result_src, result_tag, error)
     }
 
     fn check(&self, error: u32, what: &str) {
@@ -462,7 +468,7 @@ impl<'a> GpuCtx<'a> {
     /// record's `aux` word and matches against the receiver's tag filter
     /// (CPU `recv_tagged` / GPU [`GpuCtx::recv_tagged`] / [`ANY_TAG`]).
     pub fn send_tagged(&self, slot: usize, dst: usize, tag: u32, data: DevicePtr, len: usize) {
-        let (_, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, tag, 0, 0, data, len);
+        let (_, _, _, err) = self.transact(slot, opcode::SEND, dst as u32, 0, tag, 0, 0, data, len);
         self.check(err, "send");
     }
 
@@ -474,11 +480,10 @@ impl<'a> GpuCtx<'a> {
     }
 
     /// Receive a message carrying `tag` (or any tag, for [`ANY_TAG`]) from
-    /// DCGN rank `src`.  An exact-tag receive reports the (known) matched
-    /// tag in its status; an `ANY_TAG` match reports 0, because the matched
-    /// tag is not round-tripped through the mailbox (the completion record
-    /// has no spare word) — encode it in the payload if a wildcard receiver
-    /// needs it.
+    /// DCGN rank `src`.  The returned status always reports the tag the
+    /// message actually carried: the matched tag is round-tripped through
+    /// the mailbox (`result_tag` in the request body), so an `ANY_TAG`
+    /// receive learns the sender's tag instead of seeing 0.
     pub fn recv_tagged(
         &self,
         slot: usize,
@@ -487,12 +492,12 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> CommStatus {
-        let (got, from, err) =
+        let (got, from, matched_tag, err) =
             self.transact(slot, opcode::RECV, src as u32, 0, tag, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
-            tag: if tag == ANY_TAG { 0 } else { tag },
+            tag: matched_tag,
             len: got,
         }
     }
@@ -511,11 +516,12 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> CommStatus {
-        let (got, from, err) = self.transact(slot, opcode::RECV, PEER_ANY, 0, tag, 0, 0, data, len);
+        let (got, from, matched_tag, err) =
+            self.transact(slot, opcode::RECV, PEER_ANY, 0, tag, 0, 0, data, len);
         self.check(err, "recv");
         CommStatus {
             source: from,
-            tag: if tag == ANY_TAG { 0 } else { tag },
+            tag: matched_tag,
             len: got,
         }
     }
@@ -784,13 +790,10 @@ impl<'a> GpuCtx<'a> {
         let error = b.read_u32(ptr.add(COMP_ERROR));
         let len = b.read_u32(ptr.add(COMP_RESULT_LEN)) as usize;
         let source = b.read_u32(ptr.add(COMP_RESULT_SRC)) as usize;
+        let tag = b.read_u32(ptr.add(COMP_RESULT_TAG));
         b.write_u32(ptr.add(COMP_STATE), req_word(req.gen, req_state::FREE));
         self.check(error, "wait");
-        CommStatus {
-            source,
-            tag: 0,
-            len,
-        }
+        CommStatus { source, tag, len }
     }
 
     /// Barrier across every DCGN rank, entered by this slot.
@@ -800,7 +803,7 @@ impl<'a> GpuCtx<'a> {
 
     /// Barrier across the members of `comm`, entered by this slot.
     pub fn barrier_in(&self, slot: usize, comm: &GpuComm) {
-        let (_, _, err) = self.transact(
+        let (_, _, _, err) = self.transact(
             slot,
             opcode::BARRIER,
             0,
@@ -831,7 +834,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::BROADCAST,
             root as u32,
@@ -867,7 +870,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::GATHER,
             root as u32,
@@ -902,7 +905,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::SCATTER,
             root as u32,
@@ -928,7 +931,7 @@ impl<'a> GpuCtx<'a> {
     /// Allgather within `comm` (in-place over a `comm.size × len` buffer
     /// indexed by sub-rank).
     pub fn allgather_in(&self, slot: usize, comm: &GpuComm, data: DevicePtr, len: usize) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::ALLGATHER,
             0,
@@ -998,7 +1001,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         count: usize,
     ) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::REDUCE,
             root as u32,
@@ -1055,7 +1058,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         count: usize,
     ) -> usize {
-        let (got, _, err) = self.transact(
+        let (got, _, _, err) = self.transact(
             slot,
             opcode::ALLREDUCE,
             0,
@@ -1097,7 +1100,7 @@ impl<'a> GpuCtx<'a> {
         table: DevicePtr,
         table_len: usize,
     ) -> GpuComm {
-        let (_, _, err) = self.transact(
+        let (_, _, _, err) = self.transact(
             slot,
             opcode::SPLIT,
             color,
@@ -1124,7 +1127,7 @@ impl<'a> GpuCtx<'a> {
     /// handle (and its device-side member table) must not be used
     /// afterwards.  The world communicator cannot be freed.
     pub fn comm_free(&self, slot: usize, comm: &GpuComm) {
-        let (_, _, err) =
+        let (_, _, _, err) =
             self.transact(slot, opcode::FREE, 0, 0, 0, 0, comm.id, DevicePtr::NULL, 0);
         self.check(err, "comm_free");
     }
@@ -1156,7 +1159,7 @@ impl<'a> GpuCtx<'a> {
         data: DevicePtr,
         len: usize,
     ) -> CommStatus {
-        let (got, from, err) = self.transact(
+        let (got, from, matched_tag, err) = self.transact(
             slot,
             opcode::SENDRECV_REPLACE,
             dst as u32,
@@ -1170,7 +1173,7 @@ impl<'a> GpuCtx<'a> {
         self.check(err, "sendrecv_replace");
         CommStatus {
             source: from,
-            tag: 0,
+            tag: matched_tag,
             len: got,
         }
     }
@@ -1734,6 +1737,7 @@ impl GpuKernelThread {
         let mut error = mailbox_error::OK;
         let mut result_len = 0u32;
         let mut result_src = 0u32;
+        let mut result_tag = 0u32;
         for reply in pending.replies.drain(..) {
             match reply {
                 Reply::SendDone => {}
@@ -1744,6 +1748,7 @@ impl GpuKernelThread {
                         self.device.memcpy_htod(pending.data_ptr, data.as_slice())?;
                         result_len = data.len() as u32;
                         result_src = status.source as u32;
+                        result_tag = status.tag;
                     }
                 }
                 Reply::Error(e) => {
@@ -1767,10 +1772,11 @@ impl GpuKernelThread {
             slot,
             req,
         ));
-        let mut fields = [0u8; 12];
+        let mut fields = [0u8; 16];
         fields[0..4].copy_from_slice(&error.to_le_bytes());
         fields[4..8].copy_from_slice(&result_len.to_le_bytes());
         fields[8..12].copy_from_slice(&result_src.to_le_bytes());
+        fields[12..16].copy_from_slice(&result_tag.to_le_bytes());
         self.device.memcpy_htod(record.add(COMP_ERROR), &fields)?;
         self.device
             .write_u32(record.add(COMP_STATE), req_word(gen, req_state::DONE))?;
@@ -1784,6 +1790,7 @@ impl GpuKernelThread {
         let mut error = mailbox_error::OK;
         let mut result_len = 0u64;
         let mut result_src = 0u32;
+        let mut result_tag = 0u32;
         for reply in pending.replies.drain(..) {
             match reply {
                 Reply::SendDone => {}
@@ -1797,6 +1804,7 @@ impl GpuKernelThread {
                         self.device.memcpy_htod(pending.data_ptr, data.as_slice())?;
                         result_len = data.len() as u64;
                         result_src = status.source as u32;
+                        result_tag = status.tag;
                     }
                 }
                 // A collective completed; write this rank's share of the
@@ -1842,10 +1850,11 @@ impl GpuKernelThread {
         // Write the contiguous result block, then flip status to COMPLETE
         // (separate word write, like the real implementation's flag
         // protocol).
-        let mut results = [0u8; 16];
+        let mut results = [0u8; 20];
         results[0..8].copy_from_slice(&result_len.to_le_bytes());
         results[8..12].copy_from_slice(&result_src.to_le_bytes());
         results[12..16].copy_from_slice(&error.to_le_bytes());
+        results[16..20].copy_from_slice(&result_tag.to_le_bytes());
         self.device
             .memcpy_htod(body.add(BODY_RESULT_LEN), &results)?;
         self.device
@@ -2059,6 +2068,11 @@ mod tests {
         assert!(BODY_RESULT_SRC + 4 <= MAILBOX_BODY_BYTES);
         assert!(BODY_RESULT_LEN + 8 <= MAILBOX_BODY_BYTES);
         assert!(BODY_COMM + 8 <= MAILBOX_BODY_BYTES);
+        // The matched tag sits right after the error word, and both the
+        // body and the completion record leave room for it.
+        assert!(BODY_RESULT_TAG == BODY_ERROR + 4);
+        assert!(BODY_RESULT_TAG + 4 <= MAILBOX_BODY_BYTES);
+        assert!(COMP_RESULT_TAG + 4 <= MAILBOX_COMPLETION_BYTES);
         // The result block written back by the host is one contiguous span.
         assert!(BODY_RESULT_SRC == BODY_RESULT_LEN + 8);
         assert!(BODY_ERROR == BODY_RESULT_SRC + 4);

@@ -115,6 +115,61 @@ impl Comm {
 }
 
 // ---------------------------------------------------------------------------
+// Per-node exchange topology derivation.
+//
+// The comm-thread exchange engine runs collectives over the *nodes* hosting a
+// group's members.  Alternative plans (binomial tree, recursive doubling,
+// ring) need every node to derive the same topology from the same ordered
+// node list with no coordination round, so the helpers below are pure
+// functions of a node's position `v` in that list and the list length `n`.
+// ---------------------------------------------------------------------------
+
+/// Parent of position `v` in the binomial tree rooted at 0: clear the highest
+/// set bit.  Position 0 is the root and has no parent.
+pub(crate) fn binomial_parent(v: usize) -> Option<usize> {
+    if v == 0 {
+        None
+    } else {
+        Some(v & !(1usize << (usize::BITS - 1 - v.leading_zeros())))
+    }
+}
+
+/// Children of position `v` in the `n`-position binomial tree rooted at 0:
+/// `v + 2^k` for every `2^k > v` (with `2^k > 0` for the root) still below
+/// `n`, in ascending order.
+pub(crate) fn binomial_children(v: usize, n: usize) -> Vec<usize> {
+    let mut kids = Vec::new();
+    let mut bit = 1usize;
+    while bit <= v {
+        bit <<= 1;
+    }
+    while v + bit < n {
+        kids.push(v + bit);
+        bit <<= 1;
+    }
+    kids
+}
+
+/// Every position in the subtree rooted at `v` (including `v` itself), in
+/// BFS order.  Used to split per-node down traffic among a node's children.
+pub(crate) fn binomial_subtree(v: usize, n: usize) -> Vec<usize> {
+    let mut out = vec![v];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(binomial_children(out[i], n));
+        i += 1;
+    }
+    out
+}
+
+/// Largest power of two ≤ `n` (the "core" size of a recursive-doubling
+/// schedule).  `n` must be nonzero.
+pub(crate) fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n > 0);
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+// ---------------------------------------------------------------------------
 // Split tables and the wire encoding of split results.
 // ---------------------------------------------------------------------------
 
@@ -234,6 +289,66 @@ mod tests {
         assert!(decode_comm_info(&[0u8; 8]).is_err());
         let encoded = encode_comm_info(CommId::WORLD, 0, &[1, 2, 3]);
         assert!(decode_comm_info(&encoded[..encoded.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn binomial_tree_parent_child_agree() {
+        for n in 1..70usize {
+            for v in 0..n {
+                let kids = binomial_children(v, n);
+                for &c in &kids {
+                    assert_eq!(binomial_parent(c), Some(v), "n={n} v={v} child={c}");
+                }
+                // Ascending and below n.
+                assert!(kids.windows(2).all(|w| w[0] < w[1]));
+                assert!(kids.iter().all(|&c| c < n));
+            }
+            // Every non-root position appears as exactly one child.
+            let mut seen = vec![0usize; n];
+            for v in 0..n {
+                for c in binomial_children(v, n) {
+                    seen[c] += 1;
+                }
+            }
+            assert_eq!(seen[0], 0);
+            assert!(seen[1..].iter().all(|&s| s == 1), "n={n}: {seen:?}");
+        }
+        assert_eq!(binomial_parent(0), None);
+        assert_eq!(binomial_parent(1), Some(0));
+        assert_eq!(binomial_parent(6), Some(2));
+        assert_eq!(binomial_parent(13), Some(5));
+        assert_eq!(binomial_children(0, 8), vec![1, 2, 4]);
+        assert_eq!(binomial_children(1, 8), vec![3, 5]);
+        assert_eq!(binomial_children(2, 8), vec![6]);
+        assert_eq!(binomial_children(0, 32), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn binomial_subtrees_partition_positions() {
+        for n in 1..40usize {
+            let mut all: Vec<usize> = binomial_subtree(0, n);
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+            // Children's subtrees are disjoint and cover everything but root.
+            let mut covered = vec![false; n];
+            covered[0] = true;
+            for c in binomial_children(0, n) {
+                for p in binomial_subtree(c, n) {
+                    assert!(!covered[p], "n={n} position {p} covered twice");
+                    covered[p] = true;
+                }
+            }
+            assert!(covered.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn prev_power_of_two_brackets() {
+        for n in 1..200usize {
+            let m = prev_power_of_two(n);
+            assert!(m.is_power_of_two());
+            assert!(m <= n && n < 2 * m, "n={n} m={m}");
+        }
     }
 
     #[test]

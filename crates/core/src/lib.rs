@@ -26,11 +26,16 @@
 //!   (with [`ReduceOp`] operators) — and every one of them, over the world
 //!   or any subgroup, runs through the comm thread's single asynchronous
 //!   exchange engine: local ranks *join*, contributions are *locally
-//!   combined*, status-framed contribution frames flow to the group's
-//!   leader node, which *combines* them and fans results (or the first
-//!   error) back out, and per-rank results are *scattered back* as
-//!   zero-copy payload views.  An erroneous collective fails every
-//!   participating node cleanly instead of hanging peers.
+//!   combined*, status-framed contribution frames flow between nodes
+//!   under one of several *exchange plans* — a leader-centred star, a
+//!   binomial tree, or (for allreduce) recursive doubling / a ring —
+//!   selected per `(op, payload size, node count)` from a table in the
+//!   comm thread and overridable via
+//!   [`config::DcgnConfig::with_exchange_plan`] or the `DCGN_FORCE_PLAN`
+//!   environment variable.  Per-rank results are *scattered back* as
+//!   zero-copy payload views, and under every plan an erroneous
+//!   collective fails every participating node cleanly instead of
+//!   hanging peers.
 //! * **Nonblocking point-to-point** ([`cpu::RequestHandle`] /
 //!   [`gpu::GpuRequest`]): `isend`/`irecv` return a request handle
 //!   immediately so kernels overlap compute with communication; completion
@@ -142,7 +147,7 @@ pub mod runtime;
 mod comm_thread;
 
 pub use buffer::{Payload, PayloadBuf};
-pub use config::{DcgnConfig, NodeConfig};
+pub use config::{DcgnConfig, ExchangePlan, NodeConfig};
 pub use cpu::{Completion, CpuCtx, RequestHandle};
 pub use error::{DcgnError, Result};
 pub use gpu::{GpuComm, GpuCtx, GpuPollStats, GpuRequest, GpuSetupCtx};

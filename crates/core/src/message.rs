@@ -185,6 +185,57 @@ pub(crate) enum CommCommand {
     LocalKernelsDone,
 }
 
+/// A monotone completion counter kernel threads can sleep on.
+///
+/// The comm thread bumps the counter after every loop iteration that did
+/// work (every iteration that can have sent a reply).  A kernel thread
+/// waiting for *any* of several requests reads the counter, tests its
+/// handles, and — finding none complete — sleeps until the counter moves
+/// past the value it read.  Because every reply strictly precedes the bump
+/// that advertises it, a completion that races the test is caught either by
+/// the test itself or by the immediately-satisfied wait: no lost wakeups,
+/// and no fixed polling interval on the wait path.
+pub(crate) struct CompletionEvent {
+    tick: std::sync::Mutex<u64>,
+    cond: std::sync::Condvar,
+}
+
+impl CompletionEvent {
+    pub(crate) fn new() -> Self {
+        CompletionEvent {
+            tick: std::sync::Mutex::new(0),
+            cond: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Current counter value; pass it to [`CompletionEvent::wait_past`].
+    pub(crate) fn tick(&self) -> u64 {
+        *self.tick.lock().expect("completion tick poisoned")
+    }
+
+    /// Advance the counter and wake every waiter.
+    pub(crate) fn bump(&self) {
+        let mut t = self.tick.lock().expect("completion tick poisoned");
+        *t += 1;
+        self.cond.notify_all();
+    }
+
+    /// Block until the counter moves past `seen` or `timeout` elapses.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: std::time::Duration) {
+        let mut t = self.tick.lock().expect("completion tick poisoned");
+        while *t <= seen {
+            let (guard, result) = self
+                .cond
+                .wait_timeout(t, timeout)
+                .expect("completion tick poisoned");
+            t = guard;
+            if result.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Wire format of inter-node DCGN point-to-point messages.
 // ---------------------------------------------------------------------------

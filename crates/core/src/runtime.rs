@@ -19,7 +19,7 @@ use crate::config::DcgnConfig;
 use crate::cpu::CpuCtx;
 use crate::error::{DcgnError, Result};
 use crate::gpu::{GpuCtx, GpuKernelThread, GpuLayout, GpuPollStats, GpuSetupCtx};
-use crate::message::CommCommand;
+use crate::message::{CommCommand, CompletionEvent};
 use crate::rank::RankMap;
 
 /// Default time a kernel thread will wait for a single communication request
@@ -142,17 +142,26 @@ impl Runtime {
         let placement = RankPlacement::explicit((0..num_nodes).collect());
         let node_comms = MpiWorld::create_on(&cluster, &placement);
 
-        // Per-node work queues.
+        // Per-node work queues, plus a per-node completion event the comm
+        // thread bumps so kernel threads can sleep in `waitany` instead of
+        // polling on a fixed interval.
+        let forced_plan = self.config.forced_exchange_plan();
         let mut work_txs: Vec<Sender<CommCommand>> = Vec::with_capacity(num_nodes);
+        let mut completions: Vec<Arc<CompletionEvent>> = Vec::with_capacity(num_nodes);
         let mut comm_threads = Vec::with_capacity(num_nodes);
         for (node, comm) in node_comms.into_iter().enumerate() {
             let (tx, rx) = unbounded();
             work_txs.push(tx.clone());
+            let completion = Arc::new(CompletionEvent::new());
+            completions.push(Arc::clone(&completion));
             let rank_map = Arc::clone(&rank_map);
             comm_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcgn-comm-node{node}"))
-                    .spawn(move || CommThread::new(node, rank_map, comm, rx, tx, cost).run())
+                    .spawn(move || {
+                        CommThread::new(node, rank_map, comm, rx, tx, cost, forced_plan, completion)
+                            .run()
+                    })
                     .map_err(|e| DcgnError::Internal(format!("spawn comm thread: {e}")))?,
             );
         }
@@ -172,6 +181,7 @@ impl Runtime {
                     work_txs[node].clone(),
                     cost,
                     self.request_timeout,
+                    Arc::clone(&completions[node]),
                 );
                 let kernel = Arc::clone(&cpu_kernel);
                 kernel_threads.push(

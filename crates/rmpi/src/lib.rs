@@ -38,7 +38,8 @@ pub use collectives::{frame_reduce, parse_reduce_frame, ReduceDtype, ReduceOp};
 pub use comm::{Communicator, Request, TAG_EXCHANGE, TAG_INTERNAL_BASE};
 pub use packet::{
     frame_exchange, parse_exchange_header, ExchangeId, Packet, RmpiError, Status, ANY_SOURCE,
-    ANY_TAG, EXCHANGE_HEADER_BYTES,
+    ANY_TAG, EXCHANGE_HEADER_BYTES, PHASE_ABORT, PHASE_DOWN, PHASE_RD_FOLD_IN, PHASE_RD_FOLD_OUT,
+    PHASE_RD_ROUND_BASE, PHASE_RING_BASE, PHASE_UP,
 };
 pub use typed::{
     bytes_to_f32s, bytes_to_f64s, bytes_to_i64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes,

@@ -104,6 +104,33 @@ pub struct ExchangeId {
 /// `[comm_epoch u32][comm u64][seq u64][phase u32][status u8][pad u8 × 3]`.
 pub const EXCHANGE_HEADER_BYTES: usize = 28;
 
+// ---------------------------------------------------------------------------
+// Exchange phases.  The phase field of an [`ExchangeId`] names which leg of
+// a collective schedule a frame belongs to.  Star and tree plans use only
+// UP/DOWN; the allreduce schedules (recursive doubling, ring) claim disjoint
+// ranges so a frame from a node running a *different* schedule is detected
+// as an unexpected phase instead of being folded into the wrong state.
+// ---------------------------------------------------------------------------
+
+/// Contribution leg toward the leader (star) or tree parent.
+pub const PHASE_UP: u32 = 0;
+/// Result leg from the leader (star) or tree parent.
+pub const PHASE_DOWN: u32 = 1;
+/// Abort broadcast: the body is a status-framed error every participant of
+/// the exchange reports.  Valid under every plan.
+pub const PHASE_ABORT: u32 = 2;
+/// Recursive doubling: an extra node (position ≥ the power-of-two core)
+/// folds its partial into its core partner before the rounds start.
+pub const PHASE_RD_FOLD_IN: u32 = 3;
+/// Recursive doubling: the core partner returns the finished result to its
+/// extra node after the last round.
+pub const PHASE_RD_FOLD_OUT: u32 = 4;
+/// Recursive doubling round `r` travels as phase `PHASE_RD_ROUND_BASE + r`.
+pub const PHASE_RD_ROUND_BASE: u32 = 8;
+/// Ring allreduce step `s` (reduce-scatter then allgather, `2(n-1)` steps
+/// total) travels as phase `PHASE_RING_BASE + s`.
+pub const PHASE_RING_BASE: u32 = 0x1000;
+
 /// Frame an exchange payload: the full [`ExchangeId`] plus a one-byte status
 /// code, followed by the body.
 pub fn frame_exchange(id: ExchangeId, status: u8, body: &[u8]) -> Vec<u8> {

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use dcgn::{CostModel, DcgnConfig, DcgnError, DeviceConfig, DevicePtr, NodeConfig, Runtime};
+use dcgn::{
+    CostModel, DcgnConfig, DcgnError, DeviceConfig, DevicePtr, ExchangePlan, NodeConfig, Runtime,
+};
 
 /// Run `f` on a watchdog thread and fail the test if it has not returned
 /// within `timeout` — the guard that turns a silent hang into a loud
@@ -265,6 +267,120 @@ fn world_kind_mismatch_across_nodes_is_a_collective_mismatch_everywhere() {
             .unwrap();
     });
     assert_eq!(errors.load(Ordering::SeqCst), 4, "every rank must error");
+}
+
+#[test]
+fn tree_plan_kind_mismatch_at_32_nodes_is_contained() {
+    // Failure containment must survive the tree plan at scale: with 32
+    // nodes forced onto the binomial tree, node 0 (the root) enters a
+    // barrier while every other node enters an allreduce.  The mismatch is
+    // caught from the collective identity carried in the up-bundles —
+    // possibly at an interior node, before the root ever sees it — and the
+    // abort must still reach all 32 ranks instead of deadlocking a subtree.
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    with_timeout(Duration::from_secs(120), move || {
+        let mut runtime = Runtime::new(
+            DcgnConfig::homogeneous(32, 1, 0, 0).with_exchange_plan(ExchangePlan::Tree),
+        )
+        .unwrap();
+        runtime.set_request_timeout(Duration::from_secs(30));
+        runtime
+            .launch_cpu_only(move |ctx| {
+                let outcome = if ctx.node() == 0 {
+                    ctx.barrier()
+                } else {
+                    ctx.allreduce(&[1.0], dcgn::ReduceOp::Sum).map(|_| ())
+                };
+                match outcome {
+                    Err(DcgnError::CollectiveMismatch {
+                        in_progress,
+                        requested,
+                    }) => {
+                        let pair = [in_progress, requested];
+                        assert!(pair.contains(&"barrier") && pair.contains(&"allreduce"));
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!(
+                        "rank {}: expected CollectiveMismatch, got {other:?}",
+                        ctx.rank()
+                    ),
+                }
+            })
+            .unwrap();
+    });
+    assert_eq!(errors.load(Ordering::SeqCst), 32, "every rank must error");
+}
+
+#[test]
+fn tree_plan_length_mismatch_at_32_nodes_errors_on_every_rank() {
+    // Mid-collective error echo down the tree: the root's combine rejects
+    // the mismatched vector lengths only after every up-bundle has been
+    // concatenated up the tree, so the resulting error frame must be
+    // relayed verbatim through the interior nodes to all 32 ranks.
+    let errors = Arc::new(AtomicUsize::new(0));
+    let e = Arc::clone(&errors);
+    with_timeout(Duration::from_secs(120), move || {
+        let mut runtime = Runtime::new(
+            DcgnConfig::homogeneous(32, 1, 0, 0).with_exchange_plan(ExchangePlan::Tree),
+        )
+        .unwrap();
+        runtime.set_request_timeout(Duration::from_secs(30));
+        runtime
+            .launch_cpu_only(move |ctx| {
+                // Node 5 is an interior node of the 32-node binomial tree;
+                // its contribution disagrees with everyone else's.
+                let len = if ctx.node() == 5 { 3 } else { 1 };
+                let err = ctx
+                    .allreduce(&vec![1.0; len], dcgn::ReduceOp::Sum)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, DcgnError::InvalidArgument(_)),
+                    "want InvalidArgument on rank {}, got {err:?}",
+                    ctx.rank()
+                );
+                e.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+    });
+    assert_eq!(errors.load(Ordering::SeqCst), 32, "every rank must error");
+}
+
+#[test]
+fn rd_and_ring_length_mismatch_is_contained_at_32_nodes() {
+    // The allreduce schedules have no single combining root: a recursive-
+    // doubling partner (or a ring neighbour) discovers the length
+    // disagreement mid-schedule, and its abort broadcast must reach all 32
+    // nodes — including ones that were still happily folding.
+    for plan in [ExchangePlan::RecursiveDoubling, ExchangePlan::Ring] {
+        let errors = Arc::new(AtomicUsize::new(0));
+        let e = Arc::clone(&errors);
+        with_timeout(Duration::from_secs(120), move || {
+            let mut runtime =
+                Runtime::new(DcgnConfig::homogeneous(32, 1, 0, 0).with_exchange_plan(plan))
+                    .unwrap();
+            runtime.set_request_timeout(Duration::from_secs(30));
+            runtime
+                .launch_cpu_only(move |ctx| {
+                    let len = if ctx.node() == 7 { 5 } else { 8 };
+                    let err = ctx
+                        .allreduce(&vec![1.0; len], dcgn::ReduceOp::Sum)
+                        .unwrap_err();
+                    assert!(
+                        matches!(err, DcgnError::InvalidArgument(_)),
+                        "want InvalidArgument on rank {} under {plan:?}, got {err:?}",
+                        ctx.rank()
+                    );
+                    e.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        });
+        assert_eq!(
+            errors.load(Ordering::SeqCst),
+            32,
+            "every rank must error under {plan:?}"
+        );
+    }
 }
 
 #[test]

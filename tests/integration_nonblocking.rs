@@ -556,6 +556,44 @@ fn gpu_tagged_recv_matches_by_tag_and_any_tag_takes_the_rest() {
 }
 
 #[test]
+fn gpu_any_tag_receives_report_the_senders_actual_tag() {
+    // An ANY_TAG receive must report the tag the matched message actually
+    // carried, on both mailbox paths: the blocking recv (result written
+    // into the request body) and the nonblocking irecv + wait (result
+    // written into the per-request completion record).
+    let runtime = Runtime::new(DcgnConfig::homogeneous(1, 1, 1, 1)).unwrap();
+    runtime
+        .launch(
+            |ctx| {
+                if ctx.rank() == 0 {
+                    let a = ctx.isend_tagged(1, 1337, &[0x11; 16]).unwrap();
+                    let b = ctx.isend_tagged(1, 4242, &[0x22; 16]).unwrap();
+                    ctx.waitall(&[a, b]).unwrap();
+                }
+            },
+            |ctx| {
+                const SLOT: usize = 0;
+                if ctx.block().block_id() != 0 {
+                    return;
+                }
+                let buf = DevicePtr::NULL.add(8 << 10);
+                // Blocking wildcard receive: the body round-trips the tag.
+                let status = ctx.recv_any_tagged(SLOT, dcgn::gpu::ANY_TAG, buf, 16);
+                assert_eq!(status.tag, 1337);
+                assert_eq!(status.len, 16);
+                assert_eq!(ctx.block().read_vec(buf, 16), vec![0x11; 16]);
+                // Nonblocking wildcard receive: the completion record does.
+                let req = ctx.irecv_any_tagged(SLOT, dcgn::gpu::ANY_TAG, buf, 16);
+                let status = ctx.wait(req);
+                assert_eq!(status.tag, 4242);
+                assert_eq!(status.len, 16);
+                assert_eq!(ctx.block().read_vec(buf, 16), vec![0x22; 16]);
+            },
+        )
+        .unwrap();
+}
+
+#[test]
 fn gpu_nonblocking_tags_roundtrip_to_cpu_tagged_receives() {
     // The nonblocking publish path carries tags too: a GPU slot isends two
     // tagged payloads, the CPU receives them by tag in reverse order.
