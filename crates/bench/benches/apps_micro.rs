@@ -9,6 +9,7 @@ use dcgn_apps::{cannon, mandelbrot, nbody};
 use dcgn_bench::bench_samples;
 
 fn bench_apps(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("section5_apps");
     group.sample_size(bench_samples(10));

@@ -8,6 +8,7 @@ use dcgn::CostModel;
 use dcgn_bench::{bench_samples, dcgn_barrier_time, mpi_barrier_time};
 
 fn bench_barriers(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("table1_barrier");
     group.sample_size(bench_samples(10));

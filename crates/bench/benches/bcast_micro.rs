@@ -8,6 +8,7 @@ use dcgn::CostModel;
 use dcgn_bench::{bench_samples, dcgn_broadcast_time, mpi_broadcast_time, EndpointKind};
 
 fn bench_broadcasts(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("figure7_broadcast");
     group.sample_size(bench_samples(10));

@@ -9,6 +9,7 @@ use dcgn::CostModel;
 use dcgn_bench::{bench_samples, dcgn_comm_split_time};
 
 fn bench_comm_split(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("comm_split_micro");
     group.sample_size(bench_samples(10));

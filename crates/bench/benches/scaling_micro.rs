@@ -24,6 +24,7 @@ fn scaling_cost() -> CostModel {
 }
 
 fn bench_plan_scaling(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = scaling_cost();
     let size = 1 << 10;
     let mut group = c.benchmark_group("plan_scaling");

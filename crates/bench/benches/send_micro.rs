@@ -14,6 +14,7 @@ use dcgn_bench::{
 };
 
 fn bench_sends(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
     let cost = CostModel::g92_scaled(20.0);
     let mut group = c.benchmark_group("figure6_send");
     group.sample_size(bench_samples(10));
@@ -99,11 +100,52 @@ fn bench_allreduce_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the instrumentation itself: a hot loop of counter bumps and
+/// histogram records against an enabled registry vs the disabled
+/// (`None`-backed) handles the runtime uses when metrics are off.  The
+/// disabled entry is the price every uninstrumented run pays; the enabled
+/// entry bounds what full instrumentation adds per event.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    dcgn_bench::install_metrics_hook();
+    let iters = 1024u64;
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(bench_samples(10));
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let enabled = dcgn::MetricsHandle::new();
+    let on_counter = enabled.counter("bench.overhead.counter");
+    let on_hist = enabled.histogram("bench.overhead.hist");
+    let off_counter = dcgn::MetricsHandle::disabled().counter("bench.overhead.counter");
+    let off_hist = dcgn::MetricsHandle::disabled().histogram("bench.overhead.hist");
+
+    group.bench_with_input(BenchmarkId::new("enabled", iters), &iters, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                on_counter.inc();
+                on_hist.record(i);
+            }
+            on_counter.get()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("disabled", iters), &iters, |b, &n| {
+        b.iter(|| {
+            for i in 0..n {
+                off_counter.inc();
+                off_hist.record(i);
+            }
+            off_counter.get()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sends,
     bench_isend_overlap,
     bench_waitany_wake,
-    bench_allreduce_engine
+    bench_allreduce_engine,
+    bench_metrics_overhead
 );
 criterion_main!(benches);

@@ -39,15 +39,32 @@ fn main() {
             eprintln!("FAIL: implausible statistics for {:?}: {r:?}", r.name);
             bad += 1;
         }
+        // The optional metrics block attributes runtime-counter deltas to the
+        // benchmark.  The hook only emits nonzero deltas with nonempty names;
+        // a violation means the capture path is broken.
+        for (name, value) in &r.metrics {
+            if name.is_empty() || *value == 0 {
+                eprintln!("FAIL: bogus metric entry {name:?}={value} for {:?}", r.name);
+                bad += 1;
+            }
+        }
     }
     if bad > 0 {
         exit(1);
     }
-    println!("OK: {} lists {} benchmarks", path.display(), records.len());
+    let with_metrics = records.iter().filter(|r| !r.metrics.is_empty()).count();
+    println!(
+        "OK: {} lists {} benchmarks ({with_metrics} with metrics attribution)",
+        path.display(),
+        records.len()
+    );
     for r in &records {
         println!(
             "  {}: median {} ns ± {} ns MAD ({} samples)",
             r.name, r.median_ns, r.mad_ns, r.samples
         );
+        for (name, value) in &r.metrics {
+            println!("      {name} +{value}");
+        }
     }
 }

@@ -1,0 +1,36 @@
+//! CI gate for the `DCGN_METRICS` shutdown dump: fails (exit 1) when the
+//! given file is missing, is rejected by [`dcgn_metrics::MetricsSnapshot::parse`],
+//! or carries no counters at all (an empty dump means the runtime recorded
+//! nothing — instrumentation is unwired).
+//!
+//! `cargo run -p dcgn_bench --bin check_metrics_dump -- path`
+
+use std::process::exit;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_metrics_dump <snapshot.json>");
+        exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    let Some(snap) = dcgn_metrics::MetricsSnapshot::parse(&text) else {
+        eprintln!("FAIL: {path} is not a parseable metrics snapshot");
+        exit(1);
+    };
+    if snap.counters.is_empty() {
+        eprintln!("FAIL: {path} parsed but carries no counters");
+        exit(1);
+    }
+    println!(
+        "OK: {path} carries {} counters, {} gauges, {} histograms",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+}

@@ -59,6 +59,45 @@ pub fn bench_samples(full: usize) -> usize {
     }
 }
 
+/// Runtime counters worth attributing to individual benchmarks: stable,
+/// workload-proportional totals (aggregated over nodes/GPUs), not volatile
+/// ones like poll counts that vary with scheduler timing.
+const TRACKED_COUNTERS: &[&str] = &[
+    "fabric.frames",
+    "fabric.frame_bytes",
+    "rmpi.eager_sends",
+    "rmpi.rdv_sends",
+    "pool.acquire_reuse",
+    "pool.acquire_miss",
+    "pool.recycled",
+    "dma.dtoh",
+    "dma.htod",
+    "dma.scattered",
+    "comm.requests",
+    "exchange.frames.up",
+    "exchange.frames.down",
+    "exchange.frames.rd",
+    "exchange.frames.ring",
+];
+
+/// Install the criterion metrics hook: each benchmark's JSON record gains a
+/// `"metrics"` block of the global-registry counter deltas it caused, so a
+/// median shift can be traced to the traffic change behind it.  Idempotent —
+/// every bench group calls it.
+pub fn install_metrics_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        criterion::set_metrics_hook(|| {
+            let snap = dcgn_metrics::global().snapshot().aggregated();
+            TRACKED_COUNTERS
+                .iter()
+                .map(|&name| (name.to_string(), snap.counter(name)))
+                .collect()
+        });
+    });
+}
+
 /// Human-readable data size ("0 B", "64 kB", "1 MB").
 pub fn format_size(bytes: usize) -> String {
     if bytes >= 1 << 20 {

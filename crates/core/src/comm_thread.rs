@@ -48,9 +48,10 @@
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
+use dcgn_metrics::{Counter, Gauge, Histogram, MetricsHandle};
 use dcgn_rmpi::{
     bytes_to_u32s, frame_exchange, frame_reduce, parse_exchange_header, parse_reduce_frame,
     u32s_to_bytes, Communicator, ExchangeId, ReduceDtype, ReduceOp, Request as MpiRequest,
@@ -127,6 +128,10 @@ struct Matcher {
     /// Unmatched receives, keyed by (dst, src-filter, tag-filter).
     recvs: HashMap<(usize, Option<usize>, Option<u32>), VecDeque<PendingRecv>>,
     recv_count: usize,
+    msg_count: usize,
+    /// Number of candidate buckets a wildcard receive had to scan; the
+    /// default (disabled) histogram makes standalone matchers inert.
+    wildcard_scan: Histogram,
 }
 
 impl Matcher {
@@ -140,8 +145,14 @@ impl Matcher {
         self.recv_count
     }
 
+    /// Number of messages queued without a matching receive.
+    fn queued_msgs(&self) -> usize {
+        self.msg_count
+    }
+
     /// Queue a message that matched no receive.
     fn push_msg(&mut self, msg: IncomingMsg) {
+        self.msg_count += 1;
         self.incoming_keys
             .entry(msg.dst)
             .or_default()
@@ -170,6 +181,7 @@ impl Matcher {
             // every non-empty bucket passing the filters.
             (src_filter, tag_filter) => {
                 let keys = self.incoming_keys.get(&recv.dst_rank)?;
+                self.wildcard_scan.record(keys.len() as u64);
                 *keys
                     .iter()
                     .filter(|(src, tag)| {
@@ -189,6 +201,7 @@ impl Matcher {
     fn pop_msg(&mut self, key: (usize, usize, u32)) -> Option<IncomingMsg> {
         let bucket = self.incoming.get_mut(&key)?;
         let msg = bucket.pop_front()?;
+        self.msg_count -= 1;
         if bucket.is_empty() {
             self.incoming.remove(&key);
             if let Some(keys) = self.incoming_keys.get_mut(&key.0) {
@@ -607,6 +620,9 @@ struct Exchange {
     /// a divergence surfaces as an unexpected-phase abort.
     plan: ExchangePlan,
     role: ExchangeRole,
+    /// When this node entered the exchange; successful delivery records the
+    /// elapsed time in the per-`(comm, kind, plan)` latency histogram.
+    started: Instant,
 }
 
 /// Fail every joined rank of an abandoned or erroneous collective.
@@ -788,6 +804,100 @@ fn decode_color_key(bytes: &[u8]) -> Option<(u32, u32)> {
     }
 }
 
+/// This node's comm-thread instruments in the unified metrics registry.
+/// Everything is resolved once at construction except the per-collective
+/// latency histograms, which materialize lazily as `(comm, kind, plan)`
+/// combinations first complete.
+struct CommThreadMetrics {
+    handle: MetricsHandle,
+    node: usize,
+    /// `comm.requests.node{N}` — kernel requests dispatched.
+    requests: Counter,
+    /// `comm.queue_depth.node{N}` — work-queue backlog sampled per loop
+    /// iteration (the high-water mark is the interesting read).
+    queue_depth: Gauge,
+    /// `comm.matcher.pending_recvs.node{N}` — receives waiting for a match.
+    pending_recvs: Gauge,
+    /// `comm.matcher.unexpected_msgs.node{N}` — messages queued unmatched.
+    unexpected_msgs: Gauge,
+    /// `exchange.plan.{star,tree,recursive-doubling,ring}.node{N}` —
+    /// exchanges started under each plan.
+    plan_star: Counter,
+    plan_tree: Counter,
+    plan_rd: Counter,
+    plan_ring: Counter,
+    /// `exchange.frames.{up,down,rd,ring}.node{N}` — exchange frames sent,
+    /// by protocol phase family.
+    frames_up: Counter,
+    frames_down: Counter,
+    frames_rd: Counter,
+    frames_ring: Counter,
+    /// `collective.latency.comm{C}.{kind}.{plan}.node{N}` (microseconds,
+    /// join-to-delivery), cached per combination.
+    latency: HashMap<(u64, &'static str, &'static str), Histogram>,
+}
+
+impl CommThreadMetrics {
+    fn new(handle: &MetricsHandle, node: usize) -> Self {
+        let counter = |name: &str| handle.counter(&format!("{name}.node{node}"));
+        let gauge = |name: &str| handle.gauge(&format!("{name}.node{node}"));
+        CommThreadMetrics {
+            handle: handle.clone(),
+            node,
+            requests: counter("comm.requests"),
+            queue_depth: gauge("comm.queue_depth"),
+            pending_recvs: gauge("comm.matcher.pending_recvs"),
+            unexpected_msgs: gauge("comm.matcher.unexpected_msgs"),
+            plan_star: counter("exchange.plan.star"),
+            plan_tree: counter("exchange.plan.tree"),
+            plan_rd: counter("exchange.plan.recursive-doubling"),
+            plan_ring: counter("exchange.plan.ring"),
+            frames_up: counter("exchange.frames.up"),
+            frames_down: counter("exchange.frames.down"),
+            frames_rd: counter("exchange.frames.rd"),
+            frames_ring: counter("exchange.frames.ring"),
+            latency: HashMap::new(),
+        }
+    }
+
+    fn plan_counter(&self, plan: ExchangePlan) -> &Counter {
+        match plan {
+            ExchangePlan::Star => &self.plan_star,
+            ExchangePlan::Tree => &self.plan_tree,
+            ExchangePlan::RecursiveDoubling => &self.plan_rd,
+            ExchangePlan::Ring => &self.plan_ring,
+        }
+    }
+
+    /// Record one successful collective's join-to-delivery latency under its
+    /// `(communicator, kind, plan)` histogram.
+    fn record_latency(
+        &mut self,
+        comm: CommId,
+        kind: CollectiveKind,
+        plan: ExchangePlan,
+        elapsed: Duration,
+    ) {
+        let Self {
+            handle,
+            node,
+            latency,
+            ..
+        } = self;
+        let hist = latency
+            .entry((comm.raw(), kind.name(), plan_name(plan)))
+            .or_insert_with(|| {
+                handle.histogram(&format!(
+                    "collective.latency.comm{}.{}.{}.node{node}",
+                    comm.raw(),
+                    kind.name(),
+                    plan_name(plan)
+                ))
+            });
+        hist.record(elapsed.as_micros() as u64);
+    }
+}
+
 /// State and main loop of one node's communication thread.
 pub(crate) struct CommThread {
     node: usize,
@@ -829,6 +939,7 @@ pub(crate) struct CommThread {
     /// whenever this thread did any work (every reply precedes a bump).
     completion: Arc<CompletionEvent>,
     local_done: bool,
+    metrics: CommThreadMetrics,
 }
 
 impl CommThread {
@@ -842,6 +953,7 @@ impl CommThread {
         cost: CostModel,
         forced_plan: Option<ExchangePlan>,
         completion: Arc<CompletionEvent>,
+        metrics: &MetricsHandle,
     ) -> Self {
         // Ring our own work queue whenever the fabric queues a delivery for
         // this node, so the idle wait below is woken by event for substrate
@@ -861,6 +973,13 @@ impl CommThread {
             splits: 0,
             freed: HashSet::new(),
         };
+        let metrics = CommThreadMetrics::new(metrics, node);
+        let matcher = Matcher {
+            wildcard_scan: metrics
+                .handle
+                .histogram(&format!("comm.matcher.wildcard_scan.node{node}")),
+            ..Matcher::default()
+        };
         CommThread {
             node,
             rank_map,
@@ -869,7 +988,7 @@ impl CommThread {
             cost,
             catchall: None,
             exchange_recv: None,
-            matcher: Matcher::default(),
+            matcher,
             outstanding_isends: Vec::new(),
             groups: HashMap::from([(CommId::WORLD, world)]),
             active: HashMap::new(),
@@ -879,6 +998,7 @@ impl CommThread {
             forced_plan,
             completion,
             local_done: false,
+            metrics,
         }
     }
 
@@ -888,7 +1008,10 @@ impl CommThread {
         loop {
             let mut did_work = false;
 
-            // 1. Drain the local work queue.
+            // 1. Drain the local work queue.  The backlog sampled before the
+            //    drain is the queue-depth gauge's observation point (its
+            //    high-water mark survives in the metrics snapshot).
+            self.metrics.queue_depth.set(self.work_rx.len() as u64);
             while let Ok(cmd) = self.work_rx.try_recv() {
                 self.handle_command(cmd)?;
                 did_work = true;
@@ -906,6 +1029,13 @@ impl CommThread {
 
             // 4. Retire completed nonblocking sends.
             self.reap_isends()?;
+
+            self.metrics
+                .pending_recvs
+                .set(self.matcher.pending_recvs() as u64);
+            self.metrics
+                .unexpected_msgs
+                .set(self.matcher.queued_msgs() as u64);
 
             // 5. Shut down when the process is quiescent.
             if self.local_done
@@ -991,6 +1121,7 @@ impl CommThread {
     }
 
     fn dispatch_request(&mut self, req: Request) -> Result<()> {
+        self.metrics.requests.inc();
         if req.kind.is_collective() {
             return self.join_collective(req);
         }
@@ -1428,6 +1559,8 @@ impl CommThread {
             .position(|&nd| nd == self.node)
             .expect("this node hosts a member");
         let plan = self.select_plan(id, body.len(), n);
+        self.metrics.plan_counter(plan).inc();
+        let started = Instant::now();
 
         let ex = match plan {
             ExchangePlan::Star => {
@@ -1436,6 +1569,7 @@ impl CommThread {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::Leader {
                             awaiting: nodes
                                 .iter()
@@ -1449,10 +1583,12 @@ impl CommThread {
                     let frame = frame_exchange(key.wire(PHASE_UP), status, &body);
                     let req = self.comm.isend(nodes[0], TAG_EXCHANGE, frame)?;
                     self.outstanding_isends.push(req);
+                    self.metrics.frames_up.inc();
                     Exchange {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::Member,
                     }
                 }
@@ -1467,6 +1603,7 @@ impl CommThread {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::Leader {
                             awaiting: children.into_iter().collect(),
                             ups: vec![(self.node, (status, Payload::from_vec(body)))],
@@ -1489,6 +1626,7 @@ impl CommThread {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::TreeNode(state),
                     }
                 }
@@ -1545,6 +1683,7 @@ impl CommThread {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::Rd(RdState {
                             pos,
                             n,
@@ -1577,6 +1716,7 @@ impl CommThread {
                         id,
                         joined,
                         plan,
+                        started,
                         role: ExchangeRole::Ring(state),
                     }
                 }
@@ -1768,6 +1908,7 @@ impl CommThread {
         let frame = frame_exchange(key.wire(PHASE_UP), ST_OK, &body);
         let req = self.comm.isend(state.parent, TAG_EXCHANGE, frame)?;
         self.outstanding_isends.push(req);
+        self.metrics.frames_up.inc();
         Ok(())
     }
 
@@ -1804,11 +1945,14 @@ impl CommThread {
                     .comm
                     .isend(group.nodes[child_pos], TAG_EXCHANGE, frame)?;
                 self.outstanding_isends.push(req);
+                self.metrics.frames_down.inc();
             }
             let own = table
                 .get(&self.node)
                 .cloned()
                 .unwrap_or_else(Payload::empty);
+            self.metrics
+                .record_latency(key.comm, ex.id.kind, ex.plan, ex.started.elapsed());
             self.deliver(key.comm, ex.id, ex.joined, &group, own)
         } else {
             // Uniform result or error echo: every subtree node gets the
@@ -1823,9 +1967,18 @@ impl CommThread {
                     .comm
                     .isend(group.nodes[child_pos], TAG_EXCHANGE, relay.clone())?;
                 self.outstanding_isends.push(req);
+                self.metrics.frames_down.inc();
             }
             match status {
-                ST_OK => self.deliver(key.comm, ex.id, ex.joined, &group, body),
+                ST_OK => {
+                    self.metrics.record_latency(
+                        key.comm,
+                        ex.id.kind,
+                        ex.plan,
+                        ex.started.elapsed(),
+                    );
+                    self.deliver(key.comm, ex.id, ex.joined, &group, body)
+                }
                 status => {
                     fail_joined(ex.joined, frame_to_error(status, body.as_slice()));
                     Ok(())
@@ -1971,6 +2124,12 @@ impl CommThread {
                         .get(&key.comm)
                         .expect("group outlives its exchanges")
                         .clone();
+                    self.metrics.record_latency(
+                        key.comm,
+                        ex.id.kind,
+                        ex.plan,
+                        ex.started.elapsed(),
+                    );
                     self.deliver(
                         key.comm,
                         ex.id,
@@ -2132,6 +2291,12 @@ impl CommThread {
                         .get(&key.comm)
                         .expect("group outlives its exchanges")
                         .clone();
+                    self.metrics.record_latency(
+                        key.comm,
+                        ex.id.kind,
+                        ex.plan,
+                        ex.started.elapsed(),
+                    );
                     self.deliver(
                         key.comm,
                         ex.id,
@@ -2171,6 +2336,12 @@ impl CommThread {
         let frame = frame_exchange(key.wire(phase), ST_OK, &body);
         let req = self.comm.isend(dst_node, TAG_EXCHANGE, frame)?;
         self.outstanding_isends.push(req);
+        // Ring frames are the only ones carrying a total length.
+        if total_len.is_some() {
+            self.metrics.frames_ring.inc();
+        } else {
+            self.metrics.frames_rd.inc();
+        }
         Ok(())
     }
 
@@ -2346,6 +2517,7 @@ impl CommThread {
                 for &node in &fanout {
                     let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
                     self.outstanding_isends.push(req);
+                    self.metrics.frames_down.inc();
                 }
                 fail_joined(ex.joined, frame_to_error(status, &body));
                 Ok(())
@@ -2355,9 +2527,12 @@ impl CommThread {
                 for &node in &fanout {
                     let req = self.comm.isend(node, TAG_EXCHANGE, frame.clone())?;
                     self.outstanding_isends.push(req);
+                    self.metrics.frames_down.inc();
                 }
                 // Local delivery is a view of the same frame.
                 let own = frame.slice(EXCHANGE_HEADER_BYTES..frame.len());
+                self.metrics
+                    .record_latency(key.comm, ex.id.kind, ex.plan, ex.started.elapsed());
                 self.deliver(key.comm, ex.id, ex.joined, &group, own)
             }
             Ok(Downs::PerNode(mut downs)) => {
@@ -2377,6 +2552,7 @@ impl CommThread {
                             .comm
                             .isend(group.nodes[child_pos], TAG_EXCHANGE, frame)?;
                         self.outstanding_isends.push(req);
+                        self.metrics.frames_down.inc();
                     }
                 } else {
                     for &node in &fanout {
@@ -2384,9 +2560,12 @@ impl CommThread {
                         let frame = frame_exchange(key.wire(PHASE_DOWN), ST_OK, &body);
                         let req = self.comm.isend(node, TAG_EXCHANGE, frame)?;
                         self.outstanding_isends.push(req);
+                        self.metrics.frames_down.inc();
                     }
                 }
                 let own = downs.remove(&self.node).unwrap_or_default();
+                self.metrics
+                    .record_latency(key.comm, ex.id.kind, ex.plan, ex.started.elapsed());
                 self.deliver(key.comm, ex.id, ex.joined, &group, Payload::from_vec(own))
             }
         }
@@ -2403,6 +2582,8 @@ impl CommThread {
                     .get(&comm)
                     .expect("group outlives its exchanges")
                     .clone();
+                self.metrics
+                    .record_latency(comm, ex.id.kind, ex.plan, ex.started.elapsed());
                 self.deliver(comm, ex.id, ex.joined, &group, body)
             }
             status => {

@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use dcgn_dpm::DeviceConfig;
+use dcgn_metrics::MetricsHandle;
 use dcgn_simtime::CostModel;
 
 use crate::error::{DcgnError, Result};
@@ -107,6 +108,12 @@ pub struct DcgnConfig {
     /// default) uses the selection table; the `DCGN_FORCE_PLAN` environment
     /// variable provides the same override without code changes.
     pub exchange_plan: Option<ExchangePlan>,
+    /// Metrics registry the runtime reports into.  Defaults to the
+    /// process-wide [`dcgn_metrics::global`] registry; tests that need
+    /// isolated counters install their own via
+    /// [`DcgnConfig::with_metrics`], and [`MetricsHandle::disabled`] opts
+    /// out of instrumentation entirely.
+    pub metrics: MetricsHandle,
 }
 
 impl DcgnConfig {
@@ -120,6 +127,7 @@ impl DcgnConfig {
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
             exchange_plan: None,
+            metrics: dcgn_metrics::global().clone(),
         }
     }
 
@@ -132,6 +140,7 @@ impl DcgnConfig {
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
             exchange_plan: None,
+            metrics: dcgn_metrics::global().clone(),
         }
     }
 
@@ -188,6 +197,14 @@ impl DcgnConfig {
                 .ok()
                 .and_then(|s| ExchangePlan::parse(&s))
         })
+    }
+
+    /// Builder-style override of the metrics registry (e.g. an isolated
+    /// [`MetricsHandle::new`] for tests, or [`MetricsHandle::disabled`] to
+    /// turn instrumentation off).
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Builder-style override of the simulated device used on every node.

@@ -138,6 +138,8 @@ pub struct CpuCtx {
     /// Built once so the world-collective wrappers don't allocate a member
     /// table per call.
     world: Comm,
+    /// The runtime's metrics registry, for point-in-time snapshots.
+    metrics: dcgn_metrics::MetricsHandle,
     /// Outstanding nonblocking requests.  A mutex only because `CpuCtx` is
     /// handed out by shared reference; a kernel drives its context from one
     /// thread, so the lock is never contended.
@@ -152,6 +154,7 @@ impl CpuCtx {
         cost: CostModel,
         request_timeout: Duration,
         completion: Arc<CompletionEvent>,
+        metrics: dcgn_metrics::MetricsHandle,
     ) -> Self {
         let world = Comm::world(rank, rank_map.total_ranks());
         CpuCtx {
@@ -161,6 +164,7 @@ impl CpuCtx {
             cost,
             request_timeout,
             completion,
+            metrics,
             world,
             requests: Mutex::new(RequestTable::default()),
         }
@@ -184,6 +188,16 @@ impl CpuCtx {
     /// The job-wide rank map (useful for topology-aware applications).
     pub fn rank_map(&self) -> &RankMap {
         &self.rank_map
+    }
+
+    /// A point-in-time snapshot of the runtime's metrics registry: DMA and
+    /// fabric counters, queue and matcher gauges, per-collective latency
+    /// histograms.  Kernels can delta two snapshots around a region of
+    /// interest with [`MetricsSnapshot::delta_since`].
+    ///
+    /// [`MetricsSnapshot::delta_since`]: dcgn_metrics::MetricsSnapshot::delta_since
+    pub fn metrics_snapshot(&self) -> dcgn_metrics::MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     fn check_rank(&self, rank: usize) -> Result<()> {

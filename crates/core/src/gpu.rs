@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use dcgn_dpm::{BlockCtx, Device, DevicePtr, KernelHandle};
+use dcgn_metrics::{Counter, MetricsHandle};
 use dcgn_rmpi::{ReduceDtype, ReduceOp};
 use dcgn_simtime::CostModel;
 
@@ -1385,17 +1386,73 @@ pub(crate) struct GpuKernelThread {
     /// Used to decide whether a device-sourced send needs framing headroom
     /// (inter-node destinations) when staging its payload.
     pub rank_map: Arc<RankMap>,
+    pub metrics: GpuThreadMetrics,
 }
 
-/// Counters accumulated across the polling loop's sweeps.
-#[derive(Debug, Default)]
-struct SweepCounters {
+/// The polling loop's counters, registered in the unified metrics registry
+/// under `gpu.*.node{N}.gpu{G}` so they show up in [`MetricsSnapshot`]s.
+/// The registry accumulates across launches; [`GpuKernelThread::run`]
+/// subtracts a baseline taken at entry so each launch's [`GpuPollStats`]
+/// keeps per-launch semantics.
+///
+/// [`MetricsSnapshot`]: dcgn_metrics::MetricsSnapshot
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GpuThreadMetrics {
+    polls: Counter,
+    requests: Counter,
+    batched_status_reads: Counter,
+    batched_entry_reads: Counter,
+    batched_status_writes: Counter,
+    backoff_sleeps: Counter,
+}
+
+/// Point-in-time values of every [`GpuThreadMetrics`] counter, used as the
+/// per-launch baseline.
+#[derive(Debug, Clone, Copy, Default)]
+struct GpuCounterValues {
     polls: u64,
     requests: u64,
     batched_status_reads: u64,
     batched_entry_reads: u64,
     batched_status_writes: u64,
     backoff_sleeps: u64,
+}
+
+impl GpuThreadMetrics {
+    /// Resolve the six polling counters for GPU `gpu_index` on `node` in
+    /// `metrics`.  A disabled handle falls back to a private registry so the
+    /// per-launch [`GpuPollStats`] stay meaningful even when the user opted
+    /// out of stack-wide metrics.
+    pub fn new(metrics: &MetricsHandle, node: usize, gpu_index: usize) -> Self {
+        let local;
+        let metrics = if metrics.is_enabled() {
+            metrics
+        } else {
+            local = MetricsHandle::new();
+            &local
+        };
+        let counter =
+            |name: &str| metrics.counter(&format!("gpu.{name}.node{node}.gpu{gpu_index}"));
+        Self {
+            polls: counter("polls"),
+            requests: counter("requests"),
+            batched_status_reads: counter("batched_status_reads"),
+            batched_entry_reads: counter("batched_entry_reads"),
+            batched_status_writes: counter("batched_status_writes"),
+            backoff_sleeps: counter("backoff_sleeps"),
+        }
+    }
+
+    fn values(&self) -> GpuCounterValues {
+        GpuCounterValues {
+            polls: self.polls.get(),
+            requests: self.requests.get(),
+            batched_status_reads: self.batched_status_reads.get(),
+            batched_entry_reads: self.batched_entry_reads.get(),
+            batched_status_writes: self.batched_status_writes.get(),
+            backoff_sleeps: self.backoff_sleeps.get(),
+        }
+    }
 }
 
 impl GpuKernelThread {
@@ -1868,11 +1925,7 @@ impl GpuKernelThread {
     /// (`IN_PROGRESS` for blocking transactions, `EMPTY` for split-protocol
     /// publishes), relaying the harvest as a single [`CommCommand::Batch`].
     /// Returns true when the sweep did any work.
-    fn sweep(
-        &self,
-        pending: &mut HashMap<PendingKey, PendingSlotOp>,
-        counters: &mut SweepCounters,
-    ) -> Result<bool> {
+    fn sweep(&self, pending: &mut HashMap<PendingKey, PendingSlotOp>) -> Result<bool> {
         let mut did_work = false;
 
         // Completions: requests whose replies have all arrived from the
@@ -1901,7 +1954,7 @@ impl GpuKernelThread {
             let statuses = self
                 .device
                 .read_u32s(self.layout.mailbox_base, self.layout.slots)?;
-            counters.batched_status_reads += 1;
+            self.metrics.batched_status_reads.inc();
             let requested: Vec<usize> = statuses
                 .iter()
                 .enumerate()
@@ -1917,7 +1970,7 @@ impl GpuKernelThread {
                     .map(|&slot| (self.body_ptr(slot), MAILBOX_BODY_BYTES))
                     .collect();
                 let bodies = self.device.memcpy_dtoh_scattered(&ranges)?;
-                counters.batched_entry_reads += 1;
+                self.metrics.batched_entry_reads.inc();
                 let mut batch = Vec::new();
                 let mut acks: Vec<(DevicePtr, u32)> = Vec::with_capacity(requested.len());
                 for (&slot, body) in requested.iter().zip(&bodies) {
@@ -1936,12 +1989,12 @@ impl GpuKernelThread {
                             "slot {slot} republished a completion record still in flight"
                         )));
                     }
-                    counters.requests += 1;
+                    self.metrics.requests.inc();
                 }
                 // One scattered write acknowledges the whole harvest — the
                 // write-side mirror of the batched status read.
                 self.device.write_u32s_scattered(&acks)?;
-                counters.batched_status_writes += 1;
+                self.metrics.batched_status_writes.inc();
                 // The whole harvest crosses the work queue as one command.
                 self.cost.charge_queue_hop();
                 self.work_tx
@@ -1965,7 +2018,9 @@ impl GpuKernelThread {
 
         let started = Instant::now();
         let mut busy = Duration::ZERO;
-        let mut counters = SweepCounters::default();
+        // The registry accumulates across launches; a baseline taken here
+        // keeps the returned per-launch stats delta-based.
+        let base_counts = self.metrics.values();
         let mut pending: HashMap<PendingKey, PendingSlotOp> = HashMap::new();
         let base = self.cost.poll_interval;
         let mut interval = base;
@@ -1979,7 +2034,7 @@ impl GpuKernelThread {
                 // the sleep toward the configured cap; any work snaps it
                 // back to the base interval.
                 if interval > base {
-                    counters.backoff_sleeps += 1;
+                    self.metrics.backoff_sleeps.inc();
                 }
                 dcgn_simtime::precise_sleep(interval);
             } else {
@@ -1995,8 +2050,8 @@ impl GpuKernelThread {
                 }
             }
             let sweep_start = Instant::now();
-            counters.polls += 1;
-            let did_work = self.sweep(&mut pending, &mut counters)?;
+            self.metrics.polls.inc();
+            let did_work = self.sweep(&mut pending)?;
             busy += sweep_start.elapsed();
             // Backoff applies only to the idle discovery sleep; while
             // requests are in flight the cadence stays at the base interval.
@@ -2029,15 +2084,16 @@ impl GpuKernelThread {
                 }
             }
         }
+        let counts = self.metrics.values();
         Ok(GpuPollStats {
             node: self.layout.node,
             gpu_index: self.layout.gpu_index,
-            polls: counters.polls,
-            requests: counters.requests,
-            batched_status_reads: counters.batched_status_reads,
-            batched_entry_reads: counters.batched_entry_reads,
-            batched_status_writes: counters.batched_status_writes,
-            backoff_sleeps: counters.backoff_sleeps,
+            polls: counts.polls - base_counts.polls,
+            requests: counts.requests - base_counts.requests,
+            batched_status_reads: counts.batched_status_reads - base_counts.batched_status_reads,
+            batched_entry_reads: counts.batched_entry_reads - base_counts.batched_entry_reads,
+            batched_status_writes: counts.batched_status_writes - base_counts.batched_status_writes,
+            backoff_sleeps: counts.backoff_sleeps - base_counts.backoff_sleeps,
             busy,
             wall: started.elapsed(),
         })
@@ -2211,6 +2267,7 @@ mod tests {
                 work_tx,
                 cost: CostModel::zero(),
                 rank_map,
+                metrics: GpuThreadMetrics::new(&MetricsHandle::new(), 0, 0),
             },
             work_rx,
         )
@@ -2237,10 +2294,9 @@ mod tests {
         }
 
         let mut pending = HashMap::new();
-        let mut counters = SweepCounters::default();
         let reads_before = gpu.device.dtoh_transfer_count();
         let writes_before = gpu.device.htod_transfer_count();
-        gpu.sweep(&mut pending, &mut counters).unwrap();
+        gpu.sweep(&mut pending).unwrap();
 
         // Exactly one status-column read plus one scattered body fetch —
         // not one PCI-e round trip per slot.
@@ -2256,10 +2312,10 @@ mod tests {
             writes_before + 1,
             "a sweep over {slots} requested slots must issue exactly 1 device write"
         );
-        assert_eq!(counters.batched_status_reads, 1);
-        assert_eq!(counters.batched_entry_reads, 1);
-        assert_eq!(counters.batched_status_writes, 1);
-        assert_eq!(counters.requests, slots as u64);
+        assert_eq!(gpu.metrics.batched_status_reads.get(), 1);
+        assert_eq!(gpu.metrics.batched_entry_reads.get(), 1);
+        assert_eq!(gpu.metrics.batched_status_writes.get(), 1);
+        assert_eq!(gpu.metrics.requests.get(), slots as u64);
         assert_eq!(pending.len(), slots);
         for slot in 0..slots {
             assert_eq!(
@@ -2283,7 +2339,7 @@ mod tests {
                 .send(Reply::CollectiveDone(CollectiveResult::Unit))
                 .unwrap();
         }
-        gpu.sweep(&mut pending, &mut counters).unwrap();
+        gpu.sweep(&mut pending).unwrap();
         assert!(pending.is_empty());
         for slot in 0..slots {
             assert_eq!(
@@ -2297,11 +2353,10 @@ mod tests {
     fn empty_sweep_reads_the_status_column_once_and_sends_nothing() {
         let (gpu, work_rx) = test_gpu_thread(3);
         let mut pending = HashMap::new();
-        let mut counters = SweepCounters::default();
         let reads_before = gpu.device.dtoh_transfer_count();
-        assert!(!gpu.sweep(&mut pending, &mut counters).unwrap());
+        assert!(!gpu.sweep(&mut pending).unwrap());
         assert_eq!(gpu.device.dtoh_transfer_count(), reads_before + 1);
-        assert_eq!(counters.batched_entry_reads, 0);
+        assert_eq!(gpu.metrics.batched_entry_reads.get(), 0);
         assert!(work_rx.try_recv().is_err());
     }
 }

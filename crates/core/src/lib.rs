@@ -159,5 +159,6 @@ pub use runtime::{LaunchReport, Runtime};
 // Re-export the pieces of the substrate crates that appear in the public API
 // so applications only need to depend on `dcgn`.
 pub use dcgn_dpm::{BlockCtx, Device, DeviceConfig, DevicePtr, Dim};
+pub use dcgn_metrics::{GaugeStats, HistogramStats, MetricsHandle, MetricsSnapshot};
 pub use dcgn_rmpi::{ReduceDtype, ReduceElement, ReduceOp};
 pub use dcgn_simtime::{CostModel, LinkCost};

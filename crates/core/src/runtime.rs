@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
-use dcgn_dpm::{Device, Dim};
+use dcgn_dpm::{Device, Dim, DmaMetrics};
+use dcgn_metrics::MetricsSnapshot;
 use dcgn_netsim::Cluster;
 use dcgn_rmpi::{MpiWorld, RankPlacement};
 
@@ -74,6 +75,12 @@ impl Runtime {
         self.request_timeout = timeout;
     }
 
+    /// A point-in-time snapshot of the runtime's metrics registry (the one
+    /// from [`DcgnConfig::metrics`], by default the process-global registry).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.config.metrics.snapshot()
+    }
+
     /// Launch a job whose ranks are all CPU-kernel threads.
     pub fn launch_cpu_only<C>(&self, cpu_kernel: C) -> Result<LaunchReport>
     where
@@ -130,6 +137,7 @@ impl Runtime {
         let started = Instant::now();
         let num_nodes = self.config.num_nodes();
         let cost = self.config.cost;
+        let metrics = self.config.metrics.clone();
         let rank_map = Arc::clone(&self.rank_map);
         let cpu_kernel: Arc<CpuKernel> = Arc::new(cpu_kernel);
         let gpu_setup = Arc::new(gpu_setup);
@@ -155,12 +163,23 @@ impl Runtime {
             let completion = Arc::new(CompletionEvent::new());
             completions.push(Arc::clone(&completion));
             let rank_map = Arc::clone(&rank_map);
+            let metrics = metrics.clone();
             comm_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcgn-comm-node{node}"))
                     .spawn(move || {
-                        CommThread::new(node, rank_map, comm, rx, tx, cost, forced_plan, completion)
-                            .run()
+                        CommThread::new(
+                            node,
+                            rank_map,
+                            comm,
+                            rx,
+                            tx,
+                            cost,
+                            forced_plan,
+                            completion,
+                            &metrics,
+                        )
+                        .run()
                     })
                     .map_err(|e| DcgnError::Internal(format!("spawn comm thread: {e}")))?,
             );
@@ -182,6 +201,7 @@ impl Runtime {
                     cost,
                     self.request_timeout,
                     Arc::clone(&completions[node]),
+                    metrics.clone(),
                 );
                 let kernel = Arc::clone(&cpu_kernel);
                 kernel_threads.push(
@@ -197,7 +217,17 @@ impl Runtime {
 
             // GPU-kernel threads (one per GPU).
             for gpu_index in 0..node_cfg.gpus {
-                let device = Device::new(node * 16 + gpu_index, node_cfg.device.clone(), cost);
+                let dma = DmaMetrics {
+                    dtoh: metrics.counter(&format!("dma.dtoh.node{node}")),
+                    htod: metrics.counter(&format!("dma.htod.node{node}")),
+                    scattered: metrics.counter(&format!("dma.scattered.node{node}")),
+                };
+                let device = Device::new_with_metrics(
+                    node * 16 + gpu_index,
+                    node_cfg.device.clone(),
+                    cost,
+                    dma,
+                );
                 let slots = node_cfg.slots_per_gpu;
                 let reqs_per_slot = self.config.mailbox_reqs_per_slot;
                 let mailbox_base =
@@ -223,6 +253,7 @@ impl Runtime {
                     work_tx: work_txs[node].clone(),
                     cost,
                     rank_map: Arc::clone(&rank_map),
+                    metrics: crate::gpu::GpuThreadMetrics::new(&metrics, node, gpu_index),
                 };
                 let setup = Arc::clone(&gpu_setup);
                 let kernel = Arc::clone(&gpu_kernel);
@@ -309,6 +340,19 @@ impl Runtime {
                     if first_error.is_none() {
                         first_error = Some(DcgnError::Internal("comm thread panicked".into()));
                     }
+                }
+            }
+        }
+
+        // Shutdown observability hook: `DCGN_METRICS=dump` prints a final
+        // snapshot to stdout; any other non-empty value is a file path the
+        // snapshot JSON is written to.
+        if let Ok(mode) = std::env::var("DCGN_METRICS") {
+            if mode == "dump" {
+                println!("{}", self.config.metrics.snapshot().to_json());
+            } else if !mode.is_empty() {
+                if let Err(e) = std::fs::write(&mode, self.config.metrics.snapshot().to_json()) {
+                    eprintln!("dcgn: failed to write DCGN_METRICS file {mode}: {e}");
                 }
             }
         }

@@ -8,10 +8,28 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
+use dcgn_metrics::Counter;
 use dcgn_simtime::{CostModel, VirtualBus};
 
 use crate::kernel::{BlockCtx, Dim};
 use crate::memory::{DeviceMemory, DevicePtr, MemoryError};
+
+/// Registry-backed DMA counters a device reports into, *in addition to* its
+/// own per-instance `dtoh_transfer_count`/`htod_transfer_count` totals.  The
+/// runtime resolves these from its [`dcgn_metrics::MetricsHandle`] (named
+/// `dma.{dtoh,htod,scattered}.node{N}`) and hands them to
+/// [`Device::new_with_metrics`]; a plain [`Device::new`] device carries
+/// disabled (no-op) counters.
+#[derive(Debug, Clone, Default)]
+pub struct DmaMetrics {
+    /// One bump per device-to-host DMA operation.
+    pub dtoh: Counter,
+    /// One bump per host-to-device DMA operation.
+    pub htod: Counter,
+    /// One bump per *scattered* (descriptor-list) DMA operation, counted in
+    /// addition to its direction counter.
+    pub scattered: Counter,
+}
 
 /// Static description of a simulated device.
 #[derive(Debug, Clone)]
@@ -184,11 +202,25 @@ pub struct Device {
     dtoh_transfers: AtomicU64,
     /// Host-to-device DMA operations issued by the host.
     htod_transfers: AtomicU64,
+    /// Registry-backed counters mirroring the instance totals (disabled
+    /// unless the device was created via [`Device::new_with_metrics`]).
+    metrics: DmaMetrics,
 }
 
 impl Device {
     /// Create a device with `id` and the given configuration and cost model.
     pub fn new(id: usize, config: DeviceConfig, cost: CostModel) -> Arc<Self> {
+        Self::new_with_metrics(id, config, cost, DmaMetrics::default())
+    }
+
+    /// Like [`Device::new`], but DMA operations additionally bump the given
+    /// registry-backed counters.
+    pub fn new_with_metrics(
+        id: usize,
+        config: DeviceConfig,
+        cost: CostModel,
+        metrics: DmaMetrics,
+    ) -> Arc<Self> {
         let memory = Arc::new(DeviceMemory::new(config.memory_bytes));
         let (sm_tx, sm_rx) = unbounded::<SmMessage>();
         // Multiprocessor workers are spawned lazily by `launch`: a kernel of
@@ -206,6 +238,7 @@ impl Device {
             shutdown: AtomicBool::new(false),
             dtoh_transfers: AtomicU64::new(0),
             htod_transfers: AtomicU64::new(0),
+            metrics,
             config,
         })
     }
@@ -319,6 +352,7 @@ impl Device {
     /// Copy host memory to the device (blocking, pays the PCI-e cost).
     pub fn memcpy_htod(&self, dst: DevicePtr, src: &[u8]) -> Result<(), MemoryError> {
         self.htod_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.htod.inc();
         self.pcie.transfer(src.len());
         self.memory.write(dst, src)
     }
@@ -326,6 +360,7 @@ impl Device {
     /// Copy device memory to the host (blocking, pays the PCI-e cost).
     pub fn memcpy_dtoh(&self, dst: &mut [u8], src: DevicePtr) -> Result<(), MemoryError> {
         self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.dtoh.inc();
         self.pcie.transfer(dst.len());
         self.memory.read(src, dst)
     }
@@ -346,6 +381,8 @@ impl Device {
         ranges: &[(DevicePtr, usize)],
     ) -> Result<Vec<Vec<u8>>, MemoryError> {
         self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.dtoh.inc();
+        self.metrics.scattered.inc();
         let total: usize = ranges.iter().map(|&(_, len)| len).sum();
         self.pcie.transfer(total);
         ranges
@@ -362,6 +399,8 @@ impl Device {
     /// sweep to acknowledge every harvested slot together.
     pub fn write_u32s_scattered(&self, writes: &[(DevicePtr, u32)]) -> Result<(), MemoryError> {
         self.htod_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.htod.inc();
+        self.metrics.scattered.inc();
         self.pcie.transfer(writes.len() * 4);
         for &(ptr, value) in writes {
             self.memory.write_u32(ptr, value)?;
@@ -374,6 +413,7 @@ impl Device {
     /// thread issues per polling sweep.
     pub fn read_u32s(&self, ptr: DevicePtr, count: usize) -> Result<Vec<u32>, MemoryError> {
         self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.dtoh.inc();
         self.pcie.transfer(count * 4);
         let bytes = self.memory.read_vec(ptr, count * 4)?;
         Ok(bytes
@@ -406,6 +446,7 @@ impl Device {
     /// Read a single `u32` from device memory, paying the PCI-e latency.
     pub fn read_u32(&self, ptr: DevicePtr) -> Result<u32, MemoryError> {
         self.dtoh_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.dtoh.inc();
         self.pcie.transfer(4);
         self.memory.read_u32(ptr)
     }
@@ -413,6 +454,7 @@ impl Device {
     /// Write a single `u32` to device memory, paying the PCI-e latency.
     pub fn write_u32(&self, ptr: DevicePtr, value: u32) -> Result<(), MemoryError> {
         self.htod_transfers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.htod.inc();
         self.pcie.transfer(4);
         self.memory.write_u32(ptr, value)
     }

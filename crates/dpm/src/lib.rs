@@ -31,7 +31,7 @@ pub mod kernel;
 pub mod memory;
 pub mod stream;
 
-pub use device::{Device, DeviceConfig, KernelHandle};
+pub use device::{Device, DeviceConfig, DmaMetrics, KernelHandle};
 pub use kernel::{BlockCtx, Dim};
 pub use memory::{DevicePtr, MemoryError};
 pub use stream::{CopyDirection, CopyHandle, Stream};

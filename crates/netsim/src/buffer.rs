@@ -25,6 +25,8 @@
 use std::ops::Range;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use dcgn_metrics::{Counter, Gauge};
+
 /// Bytes of headroom reserved in front of the body by
 /// [`PayloadBuf::with_headroom`] — exactly one point-to-point wire header.
 pub const PAYLOAD_HEADROOM: usize = 16;
@@ -43,7 +45,15 @@ const MAX_PER_CLASS: usize = 64;
 
 struct Pool {
     classes: Vec<Mutex<Vec<Vec<u8>>>>,
-    stats: Mutex<PoolStats>,
+    // Registry-backed instruments in [`dcgn_metrics::global`] (the pool is a
+    // process-wide singleton, so it reports to the process-wide registry):
+    // relaxed atomics, so the stats path adds no lock to acquire/release.
+    reused: Counter,
+    allocated: Counter,
+    recycled: Counter,
+    /// Buffers currently retained in the slab, with a high-water mark; the
+    /// lifetime maximum is bounded by `NUM_CLASSES × MAX_PER_CLASS`.
+    retained: Gauge,
 }
 
 /// Allocation-recycling counters, exposed for tests and diagnostics.
@@ -69,9 +79,15 @@ fn class_of(capacity: usize) -> Option<usize> {
 impl Pool {
     fn global() -> &'static Pool {
         static POOL: OnceLock<Pool> = OnceLock::new();
-        POOL.get_or_init(|| Pool {
-            classes: (0..NUM_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
-            stats: Mutex::new(PoolStats::default()),
+        POOL.get_or_init(|| {
+            let metrics = dcgn_metrics::global();
+            Pool {
+                classes: (0..NUM_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+                reused: metrics.counter("pool.acquire_reuse"),
+                allocated: metrics.counter("pool.acquire_miss"),
+                recycled: metrics.counter("pool.recycled"),
+                retained: metrics.gauge("pool.retained"),
+            }
         })
     }
 
@@ -79,13 +95,14 @@ impl Pool {
         if let Some(class) = class_of(capacity) {
             if let Some(mut buf) = self.classes[class].lock().expect("pool lock").pop() {
                 buf.clear();
-                self.stats.lock().expect("pool lock").reused += 1;
+                self.reused.inc();
+                self.retained.sub(1);
                 return buf;
             }
-            self.stats.lock().expect("pool lock").allocated += 1;
+            self.allocated.inc();
             return Vec::with_capacity(1 << (class as u32 + MIN_CLASS_SHIFT));
         }
-        self.stats.lock().expect("pool lock").allocated += 1;
+        self.allocated.inc();
         Vec::with_capacity(capacity)
     }
 
@@ -97,16 +114,29 @@ impl Pool {
                 let mut slab = self.classes[class].lock().expect("pool lock");
                 if slab.len() < MAX_PER_CLASS {
                     slab.push(buf);
-                    self.stats.lock().expect("pool lock").recycled += 1;
+                    self.recycled.inc();
+                    self.retained.add(1);
                 }
             }
         }
     }
 }
 
-/// Snapshot of the global pool's recycling counters.
+/// Snapshot of the global pool's recycling counters (a view over the
+/// `pool.*` instruments in [`dcgn_metrics::global`]).
 pub fn pool_stats() -> PoolStats {
-    *Pool::global().stats.lock().expect("pool lock")
+    let pool = Pool::global();
+    PoolStats {
+        reused: pool.reused.get(),
+        allocated: pool.allocated.get(),
+        recycled: pool.recycled.get(),
+    }
+}
+
+/// Upper bound on buffers the slab can retain at once — the ceiling for the
+/// `pool.retained` gauge's high-water mark.
+pub fn pool_capacity() -> u64 {
+    (NUM_CLASSES * MAX_PER_CLASS) as u64
 }
 
 // ---------------------------------------------------------------------------

@@ -95,6 +95,11 @@ struct FabricInner<T> {
     endpoints: RwLock<HashMap<usize, EndpointEntry<T>>>,
     nics: Vec<Arc<VirtualBus>>,
     next_id: AtomicU64,
+    // Global `fabric.*` instruments ([`dcgn_metrics::global`]): every
+    // delivered message bumps both, on the one code path all traffic
+    // funnels through.
+    frames: dcgn_metrics::Counter,
+    frame_bytes: dcgn_metrics::Counter,
 }
 
 /// The interconnect shared by every endpoint in a [`crate::Cluster`].
@@ -127,6 +132,8 @@ impl<T: Send + 'static> Fabric<T> {
                 endpoints: RwLock::new(HashMap::new()),
                 nics,
                 next_id: AtomicU64::new(0),
+                frames: dcgn_metrics::global().counter("fabric.frames"),
+                frame_bytes: dcgn_metrics::global().counter("fabric.frame_bytes"),
             }),
         }
     }
@@ -187,6 +194,8 @@ impl<T: Send + 'static> Fabric<T> {
             let entry = endpoints.get(&dst.0).ok_or(RecvError::Disconnected)?;
             (entry.node, entry.tx.clone(), entry.notify.clone())
         };
+        self.inner.frames.inc();
+        self.inner.frame_bytes.add(wire_bytes as u64);
         if dst_node == src_node {
             // Intra-node path: shared-memory copy, no NIC involvement.
             self.inner.cost.intra_node.charge(wire_bytes);

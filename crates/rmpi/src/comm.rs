@@ -89,6 +89,10 @@ pub struct Communicator {
     next_send_id: u64,
     ops: HashMap<u64, Op>,
     unexpected: VecDeque<Unexpected>,
+    // Global `rmpi.*` protocol-split counters ([`dcgn_metrics::global`]):
+    // how many sends went eager vs rendezvous, across every communicator.
+    eager_sends: dcgn_metrics::Counter,
+    rdv_sends: dcgn_metrics::Counter,
 }
 
 impl Communicator {
@@ -110,6 +114,8 @@ impl Communicator {
             next_send_id: 0,
             ops: HashMap::new(),
             unexpected: VecDeque::new(),
+            eager_sends: dcgn_metrics::global().counter("rmpi.eager_sends"),
+            rdv_sends: dcgn_metrics::global().counter("rmpi.rdv_sends"),
         }
     }
 
@@ -431,6 +437,7 @@ impl Communicator {
                 };
                 let pkt = Packet::Eager { tag, data };
                 let wire = pkt.wire_bytes();
+                self.eager_sends.inc();
                 let _ = self.endpoint.send(dst_ep, pkt, wire);
                 if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
                     s.state = SendState::Complete;
@@ -445,6 +452,7 @@ impl Communicator {
                     send_id,
                 };
                 let wire = pkt.wire_bytes();
+                self.rdv_sends.inc();
                 let _ = self.endpoint.send(dst_ep, pkt, wire);
                 if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
                     s.state = SendState::WaitingCts { send_id };

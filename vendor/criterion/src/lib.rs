@@ -27,6 +27,31 @@ pub use std::hint::black_box;
 /// the JSON report by `criterion_main!`.
 static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
+/// Optional process-wide counter sampler: called before and after every
+/// benchmark, with the nonzero deltas attached to the benchmark's record.
+/// See [`set_metrics_hook`].
+type MetricsHook = Box<dyn Fn() -> Vec<(String, u64)> + Send>;
+static METRICS_HOOK: Mutex<Option<MetricsHook>> = Mutex::new(None);
+
+/// Install a hook that samples monotonic counters (name → value).  Each
+/// benchmark samples it before and after its timed loop and records the
+/// nonzero per-counter deltas in its [`BenchRecord::metrics`], making perf
+/// numbers attributable ("this median moved because the frame count did").
+pub fn set_metrics_hook<F>(hook: F)
+where
+    F: Fn() -> Vec<(String, u64)> + Send + 'static,
+{
+    *METRICS_HOOK.lock().expect("metrics hook lock") = Some(Box::new(hook));
+}
+
+fn sample_metrics() -> Vec<(String, u64)> {
+    METRICS_HOOK
+        .lock()
+        .expect("metrics hook lock")
+        .as_ref()
+        .map_or_else(Vec::new, |hook| hook())
+}
+
 /// One benchmark's robust statistics, as recorded in the JSON report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchRecord {
@@ -42,6 +67,10 @@ pub struct BenchRecord {
     pub max_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
+    /// Counter deltas attributed to this benchmark's whole run (all samples),
+    /// from the hook installed with [`set_metrics_hook`].  Empty when no hook
+    /// is installed or nothing moved.
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// Top-level benchmark driver.
@@ -199,9 +228,11 @@ where
         samples: Vec::with_capacity(samples),
         iters_per_sample: 1,
     };
+    let counters_before = sample_metrics();
     for _ in 0..samples {
         f(&mut bencher);
     }
+    let metrics = metric_deltas(&counters_before, &sample_metrics());
     if bencher.samples.is_empty() {
         println!("  {label}: no samples recorded");
         return;
@@ -220,7 +251,24 @@ where
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
         samples: bencher.samples.len(),
+        metrics,
     });
+}
+
+/// Per-counter growth between two hook samples, dropping counters that did
+/// not move (monotonic counters only, so a saturating subtraction).
+fn metric_deltas(before: &[(String, u64)], after: &[(String, u64)]) -> Vec<(String, u64)> {
+    after
+        .iter()
+        .filter_map(|(name, end)| {
+            let start = before
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v);
+            let delta = end.saturating_sub(start);
+            (delta > 0).then(|| (name.clone(), delta))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -275,16 +323,26 @@ pub fn write_json_report() {
     }
 }
 
-/// Serialise records into the report's JSON format (one entry per line).
+/// Serialise records into the report's JSON format (one entry per line; a
+/// record with counter deltas carries a flat nested `"metrics"` object).
 pub fn render_report(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": {:?}, \"median_ns\": {}, \"mad_ns\": {}, \"min_ns\": {}, \
-             \"max_ns\": {}, \"samples\": {}}}{comma}\n",
+             \"max_ns\": {}, \"samples\": {}",
             r.name, r.median_ns, r.mad_ns, r.min_ns, r.max_ns, r.samples
         ));
+        if !r.metrics.is_empty() {
+            out.push_str(", \"metrics\": {");
+            for (j, (name, value)) in r.metrics.iter().enumerate() {
+                let comma = if j + 1 < r.metrics.len() { ", " } else { "" };
+                out.push_str(&format!("{name:?}: {value}{comma}"));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!("}}{comma}\n"));
     }
     out.push_str("  ]\n}\n");
     out
@@ -317,7 +375,9 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
         if !rest.starts_with('{') {
             return Err(format!("expected an entry object, found: {:.40}…", rest));
         }
-        let close = rest.find('}').ok_or("unterminated entry object")?;
+        // Entries may nest a metrics object, so the split tracks brace depth
+        // instead of cutting at the first close brace.
+        let close = matching_close_brace(rest).ok_or("unterminated entry object")?;
         let obj = &rest[1..close];
         records.push(parse_entry(obj)?);
         rest = rest[close + 1..].trim();
@@ -325,13 +385,47 @@ pub fn parse_report(text: &str) -> Result<Vec<BenchRecord>, String> {
     Ok(records)
 }
 
+/// Byte offset of the close brace matching the open brace `text` starts
+/// with.  Names in this format never contain braces, so no string-state
+/// tracking is needed.
+fn matching_close_brace(text: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 fn parse_entry(obj: &str) -> Result<BenchRecord, String> {
+    // Split off the optional metrics object first so a metric named after a
+    // statistic field can never shadow the real one.
+    let (fields, metrics) = match obj.find("\"metrics\"") {
+        Some(at) => {
+            let after = &obj[at + "\"metrics\"".len()..];
+            let open = after.find('{').ok_or("malformed metrics object")?;
+            let close = after.find('}').ok_or("unterminated metrics object")?;
+            if close < open {
+                return Err("malformed metrics object".into());
+            }
+            (&obj[..at], parse_metrics(&after[open + 1..close])?)
+        }
+        None => (obj, Vec::new()),
+    };
     let str_field = |key: &str| -> Result<String, String> {
         let marker = format!("\"{key}\":");
-        let at = obj
+        let at = fields
             .find(&marker)
             .ok_or_else(|| format!("entry missing field {key:?}"))?;
-        let value = obj[at + marker.len()..].trim_start();
+        let value = fields[at + marker.len()..].trim_start();
         let inner = value
             .strip_prefix('"')
             .ok_or_else(|| format!("field {key:?} is not a string"))?;
@@ -342,10 +436,10 @@ fn parse_entry(obj: &str) -> Result<BenchRecord, String> {
     };
     let num_field = |key: &str| -> Result<u128, String> {
         let marker = format!("\"{key}\":");
-        let at = obj
+        let at = fields
             .find(&marker)
             .ok_or_else(|| format!("entry missing field {key:?}"))?;
-        let value = obj[at + marker.len()..].trim_start();
+        let value = fields[at + marker.len()..].trim_start();
         let digits: String = value.chars().take_while(char::is_ascii_digit).collect();
         digits
             .parse::<u128>()
@@ -358,7 +452,33 @@ fn parse_entry(obj: &str) -> Result<BenchRecord, String> {
         min_ns: num_field("min_ns")?,
         max_ns: num_field("max_ns")?,
         samples: num_field("samples")? as usize,
+        metrics,
     })
+}
+
+/// Parse the inside of a flat `"name": value` metrics object.
+fn parse_metrics(inner: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut metrics = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed metrics entry: {part:.40}"))?;
+        let name = name.trim();
+        let name = name
+            .strip_prefix('"')
+            .and_then(|n| n.strip_suffix('"'))
+            .ok_or_else(|| format!("metric name is not a string: {name:.40}"))?;
+        let value = value
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("metric {name:?} has a non-numeric value"))?;
+        metrics.push((name.to_string(), value));
+    }
+    Ok(metrics)
 }
 
 /// Collect benchmark functions into one runner function.
@@ -426,6 +546,10 @@ mod tests {
                 min_ns: 1000,
                 max_ns: 9999,
                 samples: 10,
+                metrics: vec![
+                    ("fabric.frames".into(), 42),
+                    ("pool.acquire_miss".into(), 3),
+                ],
             },
             BenchRecord {
                 name: "group/b/4096".into(),
@@ -434,11 +558,44 @@ mod tests {
                 min_ns: 7,
                 max_ns: 7,
                 samples: 1,
+                metrics: Vec::new(),
             },
         ];
         let text = render_report(&records);
         assert_eq!(parse_report(&text).unwrap(), records);
         assert!(parse_report(&render_report(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_hook_deltas_are_attributed_to_the_record() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static FAKE: AtomicU64 = AtomicU64::new(0);
+        set_metrics_hook(|| vec![("fake.counter".into(), FAKE.load(Ordering::Relaxed))]);
+        run_bench("hooked", 2, |b| {
+            b.iter(|| FAKE.fetch_add(5, Ordering::Relaxed));
+        });
+        // Uninstall so other tests sharing the process see no hook.
+        *METRICS_HOOK.lock().expect("metrics hook lock") = None;
+        let rec = RESULTS
+            .lock()
+            .expect("results lock")
+            .iter()
+            .rfind(|r| r.name == "hooked")
+            .cloned()
+            .expect("record stored");
+        assert_eq!(rec.metrics, vec![("fake.counter".to_string(), 10)]);
+    }
+
+    #[test]
+    fn malformed_metrics_blocks_are_rejected() {
+        let bad = "{\n  \"benchmarks\": [\n    {\"name\": \"x\", \"median_ns\": 1, \
+                   \"mad_ns\": 1, \"min_ns\": 1, \"max_ns\": 1, \"samples\": 1, \
+                   \"metrics\": {\"k\": \"oops\"}}\n  ]\n}\n";
+        assert!(parse_report(bad).is_err(), "non-numeric metric value");
+        let unterminated = "{\n  \"benchmarks\": [\n    {\"name\": \"x\", \"median_ns\": 1, \
+                   \"mad_ns\": 1, \"min_ns\": 1, \"max_ns\": 1, \"samples\": 1, \
+                   \"metrics\": {\"k\": 3\n  ]\n}\n";
+        assert!(parse_report(unterminated).is_err());
     }
 
     #[test]
@@ -458,6 +615,7 @@ mod tests {
             min_ns: 1,
             max_ns: 1,
             samples: 1,
+            metrics: Vec::new(),
         }];
         let mut text = render_report(&records);
         text.truncate(text.len() - 6);
