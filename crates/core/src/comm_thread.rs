@@ -27,6 +27,12 @@
 //! * **ring** — allreduce only: reduce-scatter then allgather around a ring
 //!   (bandwidth-optimal for large vectors).
 //!
+//! Large frames need no special handling here: any point-to-point payload
+//! above the substrate's eager threshold rides the rendezvous path, and
+//! payloads beyond one chunk stream through its credit-windowed chunk
+//! pipeline automatically (see `dcgn_rmpi::RdvConfig` and the
+//! `DCGN_RDV_CHUNK` / `DCGN_RDV_WINDOW` knobs on [`crate::DcgnConfig`]).
+//!
 //! All plans progress incrementally so independent exchanges overlap, and an
 //! erroneous collective fails *every* participating node instead of leaving
 //! peers blocked inside a substrate call: any node that detects a problem —

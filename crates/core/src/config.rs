@@ -108,6 +108,18 @@ pub struct DcgnConfig {
     /// default) uses the selection table; the `DCGN_FORCE_PLAN` environment
     /// variable provides the same override without code changes.
     pub exchange_plan: Option<ExchangePlan>,
+    /// Eager/rendezvous protocol threshold of the MPI substrate, in bytes.
+    /// `None` (the default) uses the cost model's threshold; the
+    /// `DCGN_EAGER_THRESHOLD` environment variable overrides the default the
+    /// same way.
+    pub eager_threshold: Option<usize>,
+    /// Chunk size of the streamed rendezvous pipeline, in bytes (`0`
+    /// disables chunking: every rendezvous payload ships as one frame).
+    /// `None` defers to `DCGN_RDV_CHUNK` or the built-in default.
+    pub rdv_chunk: Option<usize>,
+    /// Credit-window depth of the streamed rendezvous pipeline, in chunks.
+    /// `None` defers to `DCGN_RDV_WINDOW` or the built-in default.
+    pub rdv_window: Option<usize>,
     /// Metrics registry the runtime reports into.  Defaults to the
     /// process-wide [`dcgn_metrics::global`] registry; tests that need
     /// isolated counters install their own via
@@ -127,6 +139,9 @@ impl DcgnConfig {
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
             exchange_plan: None,
+            eager_threshold: None,
+            rdv_chunk: None,
+            rdv_window: None,
             metrics: dcgn_metrics::global().clone(),
         }
     }
@@ -140,6 +155,9 @@ impl DcgnConfig {
             gpu_block_threads: 32,
             mailbox_reqs_per_slot: crate::gpu::MAILBOX_REQS_PER_SLOT,
             exchange_plan: None,
+            eager_threshold: None,
+            rdv_chunk: None,
+            rdv_window: None,
             metrics: dcgn_metrics::global().clone(),
         }
     }
@@ -199,6 +217,47 @@ impl DcgnConfig {
         })
     }
 
+    /// Builder-style override of the MPI substrate's eager/rendezvous
+    /// threshold (the programmatic twin of `DCGN_EAGER_THRESHOLD`).
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Builder-style override of the rendezvous streaming chunk size (the
+    /// programmatic twin of `DCGN_RDV_CHUNK`; `0` forces the legacy
+    /// single-frame path).
+    pub fn with_rdv_chunk(mut self, bytes: usize) -> Self {
+        self.rdv_chunk = Some(bytes);
+        self
+    }
+
+    /// Builder-style override of the rendezvous credit-window depth (the
+    /// programmatic twin of `DCGN_RDV_WINDOW`).
+    pub fn with_rdv_window(mut self, chunks: usize) -> Self {
+        self.rdv_window = Some(chunks);
+        self
+    }
+
+    /// The transfer-protocol configuration this job runs with: defaults from
+    /// the cost model, adjusted by the `DCGN_EAGER_THRESHOLD` /
+    /// `DCGN_RDV_CHUNK` / `DCGN_RDV_WINDOW` environment variables, with
+    /// explicit [`DcgnConfig`] fields winning over both (same precedence as
+    /// [`DcgnConfig::forced_exchange_plan`]).
+    pub fn resolved_rdv_config(&self) -> dcgn_rmpi::RdvConfig {
+        let mut rdv = dcgn_rmpi::RdvConfig::from_env(self.cost.eager_threshold);
+        if let Some(bytes) = self.eager_threshold {
+            rdv.eager_threshold = bytes;
+        }
+        if let Some(bytes) = self.rdv_chunk {
+            rdv.chunk_bytes = bytes;
+        }
+        if let Some(chunks) = self.rdv_window {
+            rdv.window = chunks;
+        }
+        rdv
+    }
+
     /// Builder-style override of the metrics registry (e.g. an isolated
     /// [`MetricsHandle::new`] for tests, or [`MetricsHandle::disabled`] to
     /// turn instrumentation off).
@@ -239,6 +298,9 @@ impl DcgnConfig {
             return Err(DcgnError::InvalidConfig(
                 "mailbox_reqs_per_slot must be at least 1".into(),
             ));
+        }
+        if let Err(e) = self.resolved_rdv_config().validate() {
+            return Err(DcgnError::InvalidConfig(e.to_string()));
         }
         for (i, node) in self.nodes.iter().enumerate() {
             if node.gpus > 0 && node.slots_per_gpu == 0 {
@@ -317,6 +379,44 @@ mod tests {
         assert_eq!(cfg.cost.poll_max_interval, Duration::from_micros(800));
         assert_eq!(cfg.gpu_grid_blocks, Some(4));
         assert_eq!(cfg.gpu_block_threads, 64);
+    }
+
+    #[test]
+    fn rdv_knobs_resolve_and_validate() {
+        let cfg = DcgnConfig::homogeneous(2, 1, 0, 0)
+            .with_cost(CostModel::zero().with_eager_threshold(1024));
+        // Defaults flow from the cost model unless the suite runs under the
+        // DCGN_* environment overrides (as one CI pass deliberately does).
+        let env = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        let rdv = cfg.resolved_rdv_config();
+        assert_eq!(rdv.eager_threshold, env("DCGN_EAGER_THRESHOLD", 1024));
+        assert_eq!(
+            rdv.chunk_bytes,
+            env("DCGN_RDV_CHUNK", dcgn_rmpi::DEFAULT_RDV_CHUNK)
+        );
+        assert_eq!(
+            rdv.window,
+            env("DCGN_RDV_WINDOW", dcgn_rmpi::DEFAULT_RDV_WINDOW)
+        );
+        // Explicit fields win.
+        let cfg = cfg
+            .with_eager_threshold(2048)
+            .with_rdv_chunk(4096)
+            .with_rdv_window(2);
+        let rdv = cfg.resolved_rdv_config();
+        assert_eq!(
+            (rdv.eager_threshold, rdv.chunk_bytes, rdv.window),
+            (2048, 4096, 2)
+        );
+        cfg.validate().unwrap();
+        // A degenerate window is caught by job validation with a clean error.
+        let bad = cfg.with_rdv_window(0);
+        assert!(matches!(bad.validate(), Err(DcgnError::InvalidConfig(_))));
     }
 
     #[test]

@@ -145,10 +145,16 @@ impl Runtime {
         let gpu_finish = Arc::new(gpu_finish);
 
         // One MPI rank per node, driven exclusively by that node's
-        // communication thread.
+        // communication thread.  The transfer protocol (eager threshold,
+        // streaming chunk size and credit window) comes from the job config
+        // with environment overrides already resolved; `DcgnConfig::validate`
+        // vetted it, but a runtime-constructed config could skip that, so
+        // surface the validation error here as well.
         let cluster: Cluster<dcgn_rmpi::Packet> = Cluster::new(num_nodes, cost);
         let placement = RankPlacement::explicit((0..num_nodes).collect());
-        let node_comms = MpiWorld::create_on(&cluster, &placement);
+        let node_comms =
+            MpiWorld::create_on_with(&cluster, &placement, self.config.resolved_rdv_config())
+                .map_err(|e| crate::error::DcgnError::InvalidConfig(e.to_string()))?;
 
         // Per-node work queues, plus a per-node completion event the comm
         // thread bumps so kernel threads can sleep in `waitany` instead of

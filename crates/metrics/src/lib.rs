@@ -625,9 +625,7 @@ fn entries(body: &str) -> impl Iterator<Item = (String, String)> + '_ {
             let end = obj.find('}')?;
             (obj[..end].to_string(), &obj[end + 1..])
         } else {
-            let end = after_colon
-                .find([',', '\n'])
-                .unwrap_or(after_colon.len());
+            let end = after_colon.find([',', '\n']).unwrap_or(after_colon.len());
             (after_colon[..end].to_string(), &after_colon[end..])
         };
         rest = remaining;

@@ -37,11 +37,26 @@ pub const PAYLOAD_HEADROOM: usize = 16;
 
 /// Smallest pooled capacity class (everything below rounds up to this).
 const MIN_CLASS_SHIFT: u32 = 8; // 256 B
-/// Largest pooled capacity class; bigger buffers are not recycled.
-const MAX_CLASS_SHIFT: u32 = 20; // 1 MB
+/// Largest pooled capacity class; bigger buffers are not recycled.  Sized to
+/// cover the rendezvous pipeline's multi-megabyte assembly buffers so huge
+/// transfers recycle their destination allocation instead of re-allocating
+/// it per message.
+const MAX_CLASS_SHIFT: u32 = 22; // 4 MB
 const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
-/// Retained buffers per class, bounding idle pool memory.
+/// Retained buffers per class for the small classes, bounding idle pool
+/// memory.  Large classes retain fewer (see [`max_retained`]).
 const MAX_PER_CLASS: usize = 64;
+/// Idle-byte budget per large class: classes whose buffers are big enough
+/// that `MAX_PER_CLASS` of them would dwarf this budget retain only
+/// `budget / class_size` buffers instead.
+const LARGE_CLASS_IDLE_BYTES: usize = 1 << 24; // 16 MB
+
+/// Size-aware retention cap for one class: 64 buffers for classes up to
+/// 256 KB, then halving per doubling (1 MB keeps 16, 4 MB keeps 4) so the
+/// worst-case idle memory of a large class stays at 16 MB.
+fn max_retained(class: usize) -> usize {
+    MAX_PER_CLASS.min(LARGE_CLASS_IDLE_BYTES >> (class as u32 + MIN_CLASS_SHIFT))
+}
 
 struct Pool {
     classes: Vec<Mutex<Vec<Vec<u8>>>>,
@@ -112,7 +127,7 @@ impl Pool {
         if let Some(class) = class_of(buf.capacity()) {
             if buf.capacity() == 1 << (class as u32 + MIN_CLASS_SHIFT) {
                 let mut slab = self.classes[class].lock().expect("pool lock");
-                if slab.len() < MAX_PER_CLASS {
+                if slab.len() < max_retained(class) {
                     slab.push(buf);
                     self.recycled.inc();
                     self.retained.add(1);
@@ -136,7 +151,7 @@ pub fn pool_stats() -> PoolStats {
 /// Upper bound on buffers the slab can retain at once — the ceiling for the
 /// `pool.retained` gauge's high-water mark.
 pub fn pool_capacity() -> u64 {
-    (NUM_CLASSES * MAX_PER_CLASS) as u64
+    (0..NUM_CLASSES).map(|c| max_retained(c) as u64).sum()
 }
 
 // ---------------------------------------------------------------------------
@@ -182,7 +197,17 @@ impl PayloadBuf {
     /// mutably — the staging surface for device reads
     /// (`memcpy_dtoh` writes straight into the pooled buffer).
     pub fn body_mut(&mut self, len: usize) -> &mut [u8] {
-        self.data.resize(self.headroom + len, 0);
+        // Zero-extend in memcpy-sized blocks rather than `Vec::resize`:
+        // resize's per-element extend loop only becomes a memset under
+        // optimization, which made megabyte assembly buffers cost
+        // milliseconds in debug builds.
+        const ZEROS: [u8; 4096] = [0; 4096];
+        let target = self.headroom + len;
+        while self.data.len() < target {
+            let step = (target - self.data.len()).min(ZEROS.len());
+            self.data.extend_from_slice(&ZEROS[..step]);
+        }
+        self.data.truncate(target);
         &mut self.data[self.headroom..]
     }
 
@@ -197,12 +222,26 @@ impl PayloadBuf {
     }
 
     /// Seal the buffer into an immutable, cheaply-cloneable [`Payload`].
-    pub fn freeze(self) -> Payload {
-        let len = self.data.len() - self.headroom;
+    pub fn freeze(mut self) -> Payload {
+        let data = std::mem::take(&mut self.data);
+        let len = data.len() - self.headroom;
         Payload {
-            inner: Arc::new(Inner { data: self.data }),
+            inner: Arc::new(Inner { data }),
             off: self.headroom,
             len,
+        }
+    }
+}
+
+impl Drop for PayloadBuf {
+    /// A stage abandoned before [`freeze`](PayloadBuf::freeze) — e.g. a
+    /// rendezvous assembly buffer whose sender died mid-stream — still
+    /// returns its allocation to the slab.  (`freeze` takes the Vec out,
+    /// leaving a zero-capacity husk that `release` ignores.)
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        if data.capacity() > 0 {
+            Pool::global().release(data);
         }
     }
 }
@@ -513,7 +552,7 @@ mod tests {
 
     #[test]
     fn oversized_buffers_are_not_pooled() {
-        let huge = vec![1u8; (1 << 20) + 1];
+        let huge = vec![1u8; (1 << 22) + 1];
         let before = pool_stats().recycled;
         drop(Payload::from_vec(huge));
         assert_eq!(pool_stats().recycled, before);
@@ -525,8 +564,20 @@ mod tests {
         assert_eq!(class_of(1), Some(0));
         assert_eq!(class_of(256), Some(0));
         assert_eq!(class_of(257), Some(1));
-        assert_eq!(class_of(1 << 20), Some(NUM_CLASSES - 1));
-        assert_eq!(class_of((1 << 20) + 1), None);
+        assert_eq!(class_of(1 << 22), Some(NUM_CLASSES - 1));
+        assert_eq!(class_of((1 << 22) + 1), None);
+    }
+
+    #[test]
+    fn retention_caps_shrink_with_class_size() {
+        // ≤256 KB classes keep the full complement; bigger classes halve per
+        // doubling so no class idles more than 16 MB.
+        assert_eq!(max_retained(class_of(1 << 16).unwrap()), 64);
+        assert_eq!(max_retained(class_of(1 << 18).unwrap()), 64);
+        assert_eq!(max_retained(class_of(1 << 20).unwrap()), 16);
+        assert_eq!(max_retained(class_of(1 << 22).unwrap()), 4);
+        // 11 classes (256 B – 256 KB) × 64, then 32 + 16 + 8 + 4.
+        assert_eq!(pool_capacity(), 11 * 64 + 60);
     }
 
     #[test]

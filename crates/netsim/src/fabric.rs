@@ -94,12 +94,21 @@ struct FabricInner<T> {
     cost: CostModel,
     endpoints: RwLock<HashMap<usize, EndpointEntry<T>>>,
     nics: Vec<Arc<VirtualBus>>,
+    /// Per-node receive-drain engines: the DMA stage that moves a landed
+    /// frame out of the NIC's bounce buffers into its destination.  Shares
+    /// the network link's sustained bandwidth but pays no per-transfer
+    /// latency (the inbound frame already paid it on the sending NIC), and
+    /// runs on the *receiver's* thread — so a sender streaming chunks can
+    /// overlap its own wire time with the receiver's drain of earlier
+    /// chunks, which a single monolithic frame never can.
+    rx_drains: Vec<Arc<VirtualBus>>,
     next_id: AtomicU64,
     // Global `fabric.*` instruments ([`dcgn_metrics::global`]): every
     // delivered message bumps both, on the one code path all traffic
     // funnels through.
     frames: dcgn_metrics::Counter,
     frame_bytes: dcgn_metrics::Counter,
+    rx_drain_bytes: dcgn_metrics::Counter,
 }
 
 /// The interconnect shared by every endpoint in a [`crate::Cluster`].
@@ -126,14 +135,24 @@ impl<T: Send + 'static> Fabric<T> {
         let nics = (0..num_nodes)
             .map(|n| Arc::new(VirtualBus::new(format!("nic-node{n}"), cost.network)))
             .collect();
+        let rx_drains = (0..num_nodes)
+            .map(|n| {
+                Arc::new(VirtualBus::new(
+                    format!("rx-drain-node{n}"),
+                    cost.network.bandwidth_only(),
+                ))
+            })
+            .collect();
         Fabric {
             inner: Arc::new(FabricInner {
                 cost,
                 endpoints: RwLock::new(HashMap::new()),
                 nics,
+                rx_drains,
                 next_id: AtomicU64::new(0),
                 frames: dcgn_metrics::global().counter("fabric.frames"),
                 frame_bytes: dcgn_metrics::global().counter("fabric.frame_bytes"),
+                rx_drain_bytes: dcgn_metrics::global().counter("fabric.rx_drain_bytes"),
             }),
         }
     }
@@ -214,6 +233,16 @@ impl<T: Send + 'static> Fabric<T> {
             notify();
         }
         Ok(())
+    }
+
+    /// Charge the receive-drain stage of `node` for `bytes` (bandwidth-only,
+    /// serialised with other drains on the same node).  Higher layers call
+    /// this on the *receiver's* thread when a large inbound frame must be
+    /// moved out of the NIC's landing buffers (the rendezvous payload path);
+    /// small eager frames are consumed in place and never drain.
+    pub fn charge_rx_drain(&self, node: usize, bytes: usize) {
+        self.inner.rx_drain_bytes.add(bytes as u64);
+        self.inner.rx_drains[node].transfer(bytes);
     }
 
     /// Install (or replace) the delivery notifier of `endpoint`.  The
@@ -315,6 +344,19 @@ impl<T: Send + 'static> Endpoint<T> {
     /// [`Fabric::set_notifier`]).
     pub fn set_notifier(&self, notify: WakeNotifier) {
         self.fabric.set_notifier(self.id, notify);
+    }
+
+    /// The node a peer endpoint is attached to, if it is still attached.
+    /// Lets protocol layers distinguish intra-node deliveries (shared
+    /// memory, nothing to drain) from inter-node ones.
+    pub fn peer_node(&self, peer: EndpointId) -> Option<usize> {
+        self.fabric.node_of(peer)
+    }
+
+    /// Charge this endpoint's node's receive-drain engine for `bytes` (see
+    /// [`Fabric::charge_rx_drain`]).  Called on the receiving thread.
+    pub fn charge_rx_drain(&self, bytes: usize) {
+        self.fabric.charge_rx_drain(self.node, bytes);
     }
 
     /// The fabric this endpoint is attached to.

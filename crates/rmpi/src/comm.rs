@@ -1,12 +1,47 @@
 //! The communicator and its single-threaded progress engine.
+//!
+//! # Large-message pipeline
+//!
+//! Messages above the eager threshold rendezvous with an RTS→CTS handshake.
+//! A payload of at most one chunk (or any payload when chunking is disabled)
+//! then ships as a single zero-copy `RdvData` frame.  Larger payloads
+//! *stream*: the sender cuts the staged buffer into fixed-size [`Packet::RdvChunk`]
+//! frames — each a pooled view into the same allocation, no per-chunk copy —
+//! and keeps at most `window` of them in flight.  The receiver assembles
+//! chunks into one pooled destination buffer at their carried offsets and
+//! returns [`Packet::RdvCredit`] frames, each coalescing half a window's
+//! worth of drained chunks ([`RdvConfig::credit_batch`]); every credited
+//! chunk opens one window slot, so a slow receiver bounds the sender's
+//! in-flight frame memory instead of the fabric queue absorbing the whole
+//! message.
+//!
+//! ```text
+//! sender                          receiver
+//!   | -- Rts{len, send_id} ------->  |   (posted recv matches, allocates
+//!   | <------------- Cts{send_id} -- |    the assembly buffer)
+//!   | -- RdvChunk{off=0}  --------->  |   ┐ up to `window`
+//!   | -- RdvChunk{off=C}  --------->  |   ┘ chunks in flight
+//!   | <-- RdvCredit{window/2} ------ |   (per half window drained)
+//!   | -- RdvChunk{off=2C} --------->  |   …until all chunks are sent
+//! ```
+//!
+//! Transfers are identified by `(source rank, send_id)` on the receiver and
+//! by `send_id` on the sender, so any number of transfers — including
+//! several between the same rank pair — interleave without cross-talk, and
+//! credits arriving late or out of order for a finished transfer are
+//! ignored.  A failed mid-stream send tombstones the operation
+//! ([`SendState::Failed`]/[`RecvState::Failed`]): the error surfaces from
+//! the wait call, in-flight accounting is released, and no window slots or
+//! pooled frames leak.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dcgn_netsim::{Delivery, Endpoint, EndpointId, Payload};
+use dcgn_netsim::{Delivery, Endpoint, EndpointId, Payload, PayloadBuf};
 
 use crate::packet::{Packet, RmpiError, Status};
+use crate::rdv::{ProgressHandle, RdvConfig, TransferProgress};
 use crate::Result;
 
 /// First tag value reserved for internal (collective) traffic.  User tags
@@ -34,8 +69,28 @@ pub struct Request(u64);
 
 enum SendState {
     NotStarted,
-    WaitingCts { send_id: u64 },
+    WaitingCts {
+        send_id: u64,
+    },
+    /// Credit-windowed chunk stream in progress (payload > one chunk).
+    Streaming {
+        send_id: u64,
+        /// The staged payload; chunks are zero-copy views into it.
+        data: Payload,
+        /// Next byte offset to cut a chunk at.
+        next_offset: usize,
+        /// Window slots currently available to put chunks in flight.
+        credits: usize,
+        /// Chunks sent so far.
+        sent: usize,
+        /// Chunks the receiver has credited back.
+        acked: usize,
+    },
     Complete,
+    /// Tombstone: the transfer failed mid-protocol (peer gone).  The error
+    /// surfaces from the wait call; the slot no longer holds payload or
+    /// window accounting.
+    Failed(RmpiError),
 }
 
 struct SendOp {
@@ -47,8 +102,33 @@ struct SendOp {
 
 enum RecvState {
     Posted,
-    WaitingData { send_id: u64, src: usize, tag: u32 },
-    Complete { data: Payload, status: Status },
+    /// Single-frame rendezvous: CTS sent, whole payload pending.
+    WaitingData {
+        send_id: u64,
+        src: usize,
+        tag: u32,
+    },
+    /// Streamed rendezvous: chunks land in a single pooled assembly buffer
+    /// at their carried offsets.
+    Assembling {
+        send_id: u64,
+        src: usize,
+        tag: u32,
+        buf: PayloadBuf,
+        total: usize,
+        received: usize,
+        /// Drained chunks not yet credited back — flushed as one
+        /// `RdvCredit` every [`RdvConfig::credit_batch`] chunks.
+        pending_credits: usize,
+        progress: ProgressHandle,
+        started: Instant,
+    },
+    Complete {
+        data: Payload,
+        status: Status,
+    },
+    /// Tombstone mirror of [`SendState::Failed`].
+    Failed(RmpiError),
 }
 
 struct RecvOp {
@@ -64,7 +144,7 @@ enum Op {
 
 enum UnexpectedKind {
     Eager(Payload),
-    Rts { send_id: u64 },
+    Rts { send_id: u64, len: usize },
 }
 
 struct Unexpected {
@@ -83,16 +163,33 @@ pub struct Communicator {
     endpoint: Endpoint<Packet>,
     rank_to_ep: Arc<Vec<EndpointId>>,
     ep_to_rank: Arc<HashMap<EndpointId, usize>>,
-    eager_threshold: usize,
+    rdv: RdvConfig,
     progress_timeout: Duration,
     next_req: u64,
     next_send_id: u64,
     ops: HashMap<u64, Op>,
     unexpected: VecDeque<Unexpected>,
-    // Global `rmpi.*` protocol-split counters ([`dcgn_metrics::global`]):
-    // how many sends went eager vs rendezvous, across every communicator.
+    /// Send ops that have not yet touched the wire, in submission order.
+    send_fifo: VecDeque<u64>,
+    /// Posted receives awaiting a match, in posting order.
+    recv_fifo: VecDeque<u64>,
+    /// Sender-side rendezvous index: `send_id` → op id.  Gives CTS and
+    /// credit handling O(1) lookups instead of scanning every op.
+    send_streams: HashMap<u64, u64>,
+    /// Receiver-side rendezvous index: `(source rank, send_id)` → op id.
+    /// Keyed by source as well, because `send_id`s are per-*sender*
+    /// counters and collide across senders.
+    recv_streams: HashMap<(usize, u64), u64>,
+    /// Rolling-window per-transfer progress of streamed receives.
+    progress: Arc<TransferProgress>,
+    // Global `rmpi.*` instruments ([`dcgn_metrics::global`]), shared across
+    // every communicator: protocol split, chunk traffic, window occupancy
+    // high-water, and per-transfer throughput.
     eager_sends: dcgn_metrics::Counter,
     rdv_sends: dcgn_metrics::Counter,
+    rdv_chunks: dcgn_metrics::Counter,
+    rdv_inflight: dcgn_metrics::Gauge,
+    rdv_rate: dcgn_metrics::Histogram,
 }
 
 impl Communicator {
@@ -101,21 +198,30 @@ impl Communicator {
         endpoint: Endpoint<Packet>,
         rank_to_ep: Arc<Vec<EndpointId>>,
         ep_to_rank: Arc<HashMap<EndpointId, usize>>,
-        eager_threshold: usize,
+        rdv: RdvConfig,
     ) -> Self {
+        let metrics = dcgn_metrics::global();
         Communicator {
             rank,
             endpoint,
             rank_to_ep,
             ep_to_rank,
-            eager_threshold,
+            rdv,
             progress_timeout: Duration::from_secs(30),
             next_req: 0,
             next_send_id: 0,
             ops: HashMap::new(),
             unexpected: VecDeque::new(),
-            eager_sends: dcgn_metrics::global().counter("rmpi.eager_sends"),
-            rdv_sends: dcgn_metrics::global().counter("rmpi.rdv_sends"),
+            send_fifo: VecDeque::new(),
+            recv_fifo: VecDeque::new(),
+            send_streams: HashMap::new(),
+            recv_streams: HashMap::new(),
+            progress: Arc::new(TransferProgress::default()),
+            eager_sends: metrics.counter("rmpi.eager_sends"),
+            rdv_sends: metrics.counter("rmpi.rdv_sends"),
+            rdv_chunks: metrics.counter("rmpi.rdv.chunks"),
+            rdv_inflight: metrics.gauge("rmpi.rdv.inflight"),
+            rdv_rate: metrics.histogram("rmpi.rdv.transfer_bytes_per_sec"),
         }
     }
 
@@ -131,7 +237,18 @@ impl Communicator {
 
     /// The eager/rendezvous protocol threshold in bytes.
     pub fn eager_threshold(&self) -> usize {
-        self.eager_threshold
+        self.rdv.eager_threshold
+    }
+
+    /// The transfer-protocol configuration this communicator runs with.
+    pub fn rdv_config(&self) -> RdvConfig {
+        self.rdv
+    }
+
+    /// Rolling-window progress registry of this communicator's streamed
+    /// receives: per-transfer fractions and a recent-throughput estimate.
+    pub fn transfer_progress(&self) -> Arc<TransferProgress> {
+        Arc::clone(&self.progress)
     }
 
     /// Node index this rank's endpoint is attached to.
@@ -178,6 +295,7 @@ impl Communicator {
                 state: SendState::NotStarted,
             }),
         );
+        self.send_fifo.push_back(id);
         // Kick the engine once so eager sends leave immediately.
         self.start_sends();
         Ok(Request(id))
@@ -200,6 +318,7 @@ impl Communicator {
                 state: RecvState::Posted,
             }),
         );
+        self.recv_fifo.push_back(id);
         Ok(Request(id))
     }
 
@@ -213,10 +332,15 @@ impl Communicator {
         Ok(self.is_complete(req.0))
     }
 
-    /// Wait for a send request to complete.
+    /// Wait for a send request to complete.  A transfer tombstoned
+    /// mid-stream (peer gone) surfaces its error here.
     pub fn wait_send(&mut self, req: Request) -> Result<()> {
         self.progress_until(&[req.0], "send completion")?;
         match self.ops.remove(&req.0) {
+            Some(Op::Send(SendOp {
+                state: SendState::Failed(e),
+                ..
+            })) => Err(e),
             Some(Op::Send(_)) => Ok(()),
             Some(op) => {
                 self.ops.insert(req.0, op);
@@ -235,6 +359,10 @@ impl Communicator {
                 state: RecvState::Complete { data, status },
                 ..
             })) => Ok((data, status)),
+            Some(Op::Recv(RecvOp {
+                state: RecvState::Failed(e),
+                ..
+            })) => Err(e),
             Some(op) => {
                 self.ops.insert(req.0, op);
                 Err(RmpiError::UnknownRequest)
@@ -248,13 +376,32 @@ impl Communicator {
     pub fn wait_all(&mut self, reqs: &[Request]) -> Result<()> {
         let ids: Vec<u64> = reqs.iter().map(|r| r.0).collect();
         self.progress_until(&ids, "wait_all")?;
-        // Remove completed send ops eagerly; recvs stay for take_recv.
+        // Surface the first tombstoned operation as the call's error, then
+        // remove completed send ops eagerly; recvs stay for take_recv.
+        let mut failed = None;
         for id in ids {
-            if matches!(self.ops.get(&id), Some(Op::Send(_))) {
+            let op_failed = match self.ops.get(&id) {
+                Some(Op::Send(s)) => match &s.state {
+                    SendState::Failed(e) => Some(e.clone()),
+                    _ => None,
+                },
+                Some(Op::Recv(r)) => match &r.state {
+                    RecvState::Failed(e) => Some(e.clone()),
+                    _ => None,
+                },
+                None => None,
+            };
+            if let Some(e) = op_failed {
+                self.ops.remove(&id);
+                failed.get_or_insert(e);
+            } else if matches!(self.ops.get(&id), Some(Op::Send(_))) {
                 self.ops.remove(&id);
             }
         }
-        Ok(())
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Collect the payload of a completed receive request (after
@@ -406,31 +553,30 @@ impl Communicator {
 
     fn is_complete(&self, id: u64) -> bool {
         match self.ops.get(&id) {
-            Some(Op::Send(s)) => matches!(s.state, SendState::Complete),
-            Some(Op::Recv(r)) => matches!(r.state, RecvState::Complete { .. }),
+            Some(Op::Send(s)) => matches!(s.state, SendState::Complete | SendState::Failed(_)),
+            Some(Op::Recv(r)) => {
+                matches!(r.state, RecvState::Complete { .. } | RecvState::Failed(_))
+            }
             None => false,
         }
     }
 
-    /// Start every send that has not yet touched the wire.
+    /// Start every send that has not yet touched the wire, in submission
+    /// order (the FIFO holds exactly the `NotStarted` ops, so no scan over
+    /// unrelated operations is needed).
     fn start_sends(&mut self) {
-        let ids: Vec<u64> = self
-            .ops
-            .iter()
-            .filter_map(|(&id, op)| match op {
-                Op::Send(s) if matches!(s.state, SendState::NotStarted) => Some(id),
-                _ => None,
-            })
-            .collect();
-        for id in ids {
+        while let Some(id) = self.send_fifo.pop_front() {
             let (dst, tag, data_len) = match self.ops.get(&id) {
-                Some(Op::Send(s)) => (s.dst, s.tag, s.data.as_ref().map_or(0, |d| d.len())),
+                Some(Op::Send(s)) if matches!(s.state, SendState::NotStarted) => {
+                    (s.dst, s.tag, s.data.as_ref().map_or(0, |d| d.len()))
+                }
                 _ => continue,
             };
             let dst_ep = self.ep_of(dst);
-            if data_len <= self.eager_threshold {
+            if data_len <= self.rdv.eager_threshold {
                 // Eager: ship the payload immediately; the send is complete
-                // from the sender's point of view.
+                // from the sender's point of view (fire-and-forget, like an
+                // MPI buffered eager send).
                 let data = match self.ops.get_mut(&id) {
                     Some(Op::Send(s)) => s.data.take().unwrap_or_else(Payload::empty),
                     _ => continue,
@@ -453,35 +599,38 @@ impl Communicator {
                 };
                 let wire = pkt.wire_bytes();
                 self.rdv_sends.inc();
-                let _ = self.endpoint.send(dst_ep, pkt, wire);
-                if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
-                    s.state = SendState::WaitingCts { send_id };
+                match self.endpoint.send(dst_ep, pkt, wire) {
+                    Ok(()) => {
+                        self.send_streams.insert(send_id, id);
+                        if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+                            s.state = SendState::WaitingCts { send_id };
+                        }
+                    }
+                    Err(_) => self.fail_send(id, RmpiError::Disconnected),
                 }
             }
         }
     }
 
-    /// Match posted receives against the unexpected queue in FIFO order.
+    /// Match posted receives against the unexpected queue in posting order
+    /// (the FIFO holds exactly the `Posted` ops; matched or consumed entries
+    /// drop out, unmatched ones keep their position).
     fn match_recvs(&mut self) {
-        let mut recv_ids: Vec<u64> = self
-            .ops
-            .iter()
-            .filter_map(|(&id, op)| match op {
-                Op::Recv(r) if matches!(r.state, RecvState::Posted) => Some(id),
-                _ => None,
-            })
-            .collect();
-        recv_ids.sort_unstable();
-        for id in recv_ids {
+        let mut unmatched = VecDeque::new();
+        while let Some(id) = self.recv_fifo.pop_front() {
             let (want_src, want_tag) = match self.ops.get(&id) {
-                Some(Op::Recv(r)) => (r.src, r.tag),
+                Some(Op::Recv(r)) if matches!(r.state, RecvState::Posted) => (r.src, r.tag),
+                // Consumed or progressed elsewhere: drop from the queue.
                 _ => continue,
             };
             let idx = self
                 .unexpected
                 .iter()
                 .position(|u| Self::matches(want_src, want_tag, u.src, u.tag));
-            let Some(idx) = idx else { continue };
+            let Some(idx) = idx else {
+                unmatched.push_back(id);
+                continue;
+            };
             let u = self.unexpected.remove(idx).expect("index valid");
             match u.kind {
                 UnexpectedKind::Eager(data) => {
@@ -494,20 +643,44 @@ impl Communicator {
                         r.state = RecvState::Complete { data, status };
                     }
                 }
-                UnexpectedKind::Rts { send_id } => {
-                    let src_ep = self.ep_of(u.src);
-                    let pkt = Packet::Cts { send_id };
-                    let wire = pkt.wire_bytes();
-                    let _ = self.endpoint.send(src_ep, pkt, wire);
-                    if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
-                        r.state = RecvState::WaitingData {
-                            send_id,
-                            src: u.src,
-                            tag: u.tag,
-                        };
-                    }
+                UnexpectedKind::Rts { send_id, len } => {
+                    self.accept_rts(id, u.src, u.tag, send_id, len);
                 }
             }
+        }
+        self.recv_fifo = unmatched;
+    }
+
+    /// A posted receive matched an RTS: pick the transfer's data path,
+    /// stand up receiver-side state, and release the sender with a CTS.
+    fn accept_rts(&mut self, id: u64, src: usize, tag: u32, send_id: u64, len: usize) {
+        let state = if self.rdv.streams(len) {
+            // Streamed: allocate the one assembly buffer chunks land in.
+            let mut buf = PayloadBuf::with_capacity(len);
+            buf.body_mut(len);
+            RecvState::Assembling {
+                send_id,
+                src,
+                tag,
+                buf,
+                total: len,
+                received: 0,
+                pending_credits: 0,
+                progress: self.progress.register(len),
+                started: Instant::now(),
+            }
+        } else {
+            RecvState::WaitingData { send_id, src, tag }
+        };
+        if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+            r.state = state;
+        }
+        self.recv_streams.insert((src, send_id), id);
+        let src_ep = self.ep_of(src);
+        let pkt = Packet::Cts { send_id };
+        let wire = pkt.wire_bytes();
+        if self.endpoint.send(src_ep, pkt, wire).is_err() {
+            self.fail_recv(id, RmpiError::Disconnected);
         }
     }
 
@@ -520,56 +693,328 @@ impl Communicator {
                 tag,
                 kind: UnexpectedKind::Eager(data),
             }),
-            Packet::Rts { tag, send_id, .. } => self.unexpected.push_back(Unexpected {
+            Packet::Rts { tag, send_id, len } => self.unexpected.push_back(Unexpected {
                 src,
                 tag,
-                kind: UnexpectedKind::Rts { send_id },
+                kind: UnexpectedKind::Rts { send_id, len },
             }),
-            Packet::Cts { send_id } => {
-                let op_id = self.ops.iter().find_map(|(&id, op)| match op {
-                    Op::Send(s) => match s.state {
-                        SendState::WaitingCts { send_id: sid } if sid == send_id => Some(id),
-                        _ => None,
-                    },
-                    _ => None,
-                });
-                if let Some(id) = op_id {
-                    let (dst, tag, data) = match self.ops.get_mut(&id) {
-                        Some(Op::Send(s)) => {
-                            (s.dst, s.tag, s.data.take().unwrap_or_else(Payload::empty))
-                        }
-                        _ => return,
-                    };
-                    let dst_ep = self.ep_of(dst);
-                    let pkt = Packet::RdvData { send_id, tag, data };
-                    let wire = pkt.wire_bytes();
-                    let _ = self.endpoint.send(dst_ep, pkt, wire);
+            Packet::Cts { send_id } => self.handle_cts(send_id),
+            Packet::RdvData { send_id, data, .. } => {
+                self.drain_payload(src, data.len());
+                self.handle_rdv_data(src, send_id, data);
+            }
+            Packet::RdvChunk {
+                send_id,
+                offset,
+                data,
+            } => {
+                self.drain_payload(src, data.len());
+                self.handle_chunk(src, send_id, offset, data);
+            }
+            // Credits for a finished or tombstoned transfer are expected
+            // stragglers and are dropped by the lookup below.
+            Packet::RdvCredit { send_id, chunks } => self.handle_credit(send_id, chunks),
+        }
+    }
+
+    /// Charge the receive-drain engine for an inter-node rendezvous payload.
+    /// This is the second stage of the fabric's bandwidth pipeline: the
+    /// sender paid wire time on its thread; the receiver pays drain time
+    /// here, so a streamed transfer overlaps the two while a single-frame
+    /// one serialises them.
+    fn drain_payload(&self, src: usize, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let src_node = self.endpoint.peer_node(self.ep_of(src));
+        if src_node.is_some_and(|n| n != self.endpoint.node()) {
+            self.endpoint.charge_rx_drain(bytes);
+        }
+    }
+
+    /// The receiver released a rendezvous transfer: either ship the whole
+    /// payload in one frame, or open the credit window and start streaming.
+    fn handle_cts(&mut self, send_id: u64) {
+        let Some(&id) = self.send_streams.get(&send_id) else {
+            return;
+        };
+        let (dst, tag, data) = match self.ops.get_mut(&id) {
+            Some(Op::Send(s)) if matches!(s.state, SendState::WaitingCts { .. }) => {
+                (s.dst, s.tag, s.data.take().unwrap_or_else(Payload::empty))
+            }
+            _ => return,
+        };
+        if self.rdv.streams(data.len()) {
+            if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+                s.state = SendState::Streaming {
+                    send_id,
+                    data,
+                    next_offset: 0,
+                    credits: self.rdv.window,
+                    sent: 0,
+                    acked: 0,
+                };
+            }
+            self.pump_chunks(id);
+        } else {
+            let dst_ep = self.ep_of(dst);
+            let pkt = Packet::RdvData { send_id, tag, data };
+            let wire = pkt.wire_bytes();
+            match self.endpoint.send(dst_ep, pkt, wire) {
+                Ok(()) => {
+                    self.send_streams.remove(&send_id);
                     if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
                         s.state = SendState::Complete;
                     }
                 }
+                Err(_) => self.fail_send(id, RmpiError::Disconnected),
             }
-            Packet::RdvData { send_id, data, .. } => {
-                let op_id = self.ops.iter().find_map(|(&id, op)| match op {
-                    Op::Recv(r) => match r.state {
-                        RecvState::WaitingData { send_id: sid, .. } if sid == send_id => Some(id),
-                        _ => None,
-                    },
-                    _ => None,
-                });
-                if let Some(id) = op_id {
-                    if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
-                        if let RecvState::WaitingData { src, tag, .. } = r.state {
-                            let status = Status {
-                                source: src,
-                                tag,
-                                len: data.len(),
-                            };
-                            r.state = RecvState::Complete { data, status };
-                        }
+        }
+    }
+
+    /// Send chunks while the window has credits and payload remains.  The
+    /// transfer completes when the last chunk leaves; credits still in
+    /// flight for it are released from the gauge here and late arrivals are
+    /// dropped by the id lookup.
+    fn pump_chunks(&mut self, id: u64) {
+        loop {
+            let (dst, send_id, chunk, offset, done) = match self.ops.get_mut(&id) {
+                Some(Op::Send(SendOp {
+                    dst,
+                    state:
+                        SendState::Streaming {
+                            send_id,
+                            data,
+                            next_offset,
+                            credits,
+                            sent,
+                            ..
+                        },
+                    ..
+                })) => {
+                    if *credits == 0 || *next_offset >= data.len() {
+                        return;
                     }
+                    let offset = *next_offset;
+                    let end = (offset + self.rdv.chunk_bytes).min(data.len());
+                    let chunk = data.slice(offset..end);
+                    *next_offset = end;
+                    *credits -= 1;
+                    *sent += 1;
+                    (*dst, *send_id, chunk, offset, end >= data.len())
+                }
+                _ => return,
+            };
+            self.rdv_chunks.inc();
+            self.rdv_inflight.add(1);
+            let dst_ep = self.ep_of(dst);
+            let pkt = Packet::RdvChunk {
+                send_id,
+                offset,
+                data: chunk,
+            };
+            let wire = pkt.wire_bytes();
+            if self.endpoint.send(dst_ep, pkt, wire).is_err() {
+                self.fail_send(id, RmpiError::Disconnected);
+                return;
+            }
+            if done {
+                self.complete_stream(id, send_id);
+                return;
+            }
+        }
+    }
+
+    /// Transition a finished chunk stream to `Complete`, releasing its
+    /// remaining in-flight accounting and its staged payload.
+    fn complete_stream(&mut self, id: u64, send_id: u64) {
+        self.send_streams.remove(&send_id);
+        if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+            if let SendState::Streaming { sent, acked, .. } = s.state {
+                self.rdv_inflight.sub((sent - acked) as u64);
+            }
+            s.state = SendState::Complete;
+        }
+    }
+
+    /// A credit returned window slots: account it and keep streaming.
+    fn handle_credit(&mut self, send_id: u64, chunks: usize) {
+        let Some(&id) = self.send_streams.get(&send_id) else {
+            return;
+        };
+        match self.ops.get_mut(&id) {
+            Some(Op::Send(SendOp {
+                state: SendState::Streaming { credits, acked, .. },
+                ..
+            })) => {
+                *credits += chunks;
+                *acked += chunks;
+                self.rdv_inflight.sub(chunks as u64);
+            }
+            _ => return,
+        }
+        self.pump_chunks(id);
+    }
+
+    /// One streamed chunk landed: assemble it at its offset and, every
+    /// [`RdvConfig::credit_batch`] drained chunks, return one coalesced
+    /// credit.  Chunks for unknown transfers (tombstoned receives) are
+    /// dropped — their pooled buffer frees on return.
+    fn handle_chunk(&mut self, src: usize, send_id: u64, offset: usize, data: Payload) {
+        let Some(&id) = self.recv_streams.get(&(src, send_id)) else {
+            return;
+        };
+        let batch = self.rdv.credit_batch();
+        let outcome = match self.ops.get_mut(&id) {
+            Some(Op::Recv(RecvOp {
+                state:
+                    RecvState::Assembling {
+                        buf,
+                        total,
+                        received,
+                        pending_credits,
+                        progress,
+                        ..
+                    },
+                ..
+            })) => {
+                let total = *total;
+                if offset + data.len() > total {
+                    // A malformed chunk cannot be assembled; poison the
+                    // transfer rather than corrupt the buffer.
+                    None
+                } else {
+                    buf.body_mut(total)[offset..offset + data.len()]
+                        .copy_from_slice(data.as_slice());
+                    *received += data.len();
+                    progress.add(data.len());
+                    let finished = *received >= total;
+                    let credits = if finished {
+                        // The sender completes (and may exit) as soon as
+                        // its last chunk leaves, so nothing is owed for the
+                        // finishing chunk — or for any batch still pending
+                        // when it lands.
+                        0
+                    } else {
+                        *pending_credits += 1;
+                        if *pending_credits >= batch {
+                            std::mem::take(pending_credits)
+                        } else {
+                            0
+                        }
+                    };
+                    Some((finished, credits))
                 }
             }
+            _ => return,
+        };
+        let Some((finished, credits)) = outcome else {
+            self.fail_recv(
+                id,
+                RmpiError::InvalidArgument(format!(
+                    "chunk at offset {offset} overruns {send_id} from rank {src}"
+                )),
+            );
+            return;
+        };
+        if credits > 0 {
+            // Open `credits` window slots.  A failed credit send is not
+            // itself fatal: chunks already in flight still drain, and a
+            // sender that truly died mid-stream surfaces as a stall on
+            // this receive.
+            let src_ep = self.ep_of(src);
+            let pkt = Packet::RdvCredit {
+                send_id,
+                chunks: credits,
+            };
+            let wire = pkt.wire_bytes();
+            let _ = self.endpoint.send(src_ep, pkt, wire);
+        }
+        if finished {
+            self.recv_streams.remove(&(src, send_id));
+            if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+                let state = std::mem::replace(&mut r.state, RecvState::Posted);
+                if let RecvState::Assembling {
+                    src,
+                    tag,
+                    buf,
+                    total,
+                    started,
+                    ..
+                } = state
+                {
+                    let elapsed = started.elapsed().max(Duration::from_nanos(1));
+                    self.rdv_rate
+                        .record((total as f64 / elapsed.as_secs_f64()) as u64);
+                    let status = Status {
+                        source: src,
+                        tag,
+                        len: total,
+                    };
+                    r.state = RecvState::Complete {
+                        data: buf.freeze(),
+                        status,
+                    };
+                }
+            }
+        }
+    }
+
+    /// A single-frame rendezvous payload landed: complete the receive.
+    fn handle_rdv_data(&mut self, src: usize, send_id: u64, data: Payload) {
+        let Some(&id) = self.recv_streams.get(&(src, send_id)) else {
+            return;
+        };
+        self.recv_streams.remove(&(src, send_id));
+        if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+            match r.state {
+                RecvState::WaitingData { src, tag, .. }
+                // Defensive: a peer with a different chunking config may
+                // single-frame what this side expected to stream.
+                | RecvState::Assembling { src, tag, .. } => {
+                    let status = Status {
+                        source: src,
+                        tag,
+                        len: data.len(),
+                    };
+                    r.state = RecvState::Complete { data, status };
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tombstone a send: release its window accounting and index entries so
+    /// nothing leaks, and park the error for the wait call.
+    fn fail_send(&mut self, id: u64, err: RmpiError) {
+        if let Some(Op::Send(s)) = self.ops.get_mut(&id) {
+            if let SendState::Streaming {
+                send_id,
+                sent,
+                acked,
+                ..
+            } = s.state
+            {
+                self.rdv_inflight.sub((sent - acked) as u64);
+                self.send_streams.remove(&send_id);
+            } else if let SendState::WaitingCts { send_id } = s.state {
+                self.send_streams.remove(&send_id);
+            }
+            s.state = SendState::Failed(err);
+        }
+    }
+
+    /// Tombstone a receive, dropping its assembly buffer back to the pool.
+    fn fail_recv(&mut self, id: u64, err: RmpiError) {
+        if let Some(Op::Recv(r)) = self.ops.get_mut(&id) {
+            match &r.state {
+                RecvState::WaitingData { send_id, src, .. }
+                | RecvState::Assembling { send_id, src, .. } => {
+                    self.recv_streams.remove(&(*src, *send_id));
+                }
+                _ => {}
+            }
+            r.state = RecvState::Failed(err);
         }
     }
 
@@ -629,6 +1074,40 @@ impl std::fmt::Debug for Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::world::{MpiWorld, RankPlacement};
+    use dcgn_simtime::CostModel;
+
+    /// The FIFO queues must preserve the pre-existing matching semantics:
+    /// posted receives match in posting order, and a selective receive
+    /// posted first still takes the message it asked for, leaving earlier
+    /// arrivals to later wildcards.
+    #[test]
+    fn posted_receives_match_in_posting_order() {
+        let mut world = MpiWorld::create(&RankPlacement::block(2, 1), CostModel::zero());
+        let mut receiver = world.pop().expect("rank 1");
+        let mut sender = world.pop().expect("rank 0");
+
+        // Two wildcard receives complete in posting order.
+        sender.send(1, 1, b"first").unwrap();
+        sender.send(1, 2, b"second").unwrap();
+        let r1 = receiver.irecv(None, None).unwrap();
+        let r2 = receiver.irecv(None, None).unwrap();
+        let (data, status) = receiver.wait_recv(r1).unwrap();
+        assert_eq!((data.as_slice(), status.tag), (&b"first"[..], 1));
+        let (data, status) = receiver.wait_recv(r2).unwrap();
+        assert_eq!((data.as_slice(), status.tag), (&b"second"[..], 2));
+
+        // A selective receive posted before a wildcard skips non-matching
+        // arrivals; the wildcard then takes the earliest arrival.
+        sender.send(1, 1, b"for-wildcard").unwrap();
+        sender.send(1, 2, b"for-selective").unwrap();
+        let selective = receiver.irecv(None, Some(2)).unwrap();
+        let wildcard = receiver.irecv(None, None).unwrap();
+        let (data, _) = receiver.wait_recv(selective).unwrap();
+        assert_eq!(data.as_slice(), b"for-selective");
+        let (data, _) = receiver.wait_recv(wildcard).unwrap();
+        assert_eq!(data.as_slice(), b"for-wildcard");
+    }
 
     #[test]
     #[allow(clippy::assertions_on_constants)] // compile-time tag-space guard

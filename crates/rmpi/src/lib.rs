@@ -12,7 +12,11 @@
 //! The design follows a classic single-threaded MPI progress engine:
 //!
 //! * point-to-point messages use an **eager** protocol below a configurable
-//!   threshold and a **rendezvous** (RTS/CTS) protocol above it,
+//!   threshold and a **rendezvous** (RTS/CTS) protocol above it; rendezvous
+//!   payloads larger than one chunk stream through a credit-windowed
+//!   chunk pipeline (zero-copy views of the staged buffer, bounded
+//!   in-flight memory, per-transfer progress metrics — see the [`comm`]
+//!   module docs and [`RdvConfig`]),
 //! * receives match on `(source, tag)` with wildcard support and an
 //!   unexpected-message queue,
 //! * nonblocking operations ([`Communicator::isend`]/[`Communicator::irecv`])
@@ -31,6 +35,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod packet;
+pub mod rdv;
 pub mod typed;
 pub mod world;
 
@@ -40,6 +45,10 @@ pub use packet::{
     frame_exchange, parse_exchange_header, ExchangeId, Packet, RmpiError, Status, ANY_SOURCE,
     ANY_TAG, EXCHANGE_HEADER_BYTES, PHASE_ABORT, PHASE_DOWN, PHASE_RD_FOLD_IN, PHASE_RD_FOLD_OUT,
     PHASE_RD_ROUND_BASE, PHASE_RING_BASE, PHASE_UP,
+};
+pub use rdv::{
+    ProgressHandle, RdvConfig, TransferProgress, TransferSnapshot, DEFAULT_RDV_CHUNK,
+    DEFAULT_RDV_WINDOW, ENV_EAGER_THRESHOLD, ENV_RDV_CHUNK, ENV_RDV_WINDOW, MAX_RDV_WINDOW,
 };
 pub use typed::{
     bytes_to_f32s, bytes_to_f64s, bytes_to_i64s, bytes_to_u32s, f32s_to_bytes, f64s_to_bytes,

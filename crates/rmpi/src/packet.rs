@@ -18,8 +18,10 @@ pub const HEADER_BYTES: usize = 32;
 
 /// The packets exchanged between communicator endpoints.
 ///
-/// `Eager` carries the payload immediately; large messages use the
-/// rendezvous triplet `Rts` → `Cts` → `RdvData`.
+/// `Eager` carries the payload immediately.  Large messages rendezvous with
+/// `Rts` → `Cts`; the payload then travels either as one `RdvData` frame
+/// (messages up to one chunk) or as a credit-windowed stream of `RdvChunk`
+/// frames acknowledged by `RdvCredit` (see the `comm` module docs).
 #[derive(Debug)]
 pub enum Packet {
     /// Small message: payload travels with the envelope.
@@ -45,7 +47,7 @@ pub enum Packet {
         /// Identifier from the matching [`Packet::Rts`].
         send_id: u64,
     },
-    /// The payload of a rendezvous transfer.
+    /// The payload of a single-frame rendezvous transfer.
     RdvData {
         /// Identifier from the matching [`Packet::Rts`].
         send_id: u64,
@@ -53,6 +55,26 @@ pub enum Packet {
         tag: u32,
         /// Payload bytes (pooled and shared, like [`Packet::Eager`]).
         data: Payload,
+    },
+    /// One chunk of a streamed rendezvous transfer.  The data is a zero-copy
+    /// view into the sender's staged payload; `offset` places it in the
+    /// receiver's assembly buffer, so chunks are self-describing and the
+    /// stream needs no in-order delivery guarantee beyond the fabric's.
+    RdvChunk {
+        /// Identifier from the matching [`Packet::Rts`].
+        send_id: u64,
+        /// Byte offset of this chunk within the full message.
+        offset: usize,
+        /// Chunk bytes (a view of the staged buffer — no per-chunk copy).
+        data: Payload,
+    },
+    /// Receiver-side credit returning window slots to the sender of a
+    /// streamed transfer: `chunks` more chunks may be put in flight.
+    RdvCredit {
+        /// Identifier from the matching [`Packet::Rts`].
+        send_id: u64,
+        /// Number of window slots being returned.
+        chunks: usize,
     },
 }
 
@@ -64,6 +86,8 @@ impl Packet {
             Packet::Rts { .. } => HEADER_BYTES,
             Packet::Cts { .. } => HEADER_BYTES,
             Packet::RdvData { data, .. } => HEADER_BYTES + data.len(),
+            Packet::RdvChunk { data, .. } => HEADER_BYTES + data.len(),
+            Packet::RdvCredit { .. } => HEADER_BYTES,
         }
     }
 }
@@ -250,6 +274,17 @@ mod tests {
             data: Payload::copy_from_slice(&vec![0u8; 1 << 20]),
         };
         assert_eq!(data.wire_bytes(), HEADER_BYTES + (1 << 20));
+        let chunk = Packet::RdvChunk {
+            send_id: 1,
+            offset: 1 << 16,
+            data: Payload::copy_from_slice(&vec![0u8; 1 << 16]),
+        };
+        assert_eq!(chunk.wire_bytes(), HEADER_BYTES + (1 << 16));
+        let credit = Packet::RdvCredit {
+            send_id: 1,
+            chunks: 3,
+        };
+        assert_eq!(credit.wire_bytes(), HEADER_BYTES);
     }
 
     #[test]

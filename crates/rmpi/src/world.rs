@@ -9,6 +9,8 @@ use dcgn_simtime::CostModel;
 
 use crate::comm::Communicator;
 use crate::packet::Packet;
+use crate::rdv::RdvConfig;
+use crate::Result;
 
 /// Describes which cluster node each rank lives on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,14 +84,46 @@ impl MpiWorld {
     /// Create one [`Communicator`] per rank of `placement`, all attached to a
     /// fresh simulated cluster using `cost`.  The returned communicators are
     /// indexed by rank and are intended to be moved onto separate threads.
+    ///
+    /// The transfer protocol runs with the default [`RdvConfig`] for the
+    /// cost model's eager threshold, adjusted by any `DCGN_EAGER_THRESHOLD`,
+    /// `DCGN_RDV_CHUNK` and `DCGN_RDV_WINDOW` environment overrides; an
+    /// invalid override combination panics with its validation message.
+    /// Use [`MpiWorld::create_with`] to pass an explicit configuration.
     pub fn create(placement: &RankPlacement, cost: CostModel) -> Vec<Communicator> {
         let cluster: Cluster<Packet> = Cluster::new(placement.num_nodes(), cost);
         Self::create_on(&cluster, placement)
     }
 
+    /// [`MpiWorld::create`] with an explicit, validated transfer-protocol
+    /// configuration (no environment overrides applied).
+    pub fn create_with(
+        placement: &RankPlacement,
+        cost: CostModel,
+        rdv: RdvConfig,
+    ) -> Result<Vec<Communicator>> {
+        let cluster: Cluster<Packet> = Cluster::new(placement.num_nodes(), cost);
+        Self::create_on_with(&cluster, placement, rdv)
+    }
+
     /// Create communicators on an existing cluster (used when other
     /// components — e.g. DCGN's device simulators — share the same cluster).
+    /// Resolves the transfer-protocol configuration from the cost model and
+    /// the environment, like [`MpiWorld::create`].
     pub fn create_on(cluster: &Cluster<Packet>, placement: &RankPlacement) -> Vec<Communicator> {
+        let rdv = RdvConfig::from_env(cluster.cost().eager_threshold);
+        Self::create_on_with(cluster, placement, rdv)
+            .expect("invalid rendezvous configuration from environment")
+    }
+
+    /// [`MpiWorld::create_on`] with an explicit transfer-protocol
+    /// configuration, validated before any endpoint is attached.
+    pub fn create_on_with(
+        cluster: &Cluster<Packet>,
+        placement: &RankPlacement,
+        rdv: RdvConfig,
+    ) -> Result<Vec<Communicator>> {
+        rdv.validate()?;
         let endpoints: Vec<_> = placement
             .node_map()
             .iter()
@@ -103,8 +137,7 @@ impl MpiWorld {
                 .map(|(rank, e)| (e.id(), rank))
                 .collect::<HashMap<_, _>>(),
         );
-        let eager = cluster.cost().eager_threshold;
-        endpoints
+        Ok(endpoints
             .into_iter()
             .enumerate()
             .map(|(rank, endpoint)| {
@@ -113,10 +146,10 @@ impl MpiWorld {
                     endpoint,
                     Arc::clone(&rank_to_ep),
                     Arc::clone(&ep_to_rank),
-                    eager,
+                    rdv,
                 )
             })
-            .collect()
+            .collect())
     }
 
     /// Convenience harness: spawn one thread per rank, run `f` on each with
@@ -127,7 +160,30 @@ impl MpiWorld {
         R: Send + 'static,
         F: Fn(Communicator) -> R + Send + Sync + 'static,
     {
-        let comms = Self::create(placement, cost);
+        Self::run_comms(Self::create(placement, cost), f)
+    }
+
+    /// [`MpiWorld::run`] with an explicit transfer-protocol configuration —
+    /// the race-free way for one process to compare protocol settings
+    /// (environment variables are process-global; this is not).
+    pub fn run_with<R, F>(
+        placement: &RankPlacement,
+        cost: CostModel,
+        rdv: RdvConfig,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        R: Send + 'static,
+        F: Fn(Communicator) -> R + Send + Sync + 'static,
+    {
+        Ok(Self::run_comms(Self::create_with(placement, cost, rdv)?, f))
+    }
+
+    fn run_comms<R, F>(comms: Vec<Communicator>, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Communicator) -> R + Send + Sync + 'static,
+    {
         let f = Arc::new(f);
         let handles: Vec<_> = comms
             .into_iter()

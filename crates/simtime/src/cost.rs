@@ -59,6 +59,18 @@ impl LinkCost {
     pub fn is_free(&self) -> bool {
         self.latency.is_zero() && !self.bandwidth_bytes_per_sec.is_finite()
     }
+
+    /// This link with the fixed per-transfer latency stripped, keeping only
+    /// the size-proportional term.  Models a second pipeline stage sharing
+    /// the link's sustained bandwidth (e.g. the receive-side drain engine of
+    /// a NIC) without double-charging the setup latency the first stage
+    /// already paid.
+    pub fn bandwidth_only(self) -> LinkCost {
+        LinkCost {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: self.bandwidth_bytes_per_sec,
+        }
+    }
 }
 
 /// The complete cost model for a simulated DCGN deployment.
@@ -210,6 +222,15 @@ mod tests {
         assert!(l.is_free());
         assert_eq!(l.transfer_time(0), Duration::ZERO);
         assert_eq!(l.transfer_time(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_only_strips_latency_but_keeps_the_rate() {
+        let l = LinkCost::from_us_and_mbps(10, 1000.0).bandwidth_only();
+        assert_eq!(l.latency, Duration::ZERO);
+        assert_eq!(l.transfer_time(1_000_000), Duration::from_millis(1));
+        // A free link stays free: no bandwidth term appears from nowhere.
+        assert!(LinkCost::free().bandwidth_only().is_free());
     }
 
     #[test]

@@ -62,9 +62,20 @@ fn cross_node_message_acquires_exactly_one_pooled_buffer() {
     // body is a slice of it.  A recv-side `Vec<u8>` copy-out would show up
     // here as a second acquisition (or a pool-bypassing allocation caught
     // by the pointer-identity tests in `dcgn_rmpi`).
+    //
+    // Exception: when the suite runs with a DCGN_RDV_CHUNK small enough to
+    // stream these sends, the receiver legitimately acquires one assembly
+    // buffer per message (chunks are still zero-copy views of the staging
+    // buffer), so the budget is two acquisitions per message.
+    let streamed = std::env::var("DCGN_RDV_CHUNK")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .is_some_and(|chunk| chunk > 0 && chunk < SIZE);
+    let per_message = if streamed { 2 } else { 1 };
     assert_eq!(
         measured.load(Ordering::SeqCst),
-        ROUNDS,
-        "the receive path must not acquire pooled buffers of its own"
+        ROUNDS * per_message,
+        "the receive path must not acquire pooled buffers beyond the \
+         streamed-rendezvous assembly buffer"
     );
 }
